@@ -1,0 +1,97 @@
+"""Ablation A5 — seller delivery strategy vs the growth monitor.
+
+The market's answer to follower-count watchdogs is *drip delivery*:
+spread the purchased block thinly enough and no single day stands out.
+This ablation buys the same quantity from each preset seller on
+identical live worlds and measures what a daily-polling monitor sees —
+quantifying the detectability/price trade-off and the monitor's blind
+spot (which is exactly why the paper's FC engine audits *composition*,
+not growth).
+"""
+
+import pytest
+
+from repro.core import DAY, HOUR, PAPER_EPOCH, SimClock, YEAR
+from repro.experiments import TextTable
+from repro.growth import BurstDetector, series_from_observations
+from repro.market import Marketplace, PRESET_SELLERS
+from repro.twitter import (
+    Account,
+    LiveSimulation,
+    OrganicGrowthProcess,
+    SocialGraph,
+)
+
+TARGET_ID = 55
+QUANTITY = 6000
+ORGANIC_PER_DAY = 150.0
+WATCH_DAYS = 20
+PURCHASE_DAY = 8
+
+
+def run_scenario(seller, seed=42):
+    """Grow organically, buy on day 8, poll daily for 20 days."""
+    graph = SocialGraph(seed=1)
+    graph.add_account(Account(
+        user_id=TARGET_ID, screen_name="watched",
+        created_at=PAPER_EPOCH - 2 * YEAR,
+        statuses_count=500, last_tweet_at=PAPER_EPOCH - HOUR))
+    simulation = LiveSimulation(graph, SimClock(PAPER_EPOCH), seed=seed)
+    simulation.add_process(
+        OrganicGrowthProcess(TARGET_ID, per_day=ORGANIC_PER_DAY))
+    market = Marketplace(simulation, seed=seed)
+
+    observations = []
+    order = None
+    for day in range(WATCH_DAYS):
+        if day == PURCHASE_DAY:
+            order = market.place_order(seller, TARGET_ID, QUANTITY)
+        observations.append((
+            simulation.now(),
+            graph.follower_count(TARGET_ID, simulation.now())))
+        simulation.run_for(DAY)
+    series = series_from_observations(observations)
+    events = BurstDetector().detect(series)
+    top_z = events[0].z_score if events else 0.0
+    return order, events, top_z
+
+
+@pytest.mark.benchmark(group="ablation-a5")
+def test_ablation_seller_evasion(once, save_result):
+    def sweep():
+        return [(seller, *run_scenario(seller)[1:])
+                for seller in PRESET_SELLERS]
+
+    rows = once(sweep)
+
+    table = TextTable(
+        ["seller", "$ for 6000", "delivery span", "attrition/day",
+         "monitor verdict", "top z-score"],
+        title=f"A5: seller strategy vs a daily growth monitor "
+              f"(organic baseline {ORGANIC_PER_DAY:.0f}/day)",
+    )
+    results = {}
+    for seller, events, top_z in rows:
+        results[seller.name] = (events, top_z)
+        table.add_row(
+            seller.name,
+            f"${seller.price(QUANTITY):.0f}",
+            f"{seller.delivery_hours(QUANTITY):.1f}h",
+            f"{seller.daily_attrition:.1%}",
+            "DETECTED" if events else "evaded",
+            f"{top_z:.1f}",
+        )
+    rendered = table.render()
+    save_result("ablation_a5_sellers", rendered)
+    print("\n" + rendered)
+
+    # Bulk and standard deliveries concentrate thousands of arrivals in
+    # hours: unmissable.
+    assert results["cheap-bulk"][0], "bulk purchase must be detected"
+    assert results["standard"][0], "standard purchase must be detected"
+    # The premium drip (60/hour = 1440/day on a 150/day baseline over
+    # ~4 days) still shows, but far less starkly than the bulk spike.
+    assert results["cheap-bulk"][1] > 3 * results["premium-drip"][1]
+    # Price buys stealth: z-scores fall monotonically with price.
+    zs = [results[s.name][1] for s in PRESET_SELLERS]
+    assert zs == sorted(zs, reverse=True)

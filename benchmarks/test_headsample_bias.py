@@ -1,0 +1,33 @@
+"""Bench E6 — the purchased-fakes head-bias demonstration.
+
+Paper (Sections II-A/II-D): an account with 100K genuine followers that
+buys 10K fakes "could show a 100% of fake, while the right percentage
+should be around 9%" under a newest-1K sampling frame.
+"""
+
+import pytest
+
+from repro.experiments import run_purchased_burst_demo
+
+
+@pytest.mark.benchmark(group="headsample-bias")
+def test_headsample_bias(once, save_result, detector):
+    result, rendered = once(
+        run_purchased_burst_demo, seed=42, detector=detector)
+    save_result("headsample_bias", rendered)
+    print("\n" + rendered)
+
+    # Closed forms, paper numbers: truth ~9.1%, newest-1K head 100%.
+    assert result.closed_form_1k_head.whole_rate == pytest.approx(
+        0.0909, abs=0.001)
+    assert result.closed_form_1k_head.head_rate == 1.0
+    assert result.closed_form_35k_head.head_rate == pytest.approx(
+        10_000 / 35_000, abs=0.001)
+
+    # Live engines: the newest-1K frame reports (almost) everything
+    # fake; the production Fakers frame still overestimates ~3x; FC's
+    # uniform sample recovers the truth.
+    assert result.sp_newest1k_fake_pct > 85.0
+    assert result.sp_default_fake_pct > 2.0 * result.true_fake_pct
+    assert result.fc_fake_plus_inactive_pct == pytest.approx(
+        result.true_fake_pct, abs=2.5)

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Unlike the experiment benches (which regenerate paper artefacts once),
+these measure the hot paths of the library with real repetition, so
+performance regressions in the generative core are caught:
+
+* lazy account materialisation (the cost of every sampled follower);
+* follower-id paging (what the FC engine's full-list crawl is made of);
+* timeline synthesis (what Socialbakers' content rules pay for);
+* decision-tree training (the FC learning loop).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_EPOCH, SimClock
+from repro.api import TwitterApiClient
+from repro.fc import DecisionTree, PROFILE_FEATURE_SET, build_gold_standard
+from repro.twitter import TimelineGenerator, add_simple_target, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = build_world(seed=8)
+    add_simple_target(w, "perf", 200_000, 0.4, 0.1, 0.5)
+    return w
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_account_materialisation(benchmark, world):
+    population = world.population("perf")
+    counter = iter(range(10**9))
+
+    def materialise():
+        return population.account_at(
+            next(counter) % 200_000, PAPER_EPOCH)
+
+    account = benchmark(materialise)
+    assert account.user_id is not None
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_follower_id_paging(benchmark, world):
+    client = TwitterApiClient(world, SimClock(PAPER_EPOCH),
+                              request_latency=0.0)
+
+    def page():
+        return client.followers_ids(screen_name="perf", cursor=5000)
+
+    result = benchmark(page)
+    assert len(result.ids) == 5000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_timeline_synthesis(benchmark, world):
+    population = world.population("perf")
+    generator = TimelineGenerator(seed=8)
+    account = next(
+        population.account_at(p, PAPER_EPOCH) for p in range(500)
+        if population.account_at(p, PAPER_EPOCH).statuses_count >= 200)
+
+    tweets = benchmark(generator.recent_tweets, account, 200)
+    assert len(tweets) == 200
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_feature_extraction(benchmark):
+    gold = build_gold_standard(n_fake=100, n_genuine=100, seed=8)
+    users = gold.users()
+
+    matrix = benchmark(
+        PROFILE_FEATURE_SET.extract_matrix, users, None, gold.now)
+    assert matrix.shape == (200, len(PROFILE_FEATURE_SET.features))
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_tree_training(benchmark):
+    gold = build_gold_standard(n_fake=150, n_genuine=150, seed=8)
+    X = gold.design_matrix(PROFILE_FEATURE_SET)
+    y = gold.labels()
+
+    tree = benchmark(lambda: DecisionTree(max_depth=6).fit(X, y))
+    assert (tree.predict(X) == y).mean() > 0.9
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_arrival_inverse(benchmark, world):
+    population = world.population("perf")
+    schedule = population.schedule
+    moments = np.linspace(
+        schedule.arrival_time(0), schedule.ref_time, 64)
+    counter = iter(range(10**9))
+
+    def inverse():
+        return schedule.size_at(float(moments[next(counter) % 64]))
+
+    size = benchmark(inverse)
+    assert 0 <= size <= 200_000

@@ -1,0 +1,23 @@
+"""Bench E8 — the FC sample size (9604) and empirical coverage.
+
+Paper (Section IV-C): "the sample size is always 9604, to guarantee a
+confidence level of 95%, with a confidence interval of 1%."
+"""
+
+import pytest
+
+from repro.experiments import run_sample_size_experiment
+from repro.stats import required_sample_size
+
+
+@pytest.mark.benchmark(group="sample-size")
+def test_sample_size(once, save_result):
+    coverage, rendered = once(
+        run_sample_size_experiment, trials=150, seed=42)
+    save_result("sample_size", rendered)
+    print("\n" + rendered)
+
+    assert required_sample_size(0.01, 0.95) == 9604
+    # Nominal coverage is 95%; finite-population sampling does better.
+    assert coverage.coverage >= 0.93
+    assert coverage.sample_size == 9604

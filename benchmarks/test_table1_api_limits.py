@@ -1,0 +1,30 @@
+"""Bench E1 — regenerate Table I (API types and rate limits).
+
+Paper rows: followers/ids and friends/ids serve 5000 elements at 1
+request/min; users/lookup serves 100 at 12/min; statuses/user_timeline
+serves 200 at 12/min.  The bench measures the limiter empirically and
+asserts the sustained rates match the published figures.
+"""
+
+import pytest
+
+from repro.api import TABLE_I
+from repro.experiments import run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_api_limits(once, save_result):
+    measurements, rendered = once(run_table1)
+    save_result("table1_api_limits", rendered)
+    print("\n" + rendered)
+
+    by_resource = {m.policy.resource: m for m in measurements}
+    for policy in TABLE_I:
+        measured = by_resource[policy.resource]
+        assert measured.sustained_per_minute == pytest.approx(
+            policy.requests_per_minute, rel=0.1), policy.resource
+    # The paging sizes are the paper's, verbatim.
+    assert by_resource["followers/ids"].policy.elements_per_request == 5000
+    assert by_resource["users/lookup"].policy.elements_per_request == 100
+    assert by_resource["statuses/user_timeline"].policy \
+        .elements_per_request == 200

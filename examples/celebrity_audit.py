@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Celebrity audit: four engines, one bought-followers scandal.
+
+Builds a Romney-style scenario — a large account whose follower base
+jumped by a purchased block a few months ago — and runs all four
+engines over it, printing the side-by-side report the paper's Table III
+makes for real accounts, plus each engine's response time.
+
+Run::
+
+    python examples/celebrity_audit.py
+"""
+
+from repro.analytics import (
+    SocialbakersFakeFollowerCheck,
+    StatusPeopleFakers,
+    Twitteraudit,
+)
+from repro.core import SimClock, format_duration
+from repro.experiments import TextTable
+from repro.fc import FakeClassifierEngine, default_detector
+from repro.twitter import add_simple_target, build_world
+
+
+def main() -> None:
+    world = build_world(seed=2014)
+    # 120K followers: 30% long-gone, 18% fake (two thirds of them bought
+    # in one recent burst), the rest genuine.
+    add_simple_target(
+        world, "senator_x", followers=120_000,
+        inactive=0.30, fake=0.18, genuine=0.52,
+        fake_burst_fraction=0.66, fake_burst_position=0.93,
+        verified=True,
+    )
+    clock = SimClock()
+
+    print("training the FC detector ...")
+    engines = [
+        FakeClassifierEngine(world, clock, default_detector(seed=3)),
+        Twitteraudit(world, clock),
+        StatusPeopleFakers(world, clock),
+        SocialbakersFakeFollowerCheck(world, clock),
+    ]
+
+    table = TextTable(
+        ["engine", "sample", "inactive %", "fake %", "genuine %",
+         "response time"],
+        title="@senator_x, as seen by four fake-follower analytics",
+    )
+    for engine in engines:
+        report = engine.audit("senator_x")
+        table.add_row(
+            report.tool,
+            report.sample_size,
+            "-" if report.inactive_pct is None else f"{report.inactive_pct}",
+            f"{report.fake_pct}",
+            f"{report.genuine_pct}",
+            format_duration(report.response_seconds),
+        )
+    print()
+    print(table.render())
+
+    composition = world.population("senator_x").composition(
+        clock.now(), sample=8000)
+    print("\nground truth: " + ", ".join(
+        f"{label.value} {100 * share:.1f}%"
+        for label, share in composition.items()))
+    print(
+        "\nReading guide: FC recovers the truth from a uniform 9604-"
+        "follower sample.  The head-sampling tools each tell a different "
+        "story — the 'general disagreement' of the paper's Table III — "
+        "because the newest slice of the list is nothing like the base."
+    )
+
+
+if __name__ == "__main__":
+    main()

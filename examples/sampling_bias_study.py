@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Sampling-bias study: what the head of a follower list hides.
+
+A self-contained tour of ``repro.stats``: confidence-interval
+arithmetic (why 9604?), the purchased-burst worked example from the
+paper's Section II, and an empirical sweep of head-frame bias over a
+population with a recency gradient.
+
+Run::
+
+    python examples/sampling_bias_study.py
+"""
+
+from repro.core import PAPER_EPOCH
+from repro.experiments import TextTable
+from repro.stats import (
+    achieved_margin,
+    gradient_head_bias,
+    head_sampling_bias,
+    purchased_burst_rates,
+    required_sample_size,
+)
+from repro.twitter import Label, add_simple_target, build_world
+
+
+def sample_size_arithmetic() -> None:
+    print("=== 1. Why does FC sample exactly 9604 followers? ===")
+    n = required_sample_size(margin=0.01, confidence=0.95)
+    print(f"smallest n with a 95% CI of +/-1% (worst case p=0.5): {n}")
+    table = TextTable(["tool", "sample", "margin it buys (if unbiased)"])
+    for tool, size in (("StatusPeople", 700), ("Socialbakers", 2000),
+                       ("Twitteraudit", 5000), ("Fake Project FC", 9604)):
+        table.add_row(tool, size, f"+/-{100 * achieved_margin(size):.2f}%")
+    print(table.render())
+
+
+def purchased_burst() -> None:
+    print("\n=== 2. The paper's worked example (Section II) ===")
+    for head in (1000, 35_000):
+        report = purchased_burst_rates(100_000, 10_000, head_size=head)
+        print(f"100K genuine + 10K bought, newest-{head} frame: "
+              f"frame says {100 * report.head_rate:.1f}% fake, "
+              f"truth is {100 * report.whole_rate:.1f}%")
+
+
+def gradient_sweep() -> None:
+    print("\n=== 3. Head bias under a recency gradient ===")
+    base, tilt, inactive = 40_000, 0.6, 0.45
+    world = build_world(seed=99)
+    add_simple_target(world, "study", base, inactive, 0.05, 0.50,
+                      tilt=tilt, pieces=8)
+    population = world.population("study")
+    flags = [population.true_label_at(p) is Label.INACTIVE
+             for p in range(population.size_at(PAPER_EPOCH))]
+
+    table = TextTable(
+        ["frame", "inactive rate seen", "bias vs truth",
+         "closed-form prediction"])
+    whole = sum(flags) / len(flags)
+    for head in (1000, 5000, 15_000, base):
+        report = head_sampling_bias(lambda p: flags[p], base, head)
+        predicted = gradient_head_bias(inactive, tilt, head / base)
+        table.add_row(
+            "whole list" if head == base else f"newest {head}",
+            f"{100 * report.head_rate:.1f}%",
+            f"{100 * report.absolute_bias:+.1f}pp",
+            f"{100 * predicted:+.1f}pp",
+        )
+    print(f"true inactive rate: {100 * whole:.1f}%")
+    print(table.render())
+    print(
+        "\nHead frames systematically *underestimate* inactivity — which "
+        "is exactly why Socialbakers and StatusPeople report far fewer "
+        "inactive followers than FC in the paper's Table III."
+    )
+
+
+def main() -> None:
+    sample_size_arithmetic()
+    purchased_burst()
+    gradient_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Train your own fake-follower detector, the Fake Project way.
+
+Walks the full Section III methodology: build a gold standard of
+a-priori-labelled accounts, evaluate the era's rule-based baselines on
+it, train decision-tree and random-forest classifiers on profile-only
+(class A) and full (class A+B) feature sets, and finally pick the
+production detector by *crawling cost* — the optimized-classifier step
+of [12].
+
+Run::
+
+    python examples/train_your_own_detector.py
+"""
+
+from repro.core import format_duration
+from repro.experiments import TextTable
+from repro.fc import (
+    BASELINE_RULESETS,
+    FULL_FEATURE_SET,
+    PROFILE_FEATURE_SET,
+    build_gold_standard,
+    evaluate_ruleset,
+    rank_by_cost,
+    select_under_budget,
+    train_and_evaluate,
+    train_detector,
+)
+
+
+def main() -> None:
+    print("building the gold standard (a-priori-known labels) ...")
+    gold = build_gold_standard(n_fake=400, n_genuine=400, seed=1)
+    train, test = gold.split(train_fraction=0.7, seed=1)
+
+    # 1. The literature's rule sets, straight on the gold standard.
+    table = TextTable(["approach", "accuracy", "F1", "MCC"],
+                      title="baselines vs learned classifiers")
+    for ruleset in BASELINE_RULESETS:
+        matrix = evaluate_ruleset(ruleset, test)
+        table.add_row(f"rules:{ruleset.name}", f"{matrix.accuracy:.3f}",
+                      f"{matrix.f1:.3f}", f"{matrix.mcc:.3f}")
+
+    # 2. Learned classifiers, held-out evaluation.
+    for feature_set, tag in ((PROFILE_FEATURE_SET, "A"),
+                             (FULL_FEATURE_SET, "A+B")):
+        for model in ("tree", "forest"):
+            __, report = train_and_evaluate(
+                gold, feature_set=feature_set, model=model, seed=1)
+            table.add_row(f"ml:{model}[{tag}]",
+                          f"{report.matrix.accuracy:.3f}",
+                          f"{report.matrix.f1:.3f}",
+                          f"{report.matrix.mcc:.3f}")
+    print(table.render())
+
+    # 3. Which features does the forest actually use?
+    detector = train_detector(train, feature_set=PROFILE_FEATURE_SET,
+                              model="forest", seed=1)
+    importances = detector.model.feature_importances()
+    ranked = sorted(zip(PROFILE_FEATURE_SET.names, importances),
+                    key=lambda pair: pair[1], reverse=True)
+    print("\ntop class-A features by split importance:")
+    for name, importance in ranked[:5]:
+        print(f"  {name:<22} {importance:.3f}")
+
+    # 4. The cost-aware selection: what can run inside a 4-minute audit?
+    candidates = [
+        train_detector(train, feature_set=PROFILE_FEATURE_SET,
+                       model="forest", seed=1),
+        train_detector(train, feature_set=FULL_FEATURE_SET,
+                       model="forest", seed=1),
+    ]
+    print("\nquality vs crawl cost for a 9604-follower audit:")
+    for row in rank_by_cost(candidates, test, accounts=9604):
+        print(f"  {row.name:<12} MCC {row.mcc:.3f}, "
+              f"crawl {format_duration(row.cost.seconds)}")
+    chosen = select_under_budget(candidates, test, 9604,
+                                 budget_seconds=240)
+    print(f"\nproduction pick under a 240s budget: {chosen.name} "
+          f"(this is why the paper's FC answers in ~200s, Table II)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline toolchain on some hosts lacks the ``wheel`` package, which
+PEP 517 editable installs require; this shim lets ``pip install -e .``
+fall back to the legacy setuptools develop path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Reproduction of "A Criticism to Society (as seen by Twitter analytics)".
+
+A research-grade reimplementation of the paper's entire experimental
+apparatus: a synthetic Twitter substrate, a rate-limited API simulator,
+faithful re-implementations of the three commercial fake-follower
+analytics it audits (StatusPeople Fakers, Socialbakers Fake Follower
+Check, Twitteraudit), the authors' statistically sound Fake Project
+classifier, and the experiment harness regenerating every table and
+figure of the paper's evaluation.
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+_ENGINE_NAMES = ("fc", "twitteraudit", "statuspeople", "socialbakers")
+
+
+def quick_audit(followers, inactive, fake, genuine, *,
+                engines=("fc",), seed=42, **spec_kwargs):
+    """One-call demo: build a synthetic target and audit it.
+
+    Constructs a world containing a single target with the given
+    follower count and (inactive, fake, genuine) composition, runs the
+    requested engines over it, and returns ``{engine_name: AuditReport}``.
+    ``engines`` may be any subset of ``("fc", "twitteraudit",
+    "statuspeople", "socialbakers")`` or the string ``"all"``.
+    Additional keyword arguments are forwarded to
+    :func:`repro.twitter.make_target_spec` (``tilt``,
+    ``fake_burst_fraction``, ...).
+
+    This is the front door for a first session with the library; real
+    studies should assemble the pieces explicitly (see ``examples/``).
+    """
+    from .analytics import (
+        SocialbakersFakeFollowerCheck,
+        StatusPeopleFakers,
+        Twitteraudit,
+    )
+    from .core.clock import SimClock
+    from .core.errors import ConfigurationError
+    from .fc import FakeClassifierEngine, default_detector
+    from .twitter import add_simple_target, build_world
+
+    if engines == "all":
+        engines = _ENGINE_NAMES
+    unknown = set(engines) - set(_ENGINE_NAMES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown engines: {sorted(unknown)!r}; "
+            f"choose from {_ENGINE_NAMES}")
+    world = build_world(seed=seed)
+    add_simple_target(world, "quick_target", followers,
+                      inactive, fake, genuine, **spec_kwargs)
+    clock = SimClock()
+    factories = {
+        "fc": lambda: FakeClassifierEngine(
+            world, clock, default_detector(seed=seed), seed=seed),
+        "twitteraudit": lambda: Twitteraudit(world, clock, seed=seed),
+        "statuspeople": lambda: StatusPeopleFakers(world, clock, seed=seed),
+        "socialbakers": lambda: SocialbakersFakeFollowerCheck(
+            world, clock, seed=seed),
+    }
+    return {
+        name: factories[name]().audit("quick_target")
+        for name in engines
+    }

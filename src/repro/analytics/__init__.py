@@ -1,0 +1,63 @@
+"""The commercial fake-follower analytics the paper puts under scrutiny."""
+
+from .base import (
+    AnalysisOutcome,
+    CommercialAnalytic,
+    ResultCache,
+    percentages,
+)
+from .socialbakers import (
+    SB_DAILY_QUOTA,
+    SB_SAMPLE,
+    SocialbakersFakeFollowerCheck,
+)
+from .statuspeople import (
+    DEEP_DIVE_CONFIG,
+    DEFAULT_CONFIG,
+    LAUNCH_CONFIG,
+    FakersConfig,
+    SP_INACTIVITY_HORIZON,
+    StatusPeopleFakers,
+    is_inactive,
+    is_spam,
+    spam_score,
+)
+from .webapp import (
+    AppSession,
+    DEFAULT_PERMISSIONS,
+    HostedCheckerApp,
+)
+from .twitteraudit import (
+    RealScore,
+    TA_MAX_POINTS,
+    TA_SAMPLE,
+    Twitteraudit,
+    real_score,
+)
+
+__all__ = [
+    "AnalysisOutcome",
+    "AppSession",
+    "CommercialAnalytic",
+    "DEFAULT_PERMISSIONS",
+    "HostedCheckerApp",
+    "DEEP_DIVE_CONFIG",
+    "DEFAULT_CONFIG",
+    "FakersConfig",
+    "LAUNCH_CONFIG",
+    "RealScore",
+    "ResultCache",
+    "SB_DAILY_QUOTA",
+    "SB_SAMPLE",
+    "SP_INACTIVITY_HORIZON",
+    "SocialbakersFakeFollowerCheck",
+    "StatusPeopleFakers",
+    "TA_MAX_POINTS",
+    "TA_SAMPLE",
+    "Twitteraudit",
+    "is_inactive",
+    "is_spam",
+    "percentages",
+    "real_score",
+    "spam_score",
+]

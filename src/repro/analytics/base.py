@@ -1,0 +1,254 @@
+"""Common machinery of the commercial fake-follower analytics.
+
+Section II of the paper distils the workflow all three surveyed tools
+share: resolve the target, collect a (head-of-list) batch of follower
+names, sample within it, look up the sampled profiles, apply the tool's
+proprietary criteria, and return fake/inactive/genuine percentages —
+with aggressive *result caching*, which the response-time experiment
+(Table II) exposes: cached audits answer in 2-5 s regardless of target
+size.
+
+:class:`CommercialAnalytic` implements that skeleton; each concrete
+tool supplies its sampling configuration and its classification rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..api.client import TwitterApiClient
+from ..api.crawler import Crawler
+from ..api.endpoints import UserObject
+from ..audit import AuditReport
+from ..core.clock import SimClock, Stopwatch
+from ..core.errors import ConfigurationError
+from ..core.rng import make_rng
+from ..twitter.population import World
+from ..twitter.tweet import Tweet
+
+
+@dataclass(frozen=True)
+class AnalysisOutcome:
+    """Raw output of one tool's analysis pass (before report assembly)."""
+
+    followers_count: int
+    sample_size: int
+    fake_pct: float
+    genuine_pct: float
+    inactive_pct: Optional[float]
+    details: Dict[str, object]
+
+
+class ResultCache:
+    """Audit-result cache with optional expiry.
+
+    The surveyed tools never disclose their caching policy; what the
+    paper *observes* is that repeat audits return in < 5 s and that
+    Twitteraudit happily serves results "evaluated 7 months ago", so
+    the default is an unbounded TTL.
+    """
+
+    def __init__(self, ttl: Optional[float] = None) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ConfigurationError(f"ttl must be positive: {ttl!r}")
+        self._ttl = ttl
+        self._entries: Dict[str, Tuple[AnalysisOutcome, float]] = {}
+
+    def get(self, key: str, now: float) -> Optional[Tuple[AnalysisOutcome, float]]:
+        """Return ``(outcome, computed_at)`` if cached and fresh."""
+        entry = self._entries.get(key.lower())
+        if entry is None:
+            return None
+        __, computed_at = entry
+        if self._ttl is not None and now - computed_at > self._ttl:
+            del self._entries[key.lower()]
+            return None
+        return entry
+
+    def put(self, key: str, outcome: AnalysisOutcome, computed_at: float) -> None:
+        """Store an analysis outcome computed at ``computed_at``."""
+        self._entries[key.lower()] = (outcome, computed_at)
+
+    def __contains__(self, key: str) -> bool:
+        return key.lower() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class CommercialAnalytic:
+    """Skeleton of a closed-source fake-follower checking service.
+
+    Parameters
+    ----------
+    world, clock:
+        The simulated Twitter and the shared virtual clock.
+    credentials, parallelism, request_latency:
+        The tool's crawling infrastructure.  The paper's Table II
+        response times imply very different fleets: StatusPeople runs a
+        modest serial crawler, Twitteraudit a couple of workers,
+        Socialbakers a massively parallel one.
+    cache_serve_seconds:
+        Simulated latency of answering from cache (the 2-5 s responses
+        of Table II's repeat audits).
+    processing_seconds:
+        Fixed post-crawl computation time added to fresh analyses.
+    seed:
+        Seed for the tool's internal sampling.
+    """
+
+    #: Tool identifier used in reports (subclasses override).
+    name = "analytic"
+    #: Whether the tool reports "inactive" as a separate class.
+    reports_inactive = True
+
+    def __init__(self, world: World, clock: SimClock, *,
+                 credentials: int = 1,
+                 parallelism: int = 1,
+                 request_latency: float = 1.9,
+                 cache_serve_seconds: float = 2.5,
+                 processing_seconds: float = 1.0,
+                 cache_ttl: Optional[float] = None,
+                 seed: int = 99) -> None:
+        self._clock = clock
+        self._client = TwitterApiClient(
+            world, clock,
+            credentials=credentials,
+            parallelism=parallelism,
+            request_latency=request_latency,
+        )
+        self._crawler = Crawler(self._client)
+        self._cache = ResultCache(ttl=cache_ttl)
+        self._cache_serve_seconds = cache_serve_seconds
+        self._processing_seconds = processing_seconds
+        self._seed = seed
+        self._audit_counter = 0
+
+    @property
+    def client(self) -> TwitterApiClient:
+        """The tool's API client (exposes its call log and clock)."""
+        return self._client
+
+    @property
+    def cache(self) -> ResultCache:
+        """The tool's result cache."""
+        return self._cache
+
+    # -- public API -----------------------------------------------------------
+
+    def audit(self, screen_name: str, *, force_refresh: bool = False) -> AuditReport:
+        """Audit a target, serving from cache when possible.
+
+        The returned report's ``response_seconds`` is simulated wall
+        time as an end user would experience it, which is how Table II
+        was measured.
+        """
+        stopwatch = Stopwatch(self._clock)
+        cached = None if force_refresh else self._cache.get(
+            screen_name, self._clock.now())
+        if cached is not None:
+            outcome, computed_at = cached
+            self._clock.advance(self._cache_serve_seconds)
+            return self._report(screen_name, outcome,
+                                stopwatch.elapsed(), cached=True,
+                                assessed_at=computed_at)
+        self._client.reset_budgets()
+        outcome = self._analyze(screen_name)
+        self._clock.advance(self._processing_seconds)
+        computed_at = self._clock.now()
+        self._cache.put(screen_name, outcome, computed_at)
+        return self._report(screen_name, outcome,
+                            stopwatch.elapsed(), cached=False,
+                            assessed_at=computed_at)
+
+    def prewarm(self, screen_names: Sequence[str]) -> None:
+        """Analyse targets ahead of user requests, populating the cache.
+
+        Reproduces the behaviour the paper caught StatusPeople at: the
+        reports of three popular accounts "were displayed after 2
+        seconds only (without mentioning if the analysis had been
+        performed in advance)".
+        """
+        for screen_name in screen_names:
+            if screen_name not in self._cache:
+                outcome = self._analyze(screen_name)
+                self._cache.put(screen_name, outcome, self._clock.now())
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    def _analyze(self, screen_name: str) -> AnalysisOutcome:
+        """Run a fresh analysis, charging all API costs to the clock."""
+        raise NotImplementedError
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _sampling_rng(self):
+        """A fresh, deterministic RNG per analysis run."""
+        self._audit_counter += 1
+        return make_rng(self._seed, self.name, self._audit_counter)
+
+    def _fetch_head_sample(
+            self, screen_name: str, *,
+            head: int, sample: int,
+            with_timelines: bool = False,
+    ) -> Tuple[UserObject, List[UserObject],
+               Optional[List[List[Tweet]]]]:
+        """The shared acquisition pattern of all three tools.
+
+        Fetch the target profile, pull up to ``head`` follower ids from
+        the head of the (newest-first) listing, randomly sample
+        ``sample`` of them, and look the sample up — optionally with one
+        timeline page each.  This is exactly the biased scheme of
+        Section II-D: random *within* the head, but the head is the
+        frame.
+        """
+        target = self._client.users_show(screen_name=screen_name)
+        head_ids = self._crawler.fetch_newest_follower_ids(
+            screen_name, max_ids=head)
+        rng = self._sampling_rng()
+        if sample < len(head_ids):
+            sampled_ids = rng.sample(head_ids, sample)
+        else:
+            sampled_ids = list(head_ids)
+        users = self._crawler.lookup_users(sampled_ids)
+        timelines: Optional[List[List[Tweet]]] = None
+        if with_timelines:
+            by_id = self._crawler.fetch_timelines(
+                [user.user_id for user in users], per_user=200)
+            timelines = [by_id[user.user_id] for user in users]
+        return target, users, timelines
+
+    def _report(self, screen_name: str, outcome: AnalysisOutcome,
+                response_seconds: float, *, cached: bool,
+                assessed_at: float) -> AuditReport:
+        return AuditReport(
+            tool=self.name,
+            target=screen_name,
+            followers_count=outcome.followers_count,
+            sample_size=outcome.sample_size,
+            fake_pct=outcome.fake_pct,
+            genuine_pct=outcome.genuine_pct,
+            inactive_pct=outcome.inactive_pct if self.reports_inactive else None,
+            response_seconds=response_seconds,
+            cached=cached,
+            assessed_at=assessed_at,
+            details=dict(outcome.details),
+        )
+
+
+def percentages(counts: Dict[str, int], total: int) -> Dict[str, float]:
+    """Convert class counts to percentages summing to exactly 100.
+
+    Uses largest-remainder rounding on one decimal so reports always
+    satisfy the :class:`AuditReport` sum invariant.
+    """
+    if total <= 0:
+        raise ConfigurationError("total must be positive")
+    raw = {key: 100.0 * value / total for key, value in counts.items()}
+    floored = {key: round(value, 1) for key, value in raw.items()}
+    deficit = round(100.0 - sum(floored.values()), 1)
+    if abs(deficit) >= 0.05 and floored:
+        largest = max(raw, key=lambda key: raw[key])
+        floored[largest] = round(floored[largest] + deficit, 1)
+    return floored

@@ -1,0 +1,140 @@
+"""StatusPeople "Fakers" (paper, Section II-A).
+
+Launched July 2012 by the UK company StatusPeople, repeatedly cited by
+mainstream media.  The paper documents three historical configurations
+of its sampling, all of them head-of-list:
+
+* at launch: assess 1000 records across a follower base of up to 100 K;
+* after the October 2012 Twitter API change: 700 records across 35 K
+  (the configuration active during the paper's experiments — the
+  default here);
+* the November 2013 "Deep Dive" for mega accounts: 33 K records across
+  the first 1.25 M, internal-only.
+
+Classification is by "a number of simple spam criteria": "on a very
+basic level spam accounts tend to have few or no followers and few or
+no tweets.  But in contrast they tend to follow a lot of other
+accounts", with the follower/friend relationship being "the most
+meaningful" signal per the founder's interview.  On activity, the
+founder defines an active user as "someone who is engaging with the
+platform — producing and sharing content", which we encode as a
+30-day last-tweet horizon — notably stricter than the 90-day notion
+used by Socialbakers and FC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.endpoints import UserObject
+from ..core.errors import ConfigurationError
+from ..core.timeutil import DAY
+from .base import AnalysisOutcome, CommercialAnalytic, percentages
+
+
+@dataclass(frozen=True)
+class FakersConfig:
+    """One historical sampling configuration of the Fakers app."""
+
+    label: str
+    head: int
+    sample: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sample <= self.head:
+            raise ConfigurationError(
+                f"sample must be in (0, head]: {self.sample!r}")
+
+
+#: July 2012 launch configuration.
+LAUNCH_CONFIG = FakersConfig("launch-2012", head=100_000, sample=1000)
+#: Post API-change configuration (18 Oct 2012) — the paper-era default.
+DEFAULT_CONFIG = FakersConfig("post-api-change", head=35_000, sample=700)
+#: November 2013 "Deep Dive" for the most-followed accounts.
+DEEP_DIVE_CONFIG = FakersConfig("deep-dive", head=1_250_000, sample=33_000)
+
+#: Last-tweet age beyond which StatusPeople counts a follower inactive.
+SP_INACTIVITY_HORIZON = 30 * DAY
+
+
+def spam_score(user: UserObject) -> float:
+    """StatusPeople's "simple spam criteria", as points.
+
+    Weights are undisclosed; these encode the published statements with
+    the follower/friend relationship carrying the most weight.
+    """
+    score = 0.0
+    if user.followers_count <= 25:
+        score += 1.0
+    if user.statuses_count <= 20:
+        score += 1.0
+    if user.friends_count >= 150:
+        score += 1.0
+    if user.friends_followers_ratio() >= 20.0:
+        score += 2.0
+    return score
+
+
+def is_spam(user: UserObject, threshold: float = 3.0) -> bool:
+    """Fake verdict of the Fakers criteria."""
+    return spam_score(user) >= threshold
+
+
+def is_inactive(user: UserObject, now: float) -> bool:
+    """Not "producing and sharing content" within the 30-day horizon."""
+    age = user.last_status_age(now)
+    return age is None or age > SP_INACTIVITY_HORIZON
+
+
+class StatusPeopleFakers(CommercialAnalytic):
+    """The Fakers app: head-of-list sample, profile-only spam criteria.
+
+    Runs a modest serial crawler (its ~25 s fresh-analysis times in
+    Table II are consistent with ~14 sequential API calls).
+    """
+
+    name = "statuspeople"
+    reports_inactive = True
+
+    def __init__(self, world, clock, *, config: FakersConfig = DEFAULT_CONFIG,
+                 **kwargs) -> None:
+        kwargs.setdefault("credentials", 4)
+        kwargs.setdefault("parallelism", 1)
+        super().__init__(world, clock, **kwargs)
+        self._config = config
+
+    @property
+    def config(self) -> FakersConfig:
+        """The active sampling configuration."""
+        return self._config
+
+    def _analyze(self, screen_name: str) -> AnalysisOutcome:
+        target, users, __ = self._fetch_head_sample(
+            screen_name,
+            head=self._config.head,
+            sample=self._config.sample,
+            with_timelines=False,
+        )
+        now = self._clock.now()
+        counts = {"fake": 0, "inactive": 0, "good": 0}
+        for user in users:
+            if is_spam(user):
+                counts["fake"] += 1
+            elif is_inactive(user, now):
+                counts["inactive"] += 1
+            else:
+                counts["good"] += 1
+        total = max(1, len(users))
+        pct = percentages(counts, total)
+        return AnalysisOutcome(
+            followers_count=target.followers_count,
+            sample_size=len(users),
+            fake_pct=pct["fake"],
+            genuine_pct=pct["good"],
+            inactive_pct=pct["inactive"],
+            details={
+                "config": self._config.label,
+                "head": self._config.head,
+                "criteria": "followers/tweets/following spam points",
+            },
+        )

@@ -1,0 +1,147 @@
+"""Twitteraudit (paper, Section II-C).
+
+Online since 2012, run by two individuals (@davc and @grossnasty).
+"Given each follower of an account, the application computes a score
+based on i) the number of its tweets, ii) the date of the last tweet,
+and iii) the ratio of followers to friends, taking a random sample of
+5K Twitter followers."  How the score combines is undisclosed; the
+output charts reveal the three criteria "can sum up to five" real
+points per follower.
+
+Distinctive observable behaviours reproduced here:
+
+* it does **not** report inactive followers as a class (Table III's
+  footnote) — dormant accounts simply score low and land in "fake";
+* it is the only tool that displays the assessment date, which is how
+  the paper caught it serving a result "evaluated 7 months ago" in 3
+  seconds (Table II, @pinucciotwit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..api.endpoints import UserObject
+from ..core.timeutil import DAY
+from .base import AnalysisOutcome, CommercialAnalytic
+
+#: "taking a random sample of 5K Twitter followers" — one API page,
+#: which is necessarily the newest 5000.
+TA_SAMPLE = 5000
+
+#: Real-point scale maximum ("a maximum scale of 5").
+TA_MAX_POINTS = 5.0
+
+
+@dataclass(frozen=True)
+class RealScore:
+    """A follower's "real points" breakdown (the audit's third chart)."""
+
+    tweets_points: float
+    recency_points: float
+    ratio_points: float
+
+    @property
+    def total(self) -> float:
+        """Summed real points (0-5)."""
+        return self.tweets_points + self.recency_points + self.ratio_points
+
+    @property
+    def quality(self) -> float:
+        """The 0-1 "quality score" of the audit's second chart."""
+        return self.total / TA_MAX_POINTS
+
+
+def real_score(user: UserObject, now: float) -> RealScore:
+    """Score one follower on the three published criteria (max 5).
+
+    The breakpoints are undisclosed; these encode the obvious reading:
+    an account that tweets, tweeted recently, and is followed at least
+    as much as it follows, earns full points.
+    """
+    if user.statuses_count >= 50:
+        tweets = 1.5
+    elif user.statuses_count >= 5:
+        tweets = 0.75
+    else:
+        tweets = 0.0
+    age = user.last_status_age(now)
+    if age is None:
+        recency = 0.0
+    elif age <= 30 * DAY:
+        recency = 1.5
+    elif age <= 180 * DAY:
+        recency = 0.75
+    else:
+        recency = 0.0
+    ratio = user.friends_followers_ratio()
+    if ratio <= 1.0:
+        ratio_points = 2.0
+    elif ratio <= 5.0:
+        ratio_points = 1.0
+    else:
+        ratio_points = 0.0
+    return RealScore(tweets, recency, ratio_points)
+
+
+class Twitteraudit(CommercialAnalytic):
+    """The Twitteraudit checker: one 5000-id page, 3-criterion scoring."""
+
+    name = "twitteraudit"
+    reports_inactive = False
+
+    def __init__(self, world, clock, *, fake_threshold: float = 2.5,
+                 **kwargs) -> None:
+        # A small two-worker crawler: 52 requests in ~50 s (Table II).
+        kwargs.setdefault("credentials", 8)
+        kwargs.setdefault("parallelism", 2)
+        super().__init__(world, clock, **kwargs)
+        self._fake_threshold = fake_threshold
+
+    def _analyze(self, screen_name: str) -> AnalysisOutcome:
+        target, users, __ = self._fetch_head_sample(
+            screen_name,
+            head=TA_SAMPLE,
+            sample=TA_SAMPLE,
+            with_timelines=False,
+        )
+        now = self._clock.now()
+        fake = 0
+        histogram: Dict[int, int] = {points: 0 for points in range(6)}
+        quality_histogram: Dict[int, int] = {decile: 0 for decile in range(10)}
+        verdicts = {"fake": 0, "not sure": 0, "real": 0}
+        quality_sum = 0.0
+        for user in users:
+            score = real_score(user, now)
+            histogram[min(5, int(score.total))] += 1
+            quality_histogram[min(9, int(score.quality * 10))] += 1
+            quality_sum += score.quality
+            if score.total < self._fake_threshold:
+                fake += 1
+                verdicts["fake"] += 1
+            elif score.total < self._fake_threshold + 1.0:
+                verdicts["not sure"] += 1
+            else:
+                verdicts["real"] += 1
+        total = max(1, len(users))
+        fake_pct = round(100.0 * fake / total, 1)
+        return AnalysisOutcome(
+            followers_count=target.followers_count,
+            sample_size=len(users),
+            fake_pct=fake_pct,
+            genuine_pct=round(100.0 - fake_pct, 1),
+            inactive_pct=None,
+            details={
+                # Data behind the three charts of a Twitteraudit report
+                # (paper, Section II-C): the fake/not-sure/real verdict,
+                # the per-follower "quality score", and the per-follower
+                # "real points" on the 5-point scale.
+                "verdict_counts": verdicts,
+                "quality_histogram": quality_histogram,
+                "real_points_histogram": histogram,
+                "mean_quality_score": quality_sum / total,
+                "criteria": "tweets count / last tweet date / "
+                            "followers-friends ratio (max 5 points)",
+            },
+        )

@@ -1,0 +1,157 @@
+"""The hosted web-application layer of the commercial tools.
+
+Section II of the paper describes the user-facing flow all three tools
+share: "a Twitter user inputs the name of the Twitter account she wants
+to check.  The application, then, requests the user to authorize itself
+to use her Twitter account and to access her profile, clearly listing
+the kind of operations it could do after that such authorization is
+granted.  Finally, the application starts the analysis."
+
+:class:`HostedCheckerApp` wraps any engine with that flow: OAuth-style
+authorization (with the permission list shown to the user), session
+handling, per-session daily usage limits, and the report page.  It is
+what the paper's authors actually *clicked through* — the engines
+behind it are what they measured.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..audit import AuditReport
+from ..core.errors import (
+    AuthorizationError,
+    ConfigurationError,
+    QuotaExceededError,
+)
+from ..core.timeutil import DAY
+
+#: The operations the authorization screen lists, mirroring what a
+#: read-scope Twitter app of the era disclosed.
+DEFAULT_PERMISSIONS: Tuple[str, ...] = (
+    "Read Tweets from your timeline.",
+    "See who you follow, and follow new people.",
+    "Update your profile.",
+    "Post Tweets for you.",
+)
+
+
+@dataclass(frozen=True)
+class AppSession:
+    """An authorized user session with a hosted checker."""
+
+    token: str
+    user_handle: str
+    granted_at: float
+    permissions: Tuple[str, ...]
+
+
+class HostedCheckerApp:
+    """Authorization, quotas and report pages around one engine.
+
+    Parameters
+    ----------
+    engine:
+        Any object with an ``audit(screen_name) -> AuditReport`` method
+        (all four engines in this library qualify).
+    daily_checks_per_user:
+        Usage allowance per authorized user per day; ``None`` disables
+        the limit.  Socialbakers' documented free tier was ten.
+    permissions:
+        The operation list shown on the authorization screen.
+    """
+
+    def __init__(self, engine, *,
+                 daily_checks_per_user: Optional[int] = None,
+                 permissions: Tuple[str, ...] = DEFAULT_PERMISSIONS) -> None:
+        if daily_checks_per_user is not None and daily_checks_per_user < 1:
+            raise ConfigurationError(
+                "daily_checks_per_user must be >= 1 or None: "
+                f"{daily_checks_per_user!r}")
+        if not permissions:
+            raise ConfigurationError(
+                "the authorization screen must list at least one operation")
+        self._engine = engine
+        self._daily_limit = daily_checks_per_user
+        self._permissions = tuple(permissions)
+        self._sessions: Dict[str, AppSession] = {}
+        self._usage: Dict[str, Tuple[int, int]] = {}  # token -> (day, used)
+        self._token_counter = itertools.count(1)
+
+    @property
+    def engine(self):
+        """The analysis engine behind the web front."""
+        return self._engine
+
+    @property
+    def permissions(self) -> Tuple[str, ...]:
+        """The operations disclosed on the authorization screen."""
+        return self._permissions
+
+    def authorization_screen(self) -> str:
+        """The text a user reads before granting access."""
+        name = getattr(self._engine, "name", "this application")
+        lines = [f"Authorize {name} to use your account?",
+                 "This application will be able to:"]
+        lines.extend(f"  - {operation}" for operation in self._permissions)
+        return "\n".join(lines)
+
+    def authorize(self, user_handle: str) -> AppSession:
+        """Grant access; returns the session used for later checks."""
+        if not user_handle.strip():
+            raise ConfigurationError("user_handle must be non-empty")
+        clock = self._engine.client.clock
+        session = AppSession(
+            token=f"tok-{next(self._token_counter)}",
+            user_handle=user_handle,
+            granted_at=clock.now(),
+            permissions=self._permissions,
+        )
+        self._sessions[session.token] = session
+        return session
+
+    def revoke(self, session: AppSession) -> None:
+        """Revoke a session (the user un-authorizes the app)."""
+        self._sessions.pop(session.token, None)
+
+    def check(self, session: AppSession, target_handle: str) -> AuditReport:
+        """Run one fake-follower check as an authorized user."""
+        if session.token not in self._sessions:
+            raise AuthorizationError(
+                "session is not authorized (or has been revoked); "
+                "call authorize() first")
+        self._charge_quota(session)
+        return self._engine.audit(target_handle)
+
+    def report_page(self, report: AuditReport) -> str:
+        """Render the result the way the hosted tools presented it."""
+        lines = [
+            f"Results for @{report.target} "
+            f"({report.followers_count} followers)",
+            f"  fake:     {report.fake_pct}%",
+        ]
+        if report.inactive_pct is not None:
+            lines.append(f"  inactive: {report.inactive_pct}%")
+        lines.append(f"  good:     {report.genuine_pct}%")
+        if report.cached:
+            # Only Twitteraudit disclosed staleness; the page surfaces
+            # it for every tool, which is what the paper asks for.
+            lines.append("  (served from a previously computed analysis)")
+        return "\n".join(lines)
+
+    # -- internals ----------------------------------------------------------
+
+    def _charge_quota(self, session: AppSession) -> None:
+        if self._daily_limit is None:
+            return
+        clock = self._engine.client.clock
+        today = int(clock.now() // DAY)
+        day, used = self._usage.get(session.token, (today, 0))
+        if day != today:
+            day, used = today, 0
+        if used >= self._daily_limit:
+            raise QuotaExceededError(
+                f"daily limit of {self._daily_limit} checks reached")
+        self._usage[session.token] = (day, used + 1)

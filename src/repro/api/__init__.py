@@ -1,0 +1,31 @@
+"""Simulated Twitter REST API: rate limits, endpoints, client, crawler."""
+
+from .client import DEFAULT_REQUEST_LATENCY, TwitterApiClient
+from .crawler import AcquisitionEstimate, Crawler, estimate_acquisition_time
+from .endpoints import ApiCall, CallLog, IdsPage, UserObject
+from .ratelimit import (
+    DEFAULT_POLICIES,
+    TABLE_I,
+    WINDOW,
+    RateLimiter,
+    RateLimitPolicy,
+    TokenBucket,
+)
+
+__all__ = [
+    "AcquisitionEstimate",
+    "ApiCall",
+    "CallLog",
+    "Crawler",
+    "DEFAULT_POLICIES",
+    "DEFAULT_REQUEST_LATENCY",
+    "IdsPage",
+    "RateLimitPolicy",
+    "RateLimiter",
+    "TABLE_I",
+    "TokenBucket",
+    "TwitterApiClient",
+    "UserObject",
+    "WINDOW",
+    "estimate_acquisition_time",
+]

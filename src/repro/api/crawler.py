@@ -1,0 +1,164 @@
+"""High-level crawling built on the raw API client.
+
+The crawler packages the multi-request acquisition patterns every
+engine in the paper uses — "fetch the whole follower list", "fetch the
+newest k followers", "look up these profiles", "pull these timelines" —
+and the analytic acquisition-time model behind the paper's in-text
+claim that crawling Barack Obama's 41 M followers "required a total
+time of around 27 days".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from ..twitter.tweet import Tweet
+from .client import DEFAULT_REQUEST_LATENCY, TwitterApiClient
+from .endpoints import UserObject
+from .ratelimit import DEFAULT_POLICIES, RateLimitPolicy
+
+
+class Crawler:
+    """Batched data acquisition over a :class:`TwitterApiClient`."""
+
+    def __init__(self, client: TwitterApiClient) -> None:
+        self._client = client
+
+    @property
+    def client(self) -> TwitterApiClient:
+        """The underlying API client."""
+        return self._client
+
+    def fetch_all_follower_ids(self, screen_name: str) -> List[int]:
+        """Fetch the target's complete follower list, newest first.
+
+        This is what distinguishes the FC engine from the commercial
+        tools: it pages through *every* cursor instead of stopping at
+        the head of the list.
+        """
+        return self.fetch_newest_follower_ids(screen_name, max_ids=None)
+
+    def fetch_newest_follower_ids(self, screen_name: str,
+                                  max_ids: Optional[int]) -> List[int]:
+        """Fetch at most ``max_ids`` follower ids from the head of the list.
+
+        With ``max_ids=None`` the full list is retrieved.  Because the
+        service returns followers newest-first, a truncated fetch yields
+        exactly the *latest* accounts to have followed — the biased
+        sample the paper criticises.
+        """
+        if max_ids is not None and max_ids < 1:
+            raise ConfigurationError(f"max_ids must be >= 1: {max_ids!r}")
+        ids: List[int] = []
+        cursor = -1
+        while True:
+            page = self._client.followers_ids(
+                screen_name=screen_name, cursor=cursor)
+            ids.extend(page.ids)
+            if max_ids is not None and len(ids) >= max_ids:
+                return ids[:max_ids]
+            if page.next_cursor == 0:
+                return ids
+            cursor = page.next_cursor
+
+    def lookup_users(self, user_ids: Sequence[int]) -> List[UserObject]:
+        """Resolve profiles in ``users/lookup`` batches of 100."""
+        batch_size = self._client.policy("users/lookup").elements_per_request
+        users: List[UserObject] = []
+        for start in range(0, len(user_ids), batch_size):
+            batch = list(user_ids[start:start + batch_size])
+            if batch:
+                users.extend(self._client.users_lookup(batch))
+        return users
+
+    def fetch_timelines(self, user_ids: Sequence[int],
+                        per_user: int = 200) -> Dict[int, List[Tweet]]:
+        """Pull one timeline page per user (up to 200 recent tweets)."""
+        timelines: Dict[int, List[Tweet]] = {}
+        for uid in user_ids:
+            timelines[uid] = self._client.user_timeline(uid, count=per_user)
+        return timelines
+
+
+# ---------------------------------------------------------------------------
+# Analytic acquisition-time model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AcquisitionEstimate:
+    """Predicted cost of crawling a follower base of a given size."""
+
+    followers: int
+    follower_pages: int
+    lookup_requests: int
+    timeline_requests: int
+    seconds: float
+
+    @property
+    def days(self) -> float:
+        """The predicted crawl time in days."""
+        return self.seconds / 86400.0
+
+
+def _phase_time(requests: int, policy: RateLimitPolicy, latency: float,
+                credentials: int) -> float:
+    """Completion time of ``requests`` serial calls against one bucket.
+
+    A fresh bucket allows a burst of one window budget; past that the
+    sustained rate dominates:  ``T(n) = max(n * L, (n - C) / r + L)``
+    with capacity ``C`` and rate ``r`` scaled by the credential count.
+    """
+    if requests <= 0:
+        return 0.0
+    capacity = policy.window_budget * credentials
+    rate = policy.requests_per_minute * credentials / 60.0
+    burst_bound = requests * latency
+    rate_bound = max(0.0, requests - capacity) / rate + latency
+    return max(burst_bound, rate_bound)
+
+
+def estimate_acquisition_time(
+        followers: int,
+        *,
+        lookup_all: bool = True,
+        timelines_all: bool = False,
+        latency: float = DEFAULT_REQUEST_LATENCY,
+        credentials: int = 1,
+        policies=DEFAULT_POLICIES,
+) -> AcquisitionEstimate:
+    """Predict the wall time of a full data acquisition.
+
+    ``lookup_all`` resolves every follower's profile (batches of 100 at
+    12 requests/min); ``timelines_all`` additionally pulls one timeline
+    page per follower.  With the paper's Table I limits and a single
+    credential, 41 M followers cost ~5.7 days of ``followers/ids``
+    paging plus ~23.7 days of ``users/lookup`` — the "around 27 days"
+    the authors report for Obama.
+    """
+    if followers < 0:
+        raise ConfigurationError(f"followers must be >= 0: {followers!r}")
+    ids_policy = policies["followers/ids"]
+    lookup_policy = policies["users/lookup"]
+    timeline_policy = policies["statuses/user_timeline"]
+
+    follower_pages = math.ceil(followers / ids_policy.elements_per_request)
+    lookup_requests = (
+        math.ceil(followers / lookup_policy.elements_per_request)
+        if lookup_all else 0)
+    timeline_requests = followers if timelines_all else 0
+
+    seconds = (
+        _phase_time(follower_pages, ids_policy, latency, credentials)
+        + _phase_time(lookup_requests, lookup_policy, latency, credentials)
+        + _phase_time(timeline_requests, timeline_policy, latency, credentials)
+    )
+    return AcquisitionEstimate(
+        followers=followers,
+        follower_pages=follower_pages,
+        lookup_requests=lookup_requests,
+        timeline_requests=timeline_requests,
+        seconds=seconds,
+    )

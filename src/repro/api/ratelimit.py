@@ -1,0 +1,171 @@
+"""Rate limiting for the simulated Twitter API.
+
+The paper's Table I summarises the v1.1 limits that shape every timing
+result in its evaluation:
+
+====================================  ==============  ================
+API                                   elems/request   max requests/min
+====================================  ==============  ================
+``GET followers/ids``                 5000            1
+``GET friends/ids``                   5000            1
+``GET users/lookup``                  100             12
+``GET statuses/user_timeline``        200             12
+====================================  ==============  ================
+
+The real service enforced these as budgets over 15-minute windows, so a
+client may *burst* a full window's budget and then starve.  We model
+each resource with a token bucket whose capacity is the 15-minute
+budget and whose refill rate is the sustained per-minute rate — the
+standard equivalent formulation that also matches the response times
+the paper measures (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..core.errors import ConfigurationError, RateLimitExceededError
+from ..core.timeutil import MINUTE
+
+#: Length of the enforcement window used by the real v1.1 API.
+WINDOW = 15 * MINUTE
+
+
+@dataclass(frozen=True)
+class RateLimitPolicy:
+    """Limits of one API resource (one row of the paper's Table I)."""
+
+    resource: str
+    elements_per_request: int
+    requests_per_minute: float
+
+    def __post_init__(self) -> None:
+        if self.elements_per_request < 1:
+            raise ConfigurationError("elements_per_request must be >= 1")
+        if self.requests_per_minute <= 0:
+            raise ConfigurationError("requests_per_minute must be > 0")
+
+    @property
+    def window_budget(self) -> float:
+        """Requests allowed per 15-minute window."""
+        return self.requests_per_minute * (WINDOW / MINUTE)
+
+
+#: The paper's Table I, verbatim.
+TABLE_I: Tuple[RateLimitPolicy, ...] = (
+    RateLimitPolicy("followers/ids", 5000, 1),
+    RateLimitPolicy("friends/ids", 5000, 1),
+    RateLimitPolicy("users/lookup", 100, 12),
+    RateLimitPolicy("statuses/user_timeline", 200, 12),
+)
+
+DEFAULT_POLICIES: Mapping[str, RateLimitPolicy] = {
+    policy.resource: policy for policy in TABLE_I
+}
+
+
+class TokenBucket:
+    """A continuously refilling token bucket.
+
+    Starts full (a fresh credential has an untouched window budget).
+    ``capacity`` tokens, refilled at ``rate`` tokens per second.
+    """
+
+    def __init__(self, capacity: float, rate: float, start_time: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be > 0: {capacity!r}")
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0: {rate!r}")
+        self._capacity = float(capacity)
+        self._rate = float(rate)
+        self._level = float(capacity)
+        self._updated = float(start_time)
+
+    def _refill(self, now: float) -> None:
+        if now > self._updated:
+            self._level = min(
+                self._capacity, self._level + (now - self._updated) * self._rate)
+            self._updated = now
+
+    def available(self, now: float) -> float:
+        """Tokens available at instant ``now``."""
+        self._refill(now)
+        return self._level
+
+    def wait_time(self, now: float, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` tokens are available (0 if already)."""
+        self._refill(now)
+        deficit = tokens - self._level
+        if deficit <= 0:
+            return 0.0
+        return deficit / self._rate
+
+    def consume(self, now: float, tokens: float = 1.0) -> None:
+        """Take ``tokens`` tokens; caller must have waited first.
+
+        Raises :class:`RateLimitExceededError` if the bucket cannot
+        cover the request at ``now`` — i.e. the caller did not respect
+        :meth:`wait_time`.
+        """
+        self._refill(now)
+        if self._level + 1e-9 < tokens:
+            raise RateLimitExceededError(
+                "token-bucket", self.wait_time(now, tokens))
+        self._level -= tokens
+
+
+class RateLimiter:
+    """Per-resource token buckets, scaled by the number of credentials.
+
+    ``credentials`` models how many independent OAuth tokens the caller
+    rotates through.  The paper's own FC engine runs on a single token;
+    commercial analytics operate fleets of them (that is the only way
+    Socialbakers can assess 2000 followers in ~10 s, Section IV-C).
+    """
+
+    def __init__(self, start_time: float,
+                 policies: Mapping[str, RateLimitPolicy] = DEFAULT_POLICIES,
+                 credentials: int = 1) -> None:
+        if credentials < 1:
+            raise ConfigurationError(f"credentials must be >= 1: {credentials!r}")
+        self._policies = dict(policies)
+        self._credentials = credentials
+        self._buckets: Dict[str, TokenBucket] = {
+            name: TokenBucket(
+                capacity=policy.window_budget * credentials,
+                rate=policy.requests_per_minute * credentials / MINUTE,
+                start_time=start_time,
+            )
+            for name, policy in self._policies.items()
+        }
+
+    @property
+    def credentials(self) -> int:
+        """Number of independent credential sets in rotation."""
+        return self._credentials
+
+    def resources(self) -> Iterable[str]:
+        """Names of the rate-limited API resources."""
+        return self._policies.keys()
+
+    def policy(self, resource: str) -> RateLimitPolicy:
+        """The rate-limit policy of one resource."""
+        if resource not in self._policies:
+            raise ConfigurationError(f"unknown API resource: {resource!r}")
+        return self._policies[resource]
+
+    def wait_time(self, resource: str, now: float) -> float:
+        """Seconds the caller must wait before issuing one request."""
+        if resource not in self._buckets:
+            raise ConfigurationError(f"unknown API resource: {resource!r}")
+        return self._buckets[resource].wait_time(now)
+
+    def consume(self, resource: str, now: float) -> None:
+        """Record one request against ``resource`` at instant ``now``."""
+        if resource not in self._buckets:
+            raise ConfigurationError(f"unknown API resource: {resource!r}")
+        try:
+            self._buckets[resource].consume(now)
+        except RateLimitExceededError as exc:
+            raise RateLimitExceededError(resource, exc.retry_after) from None

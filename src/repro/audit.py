@@ -1,0 +1,69 @@
+"""Shared audit-report types.
+
+Every fake-follower engine in this reproduction — the three commercial
+analytics and the Fake Project classifier — answers an audit request
+with the same shape the paper tabulates in Table III: the percentages
+of inactive, fake and genuine followers, plus the metadata the timing
+experiment (Table II) needs (response time, cache status, sample size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Result of one fake-follower audit of one target account.
+
+    Percentages are expressed on a 0-100 scale, as in the paper's
+    tables.  ``inactive_pct`` is ``None`` for tools that do not report
+    inactivity as a class (Twitteraudit, see Table III's footnote).
+    """
+
+    tool: str
+    target: str
+    followers_count: int
+    sample_size: int
+    fake_pct: float
+    genuine_pct: float
+    inactive_pct: Optional[float]
+    response_seconds: float
+    cached: bool
+    #: Simulated instant the underlying analysis was computed (for a
+    #: cached answer this predates the request, as Twitteraudit's
+    #: "evaluated 7 months ago" notes make visible).
+    assessed_at: float
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.followers_count < 0:
+            raise ConfigurationError("followers_count must be >= 0")
+        if self.sample_size < 0:
+            raise ConfigurationError("sample_size must be >= 0")
+        if self.response_seconds < 0:
+            raise ConfigurationError("response_seconds must be >= 0")
+        parts = [self.fake_pct, self.genuine_pct]
+        if self.inactive_pct is not None:
+            parts.append(self.inactive_pct)
+        for value in parts:
+            if not -1e-9 <= value <= 100.0 + 1e-9:
+                raise ConfigurationError(
+                    f"percentages must be in [0, 100]: {value!r}")
+        total = sum(parts)
+        if not 99.0 <= total <= 101.0:
+            raise ConfigurationError(
+                f"percentages must sum to ~100, got {total!r}")
+
+    def as_fractions(self) -> Mapping[str, float]:
+        """The composition on a 0-1 scale, keyed like the paper's columns."""
+        result = {
+            "fake": self.fake_pct / 100.0,
+            "good": self.genuine_pct / 100.0,
+        }
+        if self.inactive_pct is not None:
+            result["inact"] = self.inactive_pct / 100.0
+        return result

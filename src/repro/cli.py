@@ -1,0 +1,166 @@
+"""Command-line interface: run any of the paper's experiments.
+
+Examples
+--------
+::
+
+    repro table1                 # API rate limits (Table I)
+    repro ordering --days 5      # follower-list ordering (Sec. IV-B)
+    repro table2                 # response times (Table II)
+    repro table3                 # analysis results (Table III)
+    repro acquisition            # Obama-scale crawl-time model
+    repro burst                  # 100K genuine + 10K bought demo
+    repro deepdive               # Fakers vs Deep Dive
+    repro samplesize             # n = 9604 arithmetic + coverage
+    repro tacharts               # the three Twitteraudit report charts
+    repro monitor                # growth monitoring / burst detection
+    repro all                    # everything, one report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.clock import SimClock
+from .core.timeutil import DAY, PAPER_EPOCH, isoformat
+from .experiments import (
+    ascii_bar_chart,
+    average_accounts,
+    build_paper_world,
+    run_acquisition_experiment,
+    run_all,
+    run_deepdive_comparison,
+    run_ordering_experiment,
+    run_purchased_burst_demo,
+    run_response_time_experiment,
+    run_sample_size_experiment,
+    run_ta_charts,
+    run_table1,
+    run_table3,
+    validate_world,
+)
+from .experiments.testbed import AVERAGE
+from .growth import GrowthMonitor
+from .twitter.generator import add_simple_target, build_world
+
+
+def _run_monitor_demo(*, seed: int, days: int) -> str:
+    """Watch a clean and a burst-buying account for ``days`` days."""
+    world = build_world(seed=seed)
+    add_simple_target(world, "organic", 60_000, 0.3, 0.05, 0.65,
+                      daily_new_followers=120)
+    add_simple_target(world, "buyer", 60_000, 0.25, 0.18, 0.57,
+                      fake_burst_fraction=0.85, fake_burst_position=0.995,
+                      created_years_before=1.0, daily_new_followers=120)
+    sections = []
+    for handle in ("organic", "buyer"):
+        clock = SimClock(PAPER_EPOCH - days * DAY)
+        report = GrowthMonitor(world, clock).watch(handle, days=days)
+        chart = ascii_bar_chart(
+            [(f"day {day:2d}", float(count))
+             for day, count in enumerate(report.series.arrivals)],
+            title=f"@{handle}: new followers per day",
+        )
+        if report.suspicious:
+            event = report.bursts[0]
+            verdict = (f"ALERT: burst on {isoformat(event.start_time)[:10]} "
+                       f"(z = {event.z_score:.1f}); estimated purchased "
+                       f"block ~{report.purchased_estimate}")
+        else:
+            verdict = "no anomaly detected"
+        sections.append(chart + "\n" + verdict)
+    return "\n\n".join(sections)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Criticism to Society (as seen by "
+                    "Twitter analytics)' - experiment runner",
+    )
+    parser.add_argument("--seed", type=int, default=42,
+                        help="master seed (default: 42)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: API types and rate limits")
+
+    ordering = sub.add_parser(
+        "ordering", help="Section IV-B: follower-list ordering")
+    ordering.add_argument("--days", type=int, default=5,
+                          help="daily snapshots to take (default: 5)")
+
+    sub.add_parser("table2", help="Table II: response times")
+    sub.add_parser("table3", help="Table III: analysis results")
+    sub.add_parser("acquisition", help="whole-base acquisition time model")
+    sub.add_parser("burst", help="purchased-fakes head-bias demo (Sec II-D)")
+    sub.add_parser("deepdive", help="Fakers vs Deep Dive comparison")
+    samplesize = sub.add_parser(
+        "samplesize", help="sample-size arithmetic and empirical coverage")
+    samplesize.add_argument("--trials", type=int, default=100)
+
+    sub.add_parser("tacharts",
+                   help="the three charts of a Twitteraudit report")
+
+    monitor = sub.add_parser(
+        "monitor", help="daily growth monitoring with burst detection")
+    monitor.add_argument("--days", type=int, default=21,
+                         help="days of daily polling (default: 21)")
+
+    validate = sub.add_parser(
+        "validate", help="self-validate the paper testbed's generators")
+    validate.add_argument("--sample", type=int, default=1500,
+                          help="followers sampled per target (default: 1500)")
+
+    everything = sub.add_parser("all", help="run the full suite (E1-E8)")
+    everything.add_argument("--days", type=int, default=5)
+    everything.add_argument("--trials", type=int, default=100)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    seed = args.seed
+
+    if args.command == "table1":
+        __, rendered = run_table1()
+    elif args.command == "ordering":
+        world = build_paper_world(seed, SimClock().now(), tiers=(AVERAGE,))
+        handles = [account.handle for account in average_accounts()]
+        __, rendered = run_ordering_experiment(
+            world, handles, days=args.days)
+    elif args.command == "table2":
+        __, rendered = run_response_time_experiment(seed=seed)
+    elif args.command == "table3":
+        rows, rendered = run_table3(seed=seed)
+    elif args.command == "acquisition":
+        __, __, rendered = run_acquisition_experiment()
+    elif args.command == "burst":
+        __, rendered = run_purchased_burst_demo(seed=seed)
+    elif args.command == "deepdive":
+        __, rendered = run_deepdive_comparison(seed=seed)
+    elif args.command == "samplesize":
+        __, rendered = run_sample_size_experiment(
+            trials=args.trials, seed=seed)
+    elif args.command == "tacharts":
+        __, rendered = run_ta_charts(seed=seed)
+    elif args.command == "monitor":
+        rendered = _run_monitor_demo(seed=seed, days=args.days)
+    elif args.command == "validate":
+        world = build_paper_world(seed, SimClock().now())
+        __, rendered = validate_world(world, sample=args.sample, seed=seed)
+    elif args.command == "all":
+        suite = run_all(seed=seed, ordering_days=args.days,
+                        coverage_trials=args.trials)
+        rendered = suite.report()
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+
+    print(rendered)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems define their own leaves here rather than in
+scattered modules, which keeps ``except`` clauses discoverable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class ClockError(ReproError):
+    """Raised on invalid simulated-time operations (e.g. moving backwards)."""
+
+
+class GraphError(ReproError):
+    """Raised on invalid social-graph operations."""
+
+
+class UnknownAccountError(GraphError):
+    """Raised when an account id or screen name cannot be resolved."""
+
+    def __init__(self, identifier: object) -> None:
+        super().__init__(f"unknown account: {identifier!r}")
+        self.identifier = identifier
+
+
+class DuplicateAccountError(GraphError):
+    """Raised when registering an account whose id or name already exists."""
+
+
+class ApiError(ReproError):
+    """Base class for simulated Twitter API errors."""
+
+    #: HTTP-like status code mirroring the real Twitter v1.1 API.
+    status_code = 500
+
+
+class RateLimitExceededError(ApiError):
+    """Raised when an endpoint's per-window request budget is exhausted.
+
+    Mirrors HTTP 429 from the real API.  ``retry_after`` is the number of
+    simulated seconds until the window resets.
+    """
+
+    status_code = 429
+
+    def __init__(self, resource: str, retry_after: float) -> None:
+        super().__init__(
+            f"rate limit exceeded for {resource}; retry after {retry_after:.1f}s"
+        )
+        self.resource = resource
+        self.retry_after = retry_after
+
+
+class NotFoundError(ApiError):
+    """Raised when a requested user does not exist (HTTP 404)."""
+
+    status_code = 404
+
+
+class InvalidCursorError(ApiError):
+    """Raised when a pagination cursor is malformed or stale (HTTP 400)."""
+
+    status_code = 400
+
+
+class AuthorizationError(ApiError):
+    """Raised when a client without credentials calls a protected endpoint."""
+
+    status_code = 401
+
+
+class AnalyticsError(ReproError):
+    """Base class for errors raised by the analytics engines."""
+
+
+class QuotaExceededError(AnalyticsError):
+    """Raised when a free analytics tool's daily usage quota is exhausted.
+
+    Socialbakers' Fake Follower Check, for instance, allowed ten audits per
+    day per user (paper, Section II-B).
+    """
+
+
+class TrainingError(ReproError):
+    """Raised when a classifier cannot be trained (e.g. degenerate data)."""
+
+
+class SamplingError(ReproError):
+    """Raised on invalid sampling requests (e.g. sample larger than frame)."""

@@ -1,0 +1,141 @@
+"""Seed management and reusable random distributions.
+
+Every stochastic component of the reproduction takes an explicit seed so
+experiments are bit-for-bit reproducible.  To avoid accidental seed
+collisions between subsystems (which would correlate supposedly
+independent draws), child seeds are derived from a master seed plus a
+string path using a cryptographic hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Sequence
+
+from .errors import ConfigurationError
+
+
+def derive_seed(master: int, *path: object) -> int:
+    """Derive a stable 64-bit child seed from ``master`` and a label path.
+
+    ``derive_seed(42, "population", "fake", 3)`` always returns the same
+    value, and different paths yield (with overwhelming probability)
+    different, uncorrelated seeds.
+    """
+    payload = repr((int(master),) + tuple(str(p) for p in path)).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def make_rng(seed: int, *path: object) -> random.Random:
+    """Return a ``random.Random`` seeded from ``seed`` and an optional path."""
+    if path:
+        seed = derive_seed(seed, *path)
+    return random.Random(seed)
+
+
+def bounded_int_lognormal(rng: random.Random, mean_log: float,
+                          sigma_log: float, low: int, high: int) -> int:
+    """Draw an integer from a log-normal, clamped to ``[low, high]``.
+
+    Social-network count statistics (followers, friends, tweet counts)
+    are heavy-tailed; a clamped log-normal is the standard lightweight
+    model and matches the qualitative distributions the analytics'
+    criteria are written against (e.g. "97% of Twitter accounts have less
+    than 5K followers", paper Section II-A).
+    """
+    if low > high:
+        raise ConfigurationError(f"empty range [{low}, {high}]")
+    value = int(round(rng.lognormvariate(mean_log, sigma_log)))
+    return max(low, min(high, value))
+
+
+def zipf_rank(rng: random.Random, n: int, exponent: float = 1.0) -> int:
+    """Draw a 1-based rank in ``[1, n]`` with Zipfian probability.
+
+    Uses inverse-CDF sampling over the exact normalised weights; ``n`` in
+    our workloads is at most a few million, for which the O(n) table is
+    built once per call site via :class:`ZipfTable` instead — this
+    function is the simple path for small ``n``.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1: {n!r}")
+    weights = [1.0 / (k ** exponent) for k in range(1, n + 1)]
+    total = sum(weights)
+    target = rng.random() * total
+    acc = 0.0
+    for k, w in enumerate(weights, start=1):
+        acc += w
+        if target <= acc:
+            return k
+    return n
+
+
+class ZipfTable:
+    """Precomputed inverse-CDF table for repeated Zipf draws over a fixed n."""
+
+    def __init__(self, n: int, exponent: float = 1.0) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1: {n!r}")
+        self._n = n
+        cdf = []
+        acc = 0.0
+        for k in range(1, n + 1):
+            acc += 1.0 / (k ** exponent)
+            cdf.append(acc)
+        self._total = acc
+        self._cdf = cdf
+
+    def draw(self, rng: random.Random) -> int:
+        """Return a 1-based Zipf-distributed rank."""
+        target = rng.random() * self._total
+        lo, hi = 0, self._n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo + 1
+
+
+def weighted_choice(rng: random.Random, items: Sequence[object],
+                    weights: Sequence[float]) -> object:
+    """Pick one item with probability proportional to its weight."""
+    if len(items) != len(weights):
+        raise ConfigurationError("items and weights must have equal length")
+    if not items:
+        raise ConfigurationError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0 or any(w < 0 for w in weights):
+        raise ConfigurationError(f"weights must be non-negative with positive sum: {weights!r}")
+    target = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if target <= acc:
+            return item
+    return items[-1]
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Draw from a Poisson distribution (Knuth for small λ, normal approx above).
+
+    Used for per-day tweet/follow counts in the activity workloads.
+    """
+    if lam < 0:
+        raise ConfigurationError(f"lambda must be non-negative: {lam!r}")
+    if lam == 0:
+        return 0
+    if lam > 30:
+        # Normal approximation with continuity correction; exact enough
+        # for workload generation and O(1) regardless of lambda.
+        return max(0, int(round(rng.gauss(lam, math.sqrt(lam)))))
+    threshold = math.exp(-lam)
+    k, product = 0, rng.random()
+    while product > threshold:
+        k += 1
+        product *= rng.random()
+    return k

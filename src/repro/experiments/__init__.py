@@ -1,0 +1,123 @@
+"""Experiment harness: the paper's evaluation, table by table."""
+
+from .acquisition import (
+    EmpiricalCrawl,
+    run_acquisition_experiment,
+    validate_model,
+)
+from .api_limits import (
+    RateLimitMeasurement,
+    measure_rate_limit,
+    run_table1,
+)
+from .bias_demo import (
+    BurstDemoResult,
+    DeepDiveResult,
+    run_deepdive_comparison,
+    run_purchased_burst_demo,
+)
+from .figures import ascii_bar_chart, render_ta_charts, run_ta_charts
+from .live_ordering import ChurnSensitivityRow, run_churn_sensitivity
+from .sensitivity import TiltSensitivityRow, run_tilt_sensitivity
+from .ordering import (
+    OrderingResult,
+    check_head_growth,
+    daily_snapshots,
+    run_ordering_experiment,
+)
+from .report import TextTable, pct
+from .response_time import (
+    ENGINE_ORDER,
+    ResponseTimeRow,
+    build_engines,
+    run_response_time_experiment,
+)
+from .results import (
+    DisagreementAnalysis,
+    Table3Row,
+    analyse_disagreement,
+    render_table3,
+    run_table3,
+)
+from .runner import ExperimentSuiteResult, run_all
+from .sample_size import (
+    CoverageResult,
+    TOOL_SAMPLE_SIZES,
+    empirical_coverage,
+    run_sample_size_experiment,
+)
+from .validation import (
+    ValidationReport,
+    validate_population,
+    validate_world,
+)
+from .testbed import (
+    AVERAGE,
+    DEFAULT_MAX_FOLLOWERS,
+    HIGH,
+    LOW,
+    PAPER_ACCOUNTS,
+    PAPER_ACCOUNTS_BY_HANDLE,
+    PRECACHED,
+    PaperAccount,
+    accounts_in_tiers,
+    average_accounts,
+    build_paper_world,
+    testbed_spec,
+)
+
+__all__ = [
+    "AVERAGE",
+    "BurstDemoResult",
+    "ChurnSensitivityRow",
+    "CoverageResult",
+    "DEFAULT_MAX_FOLLOWERS",
+    "DeepDiveResult",
+    "DisagreementAnalysis",
+    "ENGINE_ORDER",
+    "EmpiricalCrawl",
+    "ExperimentSuiteResult",
+    "HIGH",
+    "LOW",
+    "OrderingResult",
+    "PAPER_ACCOUNTS",
+    "PAPER_ACCOUNTS_BY_HANDLE",
+    "PRECACHED",
+    "PaperAccount",
+    "RateLimitMeasurement",
+    "ResponseTimeRow",
+    "TOOL_SAMPLE_SIZES",
+    "Table3Row",
+    "TextTable",
+    "TiltSensitivityRow",
+    "ValidationReport",
+    "accounts_in_tiers",
+    "analyse_disagreement",
+    "ascii_bar_chart",
+    "average_accounts",
+    "build_engines",
+    "build_paper_world",
+    "check_head_growth",
+    "daily_snapshots",
+    "empirical_coverage",
+    "measure_rate_limit",
+    "pct",
+    "render_ta_charts",
+    "render_table3",
+    "run_acquisition_experiment",
+    "run_all",
+    "run_churn_sensitivity",
+    "run_deepdive_comparison",
+    "run_ordering_experiment",
+    "run_purchased_burst_demo",
+    "run_response_time_experiment",
+    "run_sample_size_experiment",
+    "run_ta_charts",
+    "run_table1",
+    "run_table3",
+    "run_tilt_sensitivity",
+    "testbed_spec",
+    "validate_model",
+    "validate_population",
+    "validate_world",
+]

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+The benches print the same rows the paper's tables report; this module
+keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+
+class TextTable:
+    """A fixed-column ASCII table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise ConfigurationError("a table needs at least one column")
+        self._headers = [str(h) for h in headers]
+        self._rows: List[List[str]] = []
+        self._title = title
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; the cell count must match the headers."""
+        if len(cells) != len(self._headers):
+            raise ConfigurationError(
+                f"expected {len(self._headers)} cells, got {len(cells)}")
+        self._rows.append([_format(cell) for cell in cells])
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(h) for h in self._headers]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        separator = "  ".join("-" * width for width in widths)
+        parts = []
+        if self._title:
+            parts.append(self._title)
+        parts.append(line(self._headers))
+        parts.append(separator)
+        parts.extend(line(row) for row in self._rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def pct(value: Optional[float]) -> str:
+    """Format a 0-100 percentage cell, '-' when not reported."""
+    if value is None:
+        return "-"
+    return f"{value:.1f}"

@@ -1,0 +1,24 @@
+"""Follower-growth monitoring and purchase-burst detection.
+
+The machinery behind the paper's motivating anecdote: spotting the
+"sudden jump in the number of followers" that outed the purchased
+blocks of the 2012 campaign accounts.
+"""
+
+from .detector import BurstDetector, BurstEvent
+from .monitor import GrowthMonitor, MonitorReport
+from .series import (
+    GrowthSeries,
+    series_from_observations,
+    series_from_population,
+)
+
+__all__ = [
+    "BurstDetector",
+    "BurstEvent",
+    "GrowthMonitor",
+    "GrowthSeries",
+    "MonitorReport",
+    "series_from_observations",
+    "series_from_population",
+]

@@ -1,0 +1,80 @@
+"""An API-driven growth monitor.
+
+Ties the series/detector machinery to the simulated API the way a real
+watchdog service would: poll ``users/show`` once per simulated day,
+build the observation series, and raise findings.  One such monitor
+pointed at @MittRomney in August 2012 is effectively how the episode in
+the paper's introduction was noticed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..api.client import TwitterApiClient
+from ..core.clock import SimClock
+from ..core.errors import ConfigurationError
+from ..core.timeutil import DAY
+from ..twitter.population import World
+from .detector import BurstDetector, BurstEvent
+from .series import GrowthSeries, series_from_observations
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """Outcome of a monitoring campaign over one account."""
+
+    handle: str
+    series: GrowthSeries
+    bursts: Tuple[BurstEvent, ...]
+    purchased_estimate: int
+
+    @property
+    def suspicious(self) -> bool:
+        """Whether any burst was detected."""
+        return bool(self.bursts)
+
+
+class GrowthMonitor:
+    """Daily follower-count poller with burst detection.
+
+    The monitor is deliberately cheap: one ``users/show`` call per day
+    (charged against ``users/lookup``'s 12/min budget), no follower
+    crawling at all — anomaly detection needs only the counter.
+    """
+
+    def __init__(self, world: World, clock: SimClock,
+                 detector: BurstDetector = None) -> None:
+        self._client = TwitterApiClient(world, clock)
+        self._clock = clock
+        self._detector = detector if detector is not None else BurstDetector()
+
+    @property
+    def client(self) -> TwitterApiClient:
+        """The monitor's API client (exposes its call log)."""
+        return self._client
+
+    def observe(self, handle: str, days: int) -> GrowthSeries:
+        """Poll the account once per simulated day for ``days`` + 1 readings."""
+        if days < 1:
+            raise ConfigurationError(f"days must be >= 1: {days!r}")
+        observations: List[Tuple[float, int]] = []
+        for __ in range(days + 1):
+            day_start = self._clock.now()
+            user = self._client.users_show(screen_name=handle)
+            observations.append((day_start, user.followers_count))
+            self._clock.advance_to(day_start + DAY)
+        return series_from_observations(observations)
+
+    def watch(self, handle: str, days: int = 30) -> MonitorReport:
+        """Observe, detect, and report."""
+        series = self.observe(handle, days)
+        bursts = tuple(self._detector.detect(series))
+        return MonitorReport(
+            handle=handle,
+            series=series,
+            bursts=bursts,
+            purchased_estimate=int(round(
+                sum(event.excess for event in bursts))),
+        )

@@ -1,0 +1,20 @@
+"""The fake-follower black market: sellers, orders, fulfilment."""
+
+from .orders import Marketplace, Order
+from .sellers import (
+    CHEAP_BULK,
+    PREMIUM_DRIP,
+    PRESET_SELLERS,
+    STANDARD,
+    SellerProfile,
+)
+
+__all__ = [
+    "CHEAP_BULK",
+    "Marketplace",
+    "Order",
+    "PREMIUM_DRIP",
+    "PRESET_SELLERS",
+    "STANDARD",
+    "SellerProfile",
+]

@@ -1,0 +1,143 @@
+"""Order placement and fulfilment on the fake-follower market.
+
+A :class:`Marketplace` is bound to a :class:`LiveSimulation`; placing
+an order schedules hourly delivery tranches (fresh fake accounts
+following the target) and, after delivery, a daily attrition process
+that silently unfollows part of the block — the lifecycle observed
+around the 2012-2013 purchases the paper's introduction recounts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.errors import ConfigurationError
+from ..core.rng import poisson, weighted_choice
+from ..core.timeutil import DAY, HOUR
+from ..twitter.account import Account
+from ..twitter.live import LiveSimulation, follow_block
+from ..twitter.personas import PERSONAS
+from .sellers import SellerProfile
+
+
+@dataclass
+class Order:
+    """One purchase, tracked through delivery and attrition."""
+
+    seller: SellerProfile
+    target_id: int
+    quantity: int
+    placed_at: float
+    price: float
+    delivered_ids: List[int] = field(default_factory=list)
+    churned_ids: List[int] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> int:
+        """Followers delivered so far."""
+        return len(self.delivered_ids)
+
+    @property
+    def fully_delivered(self) -> bool:
+        """Whether the whole order has been delivered."""
+        return self.delivered >= self.quantity
+
+    @property
+    def retained(self) -> int:
+        """Delivered followers still following."""
+        return self.delivered - len(self.churned_ids)
+
+
+class Marketplace:
+    """Schedules order fulfilment events on a live simulation."""
+
+    def __init__(self, simulation: LiveSimulation, seed: int = 0) -> None:
+        self._simulation = simulation
+        self._seed = seed
+        self._order_counter = 0
+        self._orders: List[Order] = []
+
+    @property
+    def orders(self) -> List[Order]:
+        """Every order placed through this marketplace."""
+        return list(self._orders)
+
+    def place_order(self, seller: SellerProfile, target_id: int,
+                    quantity: int) -> Order:
+        """Buy ``quantity`` followers for ``target_id`` from ``seller``.
+
+        Delivery starts within the hour, in hourly tranches of
+        ``seller.delivery_per_hour``; once the block is complete, daily
+        attrition begins.  Returns the tracked :class:`Order`.
+        """
+        if quantity < 1:
+            raise ConfigurationError(f"quantity must be >= 1: {quantity!r}")
+        self._order_counter += 1
+        order = Order(
+            seller=seller,
+            target_id=target_id,
+            quantity=quantity,
+            placed_at=self._simulation.now(),
+            price=seller.price(quantity),
+        )
+        self._orders.append(order)
+        rng = self._simulation.rng("market", seller.name, self._order_counter)
+        self._schedule_tranche(order, rng, delay=1 * HOUR)
+        return order
+
+    # -- fulfilment ---------------------------------------------------------------
+
+    def _make_fake(self, rng: random.Random, order: Order,
+                   now: float, taken: set) -> Account:
+        names = sorted(order.seller.personas)
+        persona = PERSONAS[str(weighted_choice(
+            rng, names, [order.seller.personas[name] for name in names]))]
+        user_id = self._simulation.mint_user_id(now)
+        # Stylistic handles collide occasionally — against the graph and
+        # against the not-yet-registered rest of this tranche.
+        while True:
+            account = persona.sample(
+                rng, user_id, self._simulation.mint_screen_name("bot"), now)
+            handle = account.screen_name.lower()
+            if handle not in taken and \
+                    not self._simulation.graph.has_screen_name(handle):
+                taken.add(handle)
+                return account
+
+    def _schedule_tranche(self, order: Order, rng: random.Random,
+                          delay: float) -> None:
+        def deliver(simulation: LiveSimulation) -> None:
+            remaining = order.quantity - order.delivered
+            size = min(order.seller.delivery_per_hour, remaining)
+            taken: set = set()
+            block = [self._make_fake(rng, order, simulation.now(), taken)
+                     for __ in range(size)]
+            follow_block(simulation, order.target_id, block)
+            order.delivered_ids.extend(
+                account.user_id for account in block)
+            if not order.fully_delivered:
+                self._schedule_tranche(order, rng, delay=1 * HOUR)
+            elif order.seller.daily_attrition > 0:
+                self._schedule_attrition(order, rng, delay=1 * DAY)
+
+        self._simulation.schedule_in(delay, deliver)
+
+    def _schedule_attrition(self, order: Order, rng: random.Random,
+                            delay: float) -> None:
+        def churn(simulation: LiveSimulation) -> None:
+            alive = [uid for uid in order.delivered_ids
+                     if uid not in set(order.churned_ids)]
+            if not alive:
+                return
+            quitters = min(
+                poisson(rng, order.seller.daily_attrition * len(alive)),
+                len(alive))
+            for user_id in rng.sample(alive, quitters):
+                if simulation.graph.is_following(user_id, order.target_id):
+                    simulation.graph.unfollow(user_id, order.target_id)
+                    order.churned_ids.append(user_id)
+            self._schedule_attrition(order, rng, delay=1 * DAY)
+
+        self._simulation.schedule_in(delay, churn)

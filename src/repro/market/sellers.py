@@ -1,0 +1,109 @@
+"""Fake-follower seller profiles.
+
+The paper's backdrop is "a growing black market for fake followers"
+(its reference [6] is literally titled that).  Reporting from the
+2012-2013 episode describes a spectrum of merchandise: bottom-shelf
+bulk "eggs" delivered within hours and prone to mass disappearance
+(Twitter purges, seller recycling), and pricier "aged" accounts with
+filled profiles and drip-fed delivery meant to evade exactly the
+growth-anomaly monitors of :mod:`repro.growth`.
+
+A :class:`SellerProfile` captures those dimensions; the presets span
+the market's ends and are used by the live-attack example and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.errors import ConfigurationError
+from ..twitter.personas import PERSONAS
+
+
+@dataclass(frozen=True)
+class SellerProfile:
+    """One merchant on the fake-follower market.
+
+    Attributes
+    ----------
+    name:
+        Marketplace handle of the seller.
+    price_per_thousand:
+        USD per 1000 followers (2013 street prices ran $1-$20).
+    personas:
+        Persona mix of the delivered accounts.
+    delivery_per_hour:
+        Delivery throughput; the whole order arrives in
+        ``quantity / delivery_per_hour`` hours.
+    daily_attrition:
+        Fraction of the delivered block unfollowing per day after
+        delivery (purges, recycling, buyer remorse on shared bots).
+    """
+
+    name: str
+    price_per_thousand: float
+    personas: Mapping[str, float]
+    delivery_per_hour: int
+    daily_attrition: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("seller name must be non-empty")
+        if self.price_per_thousand < 0:
+            raise ConfigurationError("price must be non-negative")
+        if self.delivery_per_hour < 1:
+            raise ConfigurationError(
+                f"delivery_per_hour must be >= 1: {self.delivery_per_hour!r}")
+        if not 0.0 <= self.daily_attrition < 1.0:
+            raise ConfigurationError(
+                f"daily_attrition must be in [0, 1): {self.daily_attrition!r}")
+        unknown = set(self.personas) - set(PERSONAS)
+        if unknown:
+            raise ConfigurationError(f"unknown personas: {sorted(unknown)!r}")
+        if not self.personas or sum(self.personas.values()) <= 0:
+            raise ConfigurationError("personas mix must have positive mass")
+
+    def price(self, quantity: int) -> float:
+        """USD for an order of ``quantity`` followers."""
+        if quantity < 1:
+            raise ConfigurationError(f"quantity must be >= 1: {quantity!r}")
+        return self.price_per_thousand * quantity / 1000.0
+
+    def delivery_hours(self, quantity: int) -> float:
+        """Hours to deliver an order of ``quantity`` followers."""
+        if quantity < 1:
+            raise ConfigurationError(f"quantity must be >= 1: {quantity!r}")
+        return quantity / self.delivery_per_hour
+
+
+#: Bottom shelf: instant bulk eggs, heavy attrition.
+CHEAP_BULK = SellerProfile(
+    name="cheap-bulk",
+    price_per_thousand=2.0,
+    personas={"fake_egg_dormant": 0.7, "fake_classic": 0.3},
+    delivery_per_hour=5000,
+    daily_attrition=0.04,
+)
+
+#: Mid market: mixed inventory, same-day delivery.
+STANDARD = SellerProfile(
+    name="standard",
+    price_per_thousand=8.0,
+    personas={"fake_classic": 0.6, "fake_egg_dormant": 0.2,
+              "fake_spammer": 0.2},
+    delivery_per_hour=1500,
+    daily_attrition=0.015,
+)
+
+#: Top shelf: "aged, high-quality" accounts, drip-fed to dodge
+#: growth-anomaly monitors, near-zero attrition.
+PREMIUM_DRIP = SellerProfile(
+    name="premium-drip",
+    price_per_thousand=20.0,
+    personas={"fake_classic": 0.9, "fake_spammer": 0.1},
+    delivery_per_hour=60,
+    daily_attrition=0.002,
+)
+
+PRESET_SELLERS = (CHEAP_BULK, STANDARD, PREMIUM_DRIP)

@@ -1,0 +1,122 @@
+"""Inter-tool agreement statistics.
+
+Table III's qualitative reading — "there is a general disagreement on
+such results" — deserves numbers.  Given several tools' estimates of
+the same quantity (e.g. fake percentage) over the same set of targets,
+this module computes:
+
+* the pairwise mean-absolute-difference matrix (which tools tell
+  similar stories, in points);
+* Kendall's tau-b per tool pair (do the tools at least *rank* targets
+  the same way, even when their absolute numbers differ?);
+* a single disagreement index (mean per-target standard deviation).
+
+These power the quantified claims in ``analyse_disagreement`` and are
+reusable for any future multi-tool comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AgreementMatrix:
+    """Pairwise agreement between tools over a shared target set."""
+
+    tools: Tuple[str, ...]
+    #: (tool_a, tool_b) -> mean |a - b| in the estimates' own units.
+    mean_abs_diff: Mapping[Tuple[str, str], float]
+    #: (tool_a, tool_b) -> Kendall tau-b rank correlation in [-1, 1].
+    kendall_tau: Mapping[Tuple[str, str], float]
+    #: Mean per-target population std-dev across tools.
+    disagreement_index: float
+
+    def closest_pair(self) -> Tuple[str, str]:
+        """The pair of tools with the smallest mean absolute difference."""
+        return min(self.mean_abs_diff, key=lambda pair: self.mean_abs_diff[pair])
+
+    def most_discordant_pair(self) -> Tuple[str, str]:
+        """The pair of tools with the largest mean absolute difference."""
+        return max(self.mean_abs_diff, key=lambda pair: self.mean_abs_diff[pair])
+
+
+def kendall_tau(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Kendall's tau-b, with the standard tie correction.
+
+    O(n^2), which is ample for tens of targets.  Returns 0 when either
+    sequence is entirely tied.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError("sequences must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ConfigurationError("need at least two observations")
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            if dx == 0 and dy == 0:
+                continue
+            if dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    denominator = math.sqrt(
+        (concordant + discordant + ties_x)
+        * (concordant + discordant + ties_y))
+    if denominator == 0:
+        return 0.0
+    return (concordant - discordant) / denominator
+
+
+def agreement_matrix(estimates: Mapping[str, Sequence[float]]
+                     ) -> AgreementMatrix:
+    """Compute all agreement statistics for named estimate vectors.
+
+    ``estimates`` maps tool name to its per-target estimates; every
+    tool must cover the same targets in the same order.
+    """
+    if len(estimates) < 2:
+        raise ConfigurationError("need at least two tools to compare")
+    lengths = {len(values) for values in estimates.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(
+            f"all tools must cover the same targets; got lengths {lengths}")
+    (n,) = lengths
+    if n < 2:
+        raise ConfigurationError("need at least two targets")
+
+    tools = tuple(sorted(estimates))
+    diffs: Dict[Tuple[str, str], float] = {}
+    taus: Dict[Tuple[str, str], float] = {}
+    for index, tool_a in enumerate(tools):
+        for tool_b in tools[index + 1:]:
+            a = estimates[tool_a]
+            b = estimates[tool_b]
+            diffs[(tool_a, tool_b)] = sum(
+                abs(x - y) for x, y in zip(a, b)) / n
+            taus[(tool_a, tool_b)] = kendall_tau(a, b)
+
+    per_target_std: List[float] = []
+    for position in range(n):
+        values = [estimates[tool][position] for tool in tools]
+        mean = sum(values) / len(values)
+        per_target_std.append(math.sqrt(
+            sum((v - mean) ** 2 for v in values) / len(values)))
+    return AgreementMatrix(
+        tools=tools,
+        mean_abs_diff=diffs,
+        kendall_tau=taus,
+        disagreement_index=sum(per_target_std) / n,
+    )

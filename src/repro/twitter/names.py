@@ -1,0 +1,92 @@
+"""Stylistic screen-name generation.
+
+Screen names are a real detection signal: mass-created fakes carry
+machine-minted handles (random consonant runs, long digit tails,
+promo keywords), while humans pick name-like handles with at most a
+birth-year or a couple of digits.  The rule sets of the era looked at
+exactly this, and the feature catalogue exposes it
+(``name_digit_fraction``, ``name_length``).
+
+Generators are pure functions of the supplied RNG, so lazily
+regenerated accounts always get the same handle.  The combined space is
+large (tens of millions of human handles), making collisions across a
+simulation rare; call sites that *require* uniqueness (the materialised
+graph) retry with the same RNG stream on collision.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+_FIRST_NAMES = (
+    "maria", "anna", "luca", "marco", "paolo", "giulia", "sara", "elena",
+    "john", "mike", "emma", "lucy", "david", "laura", "carla", "diego",
+    "jose", "ana", "pierre", "claire", "hans", "ingrid", "ali", "yuki",
+    "chen", "nina", "ivan", "olga", "tom", "kate",
+)
+
+_LAST_NAMES = (
+    "rossi", "russo", "ferrari", "bianchi", "romano", "ricci", "marino",
+    "greco", "smith", "jones", "brown", "taylor", "garcia", "lopez",
+    "martin", "bernard", "dubois", "muller", "schmidt", "tanaka", "kim",
+    "wang", "novak", "silva", "santos", "costa", "petrov", "larsen",
+    "nielsen", "kowalski",
+)
+
+_PROMO_WORDS = (
+    "deals", "followers", "cash", "promo", "winbig", "gratis", "offers",
+    "social", "likes", "viral", "boost",
+)
+
+_SEPARATORS = ("", "_", ".")
+
+
+def human_screen_name(rng: random.Random) -> str:
+    """A handle a person would pick: name-like, few or no digits."""
+    first = rng.choice(_FIRST_NAMES)
+    last = rng.choice(_LAST_NAMES)
+    separator = rng.choice(_SEPARATORS)
+    roll = rng.random()
+    if roll < 0.35:
+        suffix = ""
+    elif roll < 0.70:
+        suffix = str(rng.randint(70, 99))       # a birth year
+    else:
+        suffix = str(rng.randint(1, 999))
+    handle = f"{first}{separator}{last}{suffix}"
+    return handle[:15]
+
+
+def bot_screen_name(rng: random.Random) -> str:
+    """A machine-minted handle: digit tails, promo words, random runs."""
+    style = rng.random()
+    if style < 0.4:
+        # Promo word plus a long numeric tail.
+        word = rng.choice(_PROMO_WORDS)
+        tail = "".join(rng.choice(string.digits) for __ in range(rng.randint(4, 7)))
+        handle = f"{word}{tail}"
+    elif style < 0.7:
+        # Name fragment + heavy digits (registration-farm pattern).
+        first = rng.choice(_FIRST_NAMES)[:4]
+        tail = "".join(rng.choice(string.digits) for __ in range(rng.randint(5, 8)))
+        handle = f"{first}{tail}"
+    else:
+        # Random alphanumeric run.
+        handle = "".join(
+            rng.choice(string.ascii_lowercase + string.digits)
+            for __ in range(rng.randint(8, 14)))
+    return handle[:15]
+
+
+def display_name(rng: random.Random) -> str:
+    """A human display name ("Maria Ricci")."""
+    return (f"{rng.choice(_FIRST_NAMES).title()} "
+            f"{rng.choice(_LAST_NAMES).title()}")
+
+
+def digit_fraction(screen_name: str) -> float:
+    """Fraction of a handle's characters that are digits."""
+    if not screen_name:
+        return 0.0
+    return sum(1 for c in screen_name if c.isdigit()) / len(screen_name)

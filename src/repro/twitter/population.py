@@ -1,0 +1,621 @@
+"""Lazily materialised Twitter worlds.
+
+The paper audits accounts whose follower bases range from ~1 K to 41 M
+(Barack Obama).  Materialising tens of millions of profile objects is
+neither necessary nor wise: every engine only ever *samples* followers.
+This module therefore represents a follower base as a pure function
+
+    ``(master seed, target, position) -> Account``
+
+so any follower can be generated on demand, identically every time,
+with O(1) memory per target regardless of declared size.
+
+Identifier namespaces
+---------------------
+Synthetic user ids are 63-bit integers whose top bits carry a namespace
+tag, letting :class:`SyntheticWorld` resolve any id back to its
+generator without a lookup table:
+
+* targets:   ``TARGET_TAG``   — payload is the target ordinal;
+* followers: ``FOLLOWER_TAG`` — payload is ``(target ordinal, position)``;
+* ambient:   ``AMBIENT_TAG``  — payload is an index into a shared pool of
+  background accounts used as "friends" of anyone.
+
+Analytics engines treat ids as opaque, exactly as they must with real
+Twitter ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import (
+    ConfigurationError,
+    DuplicateAccountError,
+    UnknownAccountError,
+)
+from ..core.rng import make_rng, weighted_choice
+from ..core.timeutil import DAY, HOUR, TWITTER_LAUNCH
+from .account import Account, BehaviorProfile, Label
+from .personas import PERSONAS, Persona, persona_mix_from_labels
+from .timeline import TimelineGenerator
+from .tweet import Tweet
+from .workload import ArrivalSchedule, SegmentWindow
+
+_NAMESPACE_SHIFT = 60
+TARGET_TAG = 4
+FOLLOWER_TAG = 2
+AMBIENT_TAG = 3
+
+_POSITION_BITS = 38
+_ORDINAL_MASK = (1 << (_NAMESPACE_SHIFT - _POSITION_BITS)) - 1
+_POSITION_MASK = (1 << _POSITION_BITS) - 1
+
+#: Size of the shared ambient pool backing ``friends/ids`` answers.
+AMBIENT_POOL_SIZE = 100_000
+
+
+def target_id(ordinal: int) -> int:
+    """Compose the user id of the ``ordinal``-th registered target."""
+    return (TARGET_TAG << _NAMESPACE_SHIFT) | ordinal
+
+
+def follower_id(ordinal: int, position: int) -> int:
+    """Compose the user id of a target's follower at ``position``."""
+    if position > _POSITION_MASK:
+        raise ConfigurationError(f"position too large: {position!r}")
+    return (FOLLOWER_TAG << _NAMESPACE_SHIFT) | (ordinal << _POSITION_BITS) | position
+
+
+def ambient_id(index: int) -> int:
+    """Compose the user id of the ``index``-th ambient-pool account."""
+    return (AMBIENT_TAG << _NAMESPACE_SHIFT) | index
+
+
+def namespace_of(user_id: int) -> int:
+    """Return the namespace tag of a synthetic user id."""
+    return user_id >> _NAMESPACE_SHIFT
+
+
+def decode_follower(user_id: int) -> Tuple[int, int]:
+    """Recover ``(target ordinal, position)`` from a follower id."""
+    if namespace_of(user_id) != FOLLOWER_TAG:
+        raise UnknownAccountError(user_id)
+    payload = user_id & ((1 << _NAMESPACE_SHIFT) - 1)
+    return (payload >> _POSITION_BITS) & _ORDINAL_MASK, payload & _POSITION_MASK
+
+
+@dataclass(frozen=True)
+class FollowerSegmentSpec:
+    """One cohort of a target's follower base, in arrival order.
+
+    Attributes
+    ----------
+    fraction:
+        Share of the historical follower base arriving in this cohort.
+    personas:
+        Persona-name -> weight mix of the cohort's members.
+    duration_frac:
+        Share of the target's follow window occupied by the cohort;
+        defaults to ``fraction`` (steady growth).  A purchased-fake burst
+        is a cohort with a tiny ``duration_frac``.
+    gamma:
+        Intra-cohort pacing (see :class:`SegmentWindow`).
+    """
+
+    fraction: float
+    personas: Mapping[str, float]
+    duration_frac: Optional[float] = None
+    gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1]: {self.fraction!r}")
+        if not self.personas:
+            raise ConfigurationError("a segment needs a non-empty persona mix")
+        for name, weight in self.personas.items():
+            if name not in PERSONAS:
+                raise ConfigurationError(f"unknown persona: {name!r}")
+            if weight < 0:
+                raise ConfigurationError(f"persona weight must be >= 0: {weight!r}")
+        if sum(self.personas.values()) <= 0:
+            raise ConfigurationError("persona mix weights must sum to > 0")
+
+
+def uniform_segments(inactive: float, fake: float, genuine: float,
+                     pieces: int = 1) -> List[FollowerSegmentSpec]:
+    """Build ``pieces`` identical segments realising a label composition.
+
+    With one piece the follower base is homogeneous in arrival order —
+    the null hypothesis under which head-of-list sampling would be
+    harmless.  Experiments contrasting biased and unbiased sampling use
+    :func:`tilted_segments` instead.
+    """
+    mix = persona_mix_from_labels(inactive, fake, genuine)
+    return [
+        FollowerSegmentSpec(fraction=1.0 / pieces, personas=mix)
+        for _ in range(pieces)
+    ]
+
+
+def tilted_segments(inactive: float, fake: float, genuine: float,
+                    tilt: float = 0.5,
+                    pieces: int = 4) -> List[FollowerSegmentSpec]:
+    """Build segments with the *recency gradient* the paper observes.
+
+    Long-term followers are more likely to have gone inactive than fresh
+    ones ("new followers are less likely to be inactive than long-term
+    followers", Section IV-D).  The overall (inactive, fake, genuine)
+    composition is preserved exactly, but the inactive mass is shifted
+    toward early cohorts: cohort ``i`` of ``pieces`` gets its inactive
+    fraction scaled by a linear ramp from ``1 + tilt`` (oldest) down to
+    ``1 - tilt`` (newest), with genuine mass absorbing the difference.
+
+    ``tilt`` must lie in ``[0, 1)``.  A cohort's inactive share is
+    capped at ``inactive + genuine`` (its genuine mass cannot go
+    negative); any mass lost to that cap is redistributed to the
+    cohorts that still have genuine headroom, so the aggregate
+    composition matches *exactly* even at extreme inactive rates — the
+    gradient simply flattens where there is no room for it.
+    """
+    if not 0.0 <= tilt < 1.0:
+        raise ConfigurationError(f"tilt must be in [0, 1): {tilt!r}")
+    if pieces < 1:
+        raise ConfigurationError(f"pieces must be >= 1: {pieces!r}")
+    total = inactive + fake + genuine
+    inactive, fake, genuine = inactive / total, fake / total, genuine / total
+
+    # Per-cohort inactive multipliers averaging exactly 1.
+    if pieces == 1:
+        multipliers = [1.0]
+    else:
+        multipliers = [
+            1.0 + tilt * (1.0 - 2.0 * i / (pieces - 1)) for i in range(pieces)
+        ]
+    cap = inactive + genuine
+    cohort_inactive = [min(cap, inactive * m) for m in multipliers]
+    # Water-fill the clipped-off mass into cohorts below the cap.
+    deficit = inactive * pieces - sum(cohort_inactive)
+    while deficit > 1e-12:
+        headroom = [cap - value for value in cohort_inactive]
+        open_cohorts = [i for i, room in enumerate(headroom) if room > 1e-12]
+        if not open_cohorts:
+            break  # cap == inactive everywhere: nothing to redistribute
+        share = deficit / len(open_cohorts)
+        for i in open_cohorts:
+            added = min(headroom[i], share)
+            cohort_inactive[i] += added
+            deficit -= added
+    segments = []
+    for value in cohort_inactive:
+        cohort_genuine = max(0.0, genuine + inactive - value)
+        mix = persona_mix_from_labels(value, fake, cohort_genuine)
+        segments.append(
+            FollowerSegmentSpec(fraction=1.0 / pieces, personas=mix))
+    return segments
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Declarative description of an auditable target account.
+
+    Attributes
+    ----------
+    screen_name:
+        Unique handle of the target.
+    followers:
+        Historical follower-base size at the reference instant.
+    segments:
+        Arrival-ordered cohorts whose fractions sum to 1.
+    created_at:
+        Target account creation time (epoch seconds).
+    follow_window_days:
+        How far before the reference instant the first follower arrived;
+        defaults to the span between creation and reference.
+    daily_new_followers:
+        Trickle of fresh arrivals per day after the reference instant
+        (drawn from the newest cohort's persona mix); drives the daily
+        snapshot ordering experiment.
+    statuses_count, friends_count, verified, display_name, description:
+        Profile attributes of the target itself.
+    behavior:
+        Tweeting behaviour of the target (used for its own timeline).
+    """
+
+    screen_name: str
+    followers: int
+    segments: Sequence[FollowerSegmentSpec]
+    created_at: float
+    follow_window_days: Optional[float] = None
+    daily_new_followers: float = 0.0
+    statuses_count: int = 2500
+    friends_count: int = 300
+    verified: bool = False
+    display_name: str = ""
+    description: str = "Official account."
+    behavior: BehaviorProfile = field(default=BehaviorProfile(tweets_per_day=3.0))
+
+    def __post_init__(self) -> None:
+        if self.followers < 0:
+            raise ConfigurationError(f"followers must be >= 0: {self.followers!r}")
+        if not self.screen_name:
+            raise ConfigurationError("screen_name must be non-empty")
+        if self.followers > 0:
+            if not self.segments:
+                raise ConfigurationError("a followed target needs >= 1 segment")
+            total = sum(segment.fraction for segment in self.segments)
+            if not 0.999 <= total <= 1.001:
+                raise ConfigurationError(
+                    f"segment fractions must sum to 1, got {total!r}")
+        if self.created_at < TWITTER_LAUNCH:
+            raise ConfigurationError("target cannot predate Twitter's launch")
+        if self.daily_new_followers < 0:
+            raise ConfigurationError("daily_new_followers must be >= 0")
+
+
+class FollowerPopulation:
+    """Lazy follower universe of one target.
+
+    Exposes arrival-ordered positions ``0 .. size_at(now) - 1``; every
+    query is a deterministic function of the master seed, so repeated
+    audits of the same target observe the same world.
+    """
+
+    def __init__(self, spec: TargetSpec, ordinal: int, seed: int,
+                 ref_time: float) -> None:
+        self._spec = spec
+        self._ordinal = ordinal
+        self._seed = seed
+        self._ref_time = ref_time
+
+        window_days = spec.follow_window_days
+        if window_days is None:
+            window_days = max(1.0, (ref_time - spec.created_at) / DAY)
+        window_start = max(spec.created_at, ref_time - window_days * DAY)
+        span = ref_time - window_start
+
+        # Translate cohort fractions into chronological segment windows.
+        duration_total = sum(
+            segment.duration_frac if segment.duration_frac is not None
+            else segment.fraction
+            for segment in spec.segments
+        ) or 1.0
+        windows: List[SegmentWindow] = []
+        counts: List[int] = []
+        cursor = window_start
+        remaining = spec.followers
+        for index, segment in enumerate(spec.segments):
+            if index == len(spec.segments) - 1:
+                count = remaining
+            else:
+                count = int(round(spec.followers * segment.fraction))
+                count = min(count, remaining)
+            remaining -= count
+            duration = (
+                segment.duration_frac if segment.duration_frac is not None
+                else segment.fraction
+            ) / duration_total * span
+            windows.append(SegmentWindow(
+                count=count, start=cursor, end=cursor + duration,
+                gamma=segment.gamma))
+            counts.append(count)
+            cursor += duration
+        self._segment_specs = list(spec.segments)
+        self._segment_offsets: List[int] = []
+        offset = 0
+        for count in counts:
+            self._segment_offsets.append(offset)
+            offset += count
+        self._schedule = ArrivalSchedule(
+            windows, post_ref_daily=spec.daily_new_followers)
+
+    @property
+    def spec(self) -> TargetSpec:
+        """The declarative spec this population realises."""
+        return self._spec
+
+    @property
+    def ordinal(self) -> int:
+        """The target's registration ordinal within its world."""
+        return self._ordinal
+
+    @property
+    def schedule(self) -> ArrivalSchedule:
+        """The arrival schedule mapping positions to instants."""
+        return self._schedule
+
+    def size_at(self, now: float) -> int:
+        """Follower count at simulated instant ``now``."""
+        return self._schedule.size_at(now)
+
+    def followed_at(self, position: int) -> float:
+        """Arrival instant of the follower at ``position``."""
+        return self._schedule.arrival_time(position)
+
+    def follower_id_at(self, position: int) -> int:
+        """User id of the follower at arrival ``position``."""
+        return follower_id(self._ordinal, position)
+
+    def follower_ids(self, start: int, stop: int) -> np.ndarray:
+        """Ids of positions ``[start, stop)`` in chronological order.
+
+        Returned as an int64 array; composing ids is pure arithmetic, so
+        a page of 5000 costs microseconds even for a 41 M-follower base.
+        """
+        if start < 0 or stop < start:
+            raise ConfigurationError(f"bad slice [{start}, {stop})")
+        base = (FOLLOWER_TAG << _NAMESPACE_SHIFT) | (self._ordinal << _POSITION_BITS)
+        return base + np.arange(start, stop, dtype=np.int64)
+
+    def _mix_at(self, position: int) -> Mapping[str, float]:
+        """Persona mix governing the follower at ``position``."""
+        index, _ = self._schedule.segment_of(position)
+        if index >= len(self._segment_specs):
+            # Post-reference trickle inherits the newest cohort's mix.
+            index = len(self._segment_specs) - 1
+        return self._segment_specs[index].personas
+
+    def persona_at(self, position: int) -> Persona:
+        """Deterministically pick the persona of the follower at ``position``."""
+        mix = self._mix_at(position)
+        rng = make_rng(self._seed, "persona", self._ordinal, position)
+        names = sorted(mix)
+        name = weighted_choice(rng, names, [mix[n] for n in names])
+        return PERSONAS[str(name)]
+
+    def account_at(self, position: int, now: float) -> Account:
+        """Materialise the follower at ``position`` as seen at ``now``.
+
+        The snapshot is sampled with the follower's arrival time as the
+        *latest possible creation time* reference: an account must exist
+        before it can follow, so its creation is capped at ``followed_at``.
+        """
+        persona = self.persona_at(position)
+        rng = make_rng(self._seed, "account", self._ordinal, position)
+        user_id = self.follower_id_at(position)
+        screen_name = f"u{self._ordinal}_{position}"
+        account = persona.sample(rng, user_id, screen_name, now)
+        followed = self.followed_at(position)
+        if account.created_at > followed:
+            # Re-anchor creation so the follow event is causally valid,
+            # preserving the never-tweeted/last-tweet structure.
+            shift = account.created_at - followed
+            last = account.last_tweet_at
+            if last is not None:
+                last = max(account.created_at - shift,
+                           min(last, now))
+            account = Account(
+                user_id=account.user_id,
+                screen_name=account.screen_name,
+                created_at=account.created_at - shift,
+                name=account.name,
+                description=account.description,
+                location=account.location,
+                url=account.url,
+                default_profile_image=account.default_profile_image,
+                verified=account.verified,
+                followers_count=account.followers_count,
+                friends_count=account.friends_count,
+                statuses_count=account.statuses_count,
+                last_tweet_at=last,
+                behavior=account.behavior,
+                true_label=account.true_label,
+            )
+        return account
+
+    def true_label_at(self, position: int) -> Label:
+        """Ground-truth label of the follower at ``position``."""
+        return self.persona_at(position).label
+
+    def composition(self, now: float,
+                    sample: Optional[int] = None,
+                    seed: int = 0) -> Dict[Label, float]:
+        """Ground-truth label fractions of the base at ``now``.
+
+        For very large bases an optional uniform ``sample`` bounds the
+        cost; with ``sample=None`` every position is inspected.
+        """
+        size = self.size_at(now)
+        if size == 0:
+            return {label: 0.0 for label in Label}
+        if sample is not None and sample < size:
+            rng = make_rng(self._seed, "composition", seed)
+            positions = rng.sample(range(size), sample)
+        else:
+            positions = range(size)
+        counts = {label: 0 for label in Label}
+        total = 0
+        for position in positions:
+            counts[self.true_label_at(position)] += 1
+            total += 1
+        return {label: counts[label] / total for label in Label}
+
+
+class World:
+    """Interface every Twitter-world backend implements.
+
+    ``follower_ids``/``friend_ids`` return slices in *chronological*
+    order of edge creation; the API layer is responsible for exposing
+    them newest-first, as the real service does (paper, Section IV-B).
+    """
+
+    def account_by_name(self, screen_name: str, now: float) -> Account:
+        """Resolve a handle to an account snapshot at ``now``."""
+        raise NotImplementedError
+
+    def account_by_id(self, user_id: int, now: float) -> Account:
+        """Resolve a user id to an account snapshot at ``now``."""
+        raise NotImplementedError
+
+    def follower_count(self, user_id: int, now: float) -> int:
+        """Number of followers the account has at ``now``."""
+        raise NotImplementedError
+
+    def follower_ids(self, user_id: int, start: int, stop: int,
+                     now: float) -> Sequence[int]:
+        """Chronological slice ``[start, stop)`` of follower ids at ``now``."""
+        raise NotImplementedError
+
+    def friend_count(self, user_id: int, now: float) -> int:
+        """Number of accounts the user follows at ``now``."""
+        raise NotImplementedError
+
+    def friend_ids(self, user_id: int, start: int, stop: int,
+                   now: float) -> Sequence[int]:
+        """Chronological slice ``[start, stop)`` of followed ids at ``now``."""
+        raise NotImplementedError
+
+    def timeline(self, user_id: int, count: int, now: float) -> List[Tweet]:
+        """The user's recent tweets at ``now``, newest first."""
+        raise NotImplementedError
+
+
+class SyntheticWorld(World):
+    """Lazy world: a registry of :class:`FollowerPopulation` targets plus
+    a shared ambient pool answering ``friends/ids`` queries."""
+
+    def __init__(self, seed: int, ref_time: float) -> None:
+        self._seed = seed
+        self._ref_time = ref_time
+        self._populations: List[FollowerPopulation] = []
+        self._by_name: Dict[str, int] = {}
+        self._timelines = TimelineGenerator(seed)
+
+    @property
+    def ref_time(self) -> float:
+        """The world's reference instant (its "present")."""
+        return self._ref_time
+
+    @property
+    def seed(self) -> int:
+        """The master seed every generation derives from."""
+        return self._seed
+
+    def add_target(self, spec: TargetSpec) -> FollowerPopulation:
+        """Register a target and return its lazy follower population."""
+        key = spec.screen_name.lower()
+        if key in self._by_name:
+            raise DuplicateAccountError(spec.screen_name)
+        ordinal = len(self._populations)
+        population = FollowerPopulation(spec, ordinal, self._seed, self._ref_time)
+        self._populations.append(population)
+        self._by_name[key] = ordinal
+        return population
+
+    def population(self, screen_name: str) -> FollowerPopulation:
+        """Look up a registered target's population by handle."""
+        key = screen_name.lower()
+        if key not in self._by_name:
+            raise UnknownAccountError(screen_name)
+        return self._populations[self._by_name[key]]
+
+    def targets(self) -> List[FollowerPopulation]:
+        """All registered target populations, in registration order."""
+        return list(self._populations)
+
+    # -- account resolution --------------------------------------------------
+
+    def _target_account(self, ordinal: int, now: float) -> Account:
+        population = self._populations[ordinal]
+        spec = population.spec
+        last_tweet = None
+        statuses = spec.statuses_count
+        if statuses > 0:
+            last_tweet = max(spec.created_at, now - 2 * HOUR)
+        return Account(
+            user_id=target_id(ordinal),
+            screen_name=spec.screen_name,
+            created_at=spec.created_at,
+            name=spec.display_name or spec.screen_name,
+            description=spec.description,
+            location="",
+            url="",
+            default_profile_image=False,
+            verified=spec.verified,
+            followers_count=population.size_at(now),
+            friends_count=spec.friends_count,
+            statuses_count=statuses,
+            last_tweet_at=last_tweet,
+            behavior=spec.behavior,
+            true_label=Label.GENUINE,
+        )
+
+    def _ambient_account(self, index: int, now: float) -> Account:
+        rng = make_rng(self._seed, "ambient", index)
+        persona = PERSONAS[
+            "genuine_active" if rng.random() < 0.8 else "genuine_abandoned"]
+        return persona.sample(rng, ambient_id(index), f"amb{index}", now)
+
+    def account_by_id(self, user_id: int, now: float) -> Account:
+        tag = namespace_of(user_id)
+        if tag == TARGET_TAG:
+            ordinal = user_id & ((1 << _NAMESPACE_SHIFT) - 1)
+            if ordinal >= len(self._populations):
+                raise UnknownAccountError(user_id)
+            return self._target_account(ordinal, now)
+        if tag == FOLLOWER_TAG:
+            ordinal, position = decode_follower(user_id)
+            if ordinal >= len(self._populations):
+                raise UnknownAccountError(user_id)
+            population = self._populations[ordinal]
+            if position >= population.size_at(now):
+                raise UnknownAccountError(user_id)
+            return population.account_at(position, now)
+        if tag == AMBIENT_TAG:
+            index = user_id & ((1 << _NAMESPACE_SHIFT) - 1)
+            if index >= AMBIENT_POOL_SIZE:
+                raise UnknownAccountError(user_id)
+            return self._ambient_account(index, now)
+        raise UnknownAccountError(user_id)
+
+    def account_by_name(self, screen_name: str, now: float) -> Account:
+        key = screen_name.lower()
+        if key in self._by_name:
+            return self._target_account(self._by_name[key], now)
+        raise UnknownAccountError(screen_name)
+
+    # -- graph queries --------------------------------------------------------
+
+    def follower_count(self, user_id: int, now: float) -> int:
+        if namespace_of(user_id) == TARGET_TAG:
+            ordinal = user_id & ((1 << _NAMESPACE_SHIFT) - 1)
+            if ordinal < len(self._populations):
+                return self._populations[ordinal].size_at(now)
+        return self.account_by_id(user_id, now).followers_count
+
+    def follower_ids(self, user_id: int, start: int, stop: int,
+                     now: float) -> Sequence[int]:
+        if namespace_of(user_id) != TARGET_TAG:
+            # Leaf accounts' follower lists are not modelled individually;
+            # an empty list matches what engines observe for accounts
+            # they never audit as targets.
+            return []
+        ordinal = user_id & ((1 << _NAMESPACE_SHIFT) - 1)
+        if ordinal >= len(self._populations):
+            raise UnknownAccountError(user_id)
+        population = self._populations[ordinal]
+        size = population.size_at(now)
+        start = max(0, min(start, size))
+        stop = max(start, min(stop, size))
+        return population.follower_ids(start, stop)
+
+    def friend_count(self, user_id: int, now: float) -> int:
+        return self.account_by_id(user_id, now).friends_count
+
+    def friend_ids(self, user_id: int, start: int, stop: int,
+                   now: float) -> Sequence[int]:
+        count = min(self.friend_count(user_id, now), AMBIENT_POOL_SIZE)
+        start = max(0, min(start, count))
+        stop = max(start, min(stop, count))
+        if stop == start:
+            return []
+        rng = make_rng(self._seed, "friends", user_id)
+        indices = rng.sample(range(AMBIENT_POOL_SIZE), count)
+        return [ambient_id(index) for index in indices[start:stop]]
+
+    def timeline(self, user_id: int, count: int, now: float) -> List[Tweet]:
+        account = self.account_by_id(user_id, now)
+        return self._timelines.recent_tweets(account, count)

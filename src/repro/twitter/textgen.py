@@ -1,0 +1,98 @@
+"""Deterministic tweet-text generation.
+
+The generator produces status text whose *detectable properties* (spam
+phrases, links, retweet form, mentions, hashtags, duplicated bodies)
+follow the rates declared in a :class:`~repro.twitter.account.BehaviorProfile`.
+Analytics engines then re-detect those properties from the text, never
+from the profile, so the information flow matches a real crawler's.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .account import BehaviorProfile
+from .tweet import SPAM_PHRASES
+
+_ORDINARY_WORDS = (
+    "today", "morning", "coffee", "match", "music", "friends", "city",
+    "reading", "news", "game", "work", "train", "weekend", "dinner",
+    "movie", "travel", "photo", "sun", "rain", "meeting", "concert",
+    "book", "team", "goal", "vote", "show", "happy", "tired", "great",
+    "finally", "again", "tomorrow", "never", "always", "really",
+)
+
+_HASHTAG_WORDS = (
+    "news", "follow", "music", "sport", "tv", "italy", "politics",
+    "love", "fun", "live", "win", "photo",
+)
+
+_SPAM_TAILS = (
+    "amazing results guaranteed",
+    "you will not believe this",
+    "limited offer act now",
+    "thousands already joined",
+    "see proof inside",
+)
+
+_SOURCES_HUMAN = ("web", "Twitter for iPhone", "Twitter for Android")
+_SOURCES_AUTOMATION = ("EasyBotDeck", "AutoTweeterPro", "MassFollowTool")
+
+
+class TweetTextGenerator:
+    """Generate tweet texts and sources according to a behaviour profile.
+
+    A generator is seeded per account, so regenerating the same
+    account's timeline always yields identical text — a requirement of
+    the lazily materialised follower populations.
+    """
+
+    def __init__(self, rng: random.Random, profile: BehaviorProfile) -> None:
+        self._rng = rng
+        self._profile = profile
+        # Template pool for accounts that repeat themselves.  Bodies are
+        # drawn once so that repeats are *exact* duplicates.
+        self._templates: Optional[List[str]] = None
+        if profile.duplicate_pool > 0:
+            self._templates = [
+                self._fresh_body(unique_tag=i) for i in range(profile.duplicate_pool)
+            ]
+
+    def _fresh_body(self, unique_tag: Optional[int] = None) -> str:
+        """Compose a new tweet body honouring the profile's content rates."""
+        rng, profile = self._rng, self._profile
+        words = rng.sample(_ORDINARY_WORDS, k=rng.randint(3, 7))
+        parts = [" ".join(words)]
+        if rng.random() < profile.spam_ratio:
+            phrase = rng.choice(SPAM_PHRASES)
+            tail = rng.choice(_SPAM_TAILS)
+            parts = [f"{phrase} {tail}"]
+        if rng.random() < profile.hashtag_ratio:
+            parts.append("#" + rng.choice(_HASHTAG_WORDS))
+        if rng.random() < profile.mention_ratio:
+            parts.append("@user" + str(rng.randint(1, 99999)))
+        if rng.random() < profile.link_ratio:
+            parts.append("http://t.co/" + format(rng.getrandbits(40), "010x"))
+        if unique_tag is not None:
+            # Distinguish pool templates from each other without
+            # affecting any detector (plain trailing token).
+            parts.append(f"x{unique_tag}")
+        return " ".join(parts)
+
+    def next_text(self) -> str:
+        """Return the text of the account's next status."""
+        rng, profile = self._rng, self._profile
+        if self._templates is not None:
+            body = rng.choice(self._templates)
+        else:
+            body = self._fresh_body()
+        if rng.random() < profile.retweet_ratio:
+            return f"RT @user{rng.randint(1, 99999)}: {body}"
+        return body
+
+    def next_source(self) -> str:
+        """Return the posting client of the account's next status."""
+        if self._rng.random() < self._profile.api_source_ratio:
+            return self._rng.choice(_SOURCES_AUTOMATION)
+        return self._rng.choice(_SOURCES_HUMAN)

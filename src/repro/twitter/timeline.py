@@ -1,0 +1,76 @@
+"""Deterministic, lazily materialised user timelines.
+
+The real ``statuses/user_timeline`` endpoint returns a user's most
+recent tweets, newest first, capped at 3200 statuses (paper, Section
+IV-B).  Follower populations in this reproduction are generated lazily,
+so timelines are synthesised *on request* as a pure function of the
+account snapshot and the master seed: fetching the same timeline twice
+yields identical tweets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.ids import snowflake
+from ..core.rng import make_rng
+from ..core.timeutil import DAY
+from .account import Account
+from .textgen import TweetTextGenerator
+from .tweet import Tweet
+
+#: The v1.1 API ceiling on retrievable timeline depth.
+TIMELINE_CAP = 3200
+
+
+class TimelineGenerator:
+    """Synthesise an account's recent timeline from its snapshot.
+
+    Tweet times walk backwards from ``account.last_tweet_at`` with
+    exponential inter-tweet gaps whose mean matches the account's
+    ``tweets_per_day`` rate, clamped at the account creation time.  Text
+    and source follow the account's :class:`BehaviorProfile` via
+    :class:`TweetTextGenerator`.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+
+    def recent_tweets(self, account: Account, count: int) -> List[Tweet]:
+        """Return up to ``count`` most recent tweets, newest first.
+
+        The result is empty for accounts that never tweeted, and never
+        exceeds ``min(count, statuses_count, TIMELINE_CAP)``.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative: {count!r}")
+        if account.statuses_count == 0 or account.last_tweet_at is None:
+            return []
+        available = min(account.statuses_count, TIMELINE_CAP)
+        n = min(count, available)
+        if n == 0:
+            return []
+
+        rng = make_rng(self._seed, "timeline", account.user_id)
+        textgen = TweetTextGenerator(rng, account.behavior)
+        mean_gap = DAY / max(account.behavior.tweets_per_day, 1e-3)
+
+        tweets: List[Tweet] = []
+        moment = account.last_tweet_at
+        for index in range(n):
+            if index > 0:
+                moment = max(account.created_at, moment - rng.expovariate(1.0 / mean_gap))
+            tweets.append(
+                Tweet(
+                    tweet_id=snowflake(
+                        moment,
+                        worker=account.user_id % 1024,
+                        sequence=index % 4096,
+                    ),
+                    user_id=account.user_id,
+                    created_at=moment,
+                    text=textgen.next_text(),
+                    source=textgen.next_source(),
+                )
+            )
+        return tweets

@@ -1,0 +1,107 @@
+"""Unit tests for the commercial-analytic skeleton: caching, reporting."""
+
+import pytest
+
+from repro.analytics import ResultCache, StatusPeopleFakers, percentages
+from repro.analytics.base import AnalysisOutcome
+from repro.core import ConfigurationError, DAY, PAPER_EPOCH, SimClock
+
+
+def outcome(**overrides):
+    defaults = dict(
+        followers_count=1000, sample_size=100,
+        fake_pct=10.0, genuine_pct=60.0, inactive_pct=30.0, details={})
+    defaults.update(overrides)
+    return AnalysisOutcome(**defaults)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("x", 0.0) is None
+        cache.put("x", outcome(), 5.0)
+        hit = cache.get("x", 100.0)
+        assert hit is not None
+        assert hit[1] == 5.0
+
+    def test_keys_case_insensitive(self):
+        cache = ResultCache()
+        cache.put("Alice", outcome(), 0.0)
+        assert cache.get("ALICE", 1.0) is not None
+        assert "alice" in cache
+
+    def test_ttl_expiry(self):
+        cache = ResultCache(ttl=10.0)
+        cache.put("x", outcome(), 0.0)
+        assert cache.get("x", 9.0) is not None
+        assert cache.get("x", 11.0) is None
+        assert len(cache) == 0  # expired entries are evicted
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(ttl=0.0)
+
+
+class TestPercentages:
+    def test_sums_to_exactly_100(self):
+        pct = percentages({"a": 1, "b": 1, "c": 1}, 3)
+        assert sum(pct.values()) == pytest.approx(100.0, abs=0.01)
+
+    def test_simple_case(self):
+        pct = percentages({"fake": 25, "good": 75}, 100)
+        assert pct == {"fake": 25.0, "good": 75.0}
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentages({"a": 0}, 0)
+
+
+class TestAuditCaching:
+    @pytest.fixture
+    def tool(self, small_world):
+        return StatusPeopleFakers(
+            small_world, SimClock(PAPER_EPOCH), seed=1)
+
+    def test_first_audit_fresh_then_cached(self, tool):
+        first = tool.audit("smalltown")
+        assert not first.cached
+        assert first.response_seconds > 10
+        second = tool.audit("smalltown")
+        assert second.cached
+        assert second.response_seconds < 5
+        assert second.assessed_at < tool.client.clock.now()
+
+    def test_cached_result_identical_percentages(self, tool):
+        first = tool.audit("smalltown")
+        second = tool.audit("smalltown")
+        assert second.fake_pct == first.fake_pct
+        assert second.inactive_pct == first.inactive_pct
+
+    def test_force_refresh_bypasses_cache(self, tool):
+        tool.audit("smalltown")
+        refreshed = tool.audit("smalltown", force_refresh=True)
+        assert not refreshed.cached
+        assert refreshed.response_seconds > 10
+
+    def test_prewarm_makes_first_request_cached(self, small_world):
+        tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=1)
+        tool.prewarm(["smalltown"])
+        report = tool.audit("smalltown")
+        assert report.cached
+        assert report.response_seconds < 5
+
+    def test_prewarm_idempotent(self, small_world):
+        tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=1)
+        tool.prewarm(["smalltown"])
+        before = tool.client.clock.now()
+        tool.prewarm(["smalltown"])  # no second analysis
+        assert tool.client.clock.now() == before
+
+    def test_ttl_expiry_triggers_reanalysis(self, small_world):
+        clock = SimClock(PAPER_EPOCH)
+        tool = StatusPeopleFakers(
+            small_world, clock, seed=1, cache_ttl=2 * DAY)
+        tool.audit("smalltown")
+        clock.advance(3 * DAY)
+        report = tool.audit("smalltown")
+        assert not report.cached

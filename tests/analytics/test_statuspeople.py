@@ -1,0 +1,99 @@
+"""Unit tests for the StatusPeople Fakers re-implementation."""
+
+import pytest
+
+from repro.analytics import (
+    DEEP_DIVE_CONFIG,
+    DEFAULT_CONFIG,
+    LAUNCH_CONFIG,
+    FakersConfig,
+    SP_INACTIVITY_HORIZON,
+    StatusPeopleFakers,
+    is_inactive,
+    is_spam,
+    spam_score,
+)
+from repro.api import UserObject
+from repro.core import ConfigurationError, DAY, PAPER_EPOCH, SimClock, YEAR
+
+NOW = PAPER_EPOCH
+
+
+def make_user(**overrides):
+    defaults = dict(
+        user_id=1, screen_name="u", name="User",
+        created_at=PAPER_EPOCH - YEAR,
+        description="bio", location="Rome", url="",
+        default_profile_image=False, verified=False,
+        followers_count=200, friends_count=180, statuses_count=500,
+        last_status_at=PAPER_EPOCH - DAY,
+    )
+    defaults.update(overrides)
+    return UserObject(**defaults)
+
+
+class TestConfigs:
+    def test_historical_configurations(self):
+        assert (LAUNCH_CONFIG.head, LAUNCH_CONFIG.sample) == (100_000, 1000)
+        assert (DEFAULT_CONFIG.head, DEFAULT_CONFIG.sample) == (35_000, 700)
+        assert (DEEP_DIVE_CONFIG.head, DEEP_DIVE_CONFIG.sample) == \
+            (1_250_000, 33_000)
+
+    def test_sample_must_fit_head(self):
+        with pytest.raises(ConfigurationError):
+            FakersConfig("bad", head=100, sample=200)
+
+
+class TestSpamCriteria:
+    def test_classic_fake_flagged(self):
+        fake = make_user(followers_count=3, friends_count=800,
+                         statuses_count=2)
+        assert is_spam(fake)
+        assert spam_score(fake) == 5.0
+
+    def test_engaged_human_passes(self):
+        assert not is_spam(make_user())
+
+    def test_ratio_is_the_heaviest_signal(self):
+        """The founder: the follower/friend relationship matters most."""
+        ratio_only = make_user(followers_count=30, friends_count=700)
+        assert spam_score(ratio_only) >= 2.0
+
+    def test_inactivity_thirty_day_horizon(self):
+        assert SP_INACTIVITY_HORIZON == 30 * DAY
+        assert is_inactive(make_user(
+            last_status_at=PAPER_EPOCH - 31 * DAY), NOW)
+        assert not is_inactive(make_user(
+            last_status_at=PAPER_EPOCH - 29 * DAY), NOW)
+        assert is_inactive(make_user(
+            statuses_count=0, last_status_at=None), NOW)
+
+
+class TestAudit:
+    def test_sample_capped_at_config(self, small_world):
+        tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=2)
+        report = tool.audit("smalltown")
+        assert report.sample_size == DEFAULT_CONFIG.sample
+        assert report.details["config"] == "post-api-change"
+
+    def test_percentages_sum_to_100(self, small_world):
+        tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=2)
+        report = tool.audit("smalltown")
+        total = report.fake_pct + report.genuine_pct + report.inactive_pct
+        assert total == pytest.approx(100.0, abs=0.2)
+
+    def test_profile_only_no_timeline_calls(self, small_world):
+        tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=2)
+        tool.audit("smalltown")
+        assert tool.client.call_log.count("statuses/user_timeline") == 0
+
+    def test_stricter_activity_notion_than_socialbakers(self, small_world):
+        """SP's 30-day horizon yields more inactives than SB's flow on
+        the same world (cf. Table III, average tier)."""
+        from repro.analytics import SocialbakersFakeFollowerCheck
+        clock = SimClock(PAPER_EPOCH)
+        sp = StatusPeopleFakers(small_world, clock, seed=2)
+        sb = SocialbakersFakeFollowerCheck(small_world, clock, seed=2)
+        sp_report = sp.audit("smalltown")
+        sb_report = sb.audit("smalltown")
+        assert sp_report.inactive_pct > sb_report.inactive_pct

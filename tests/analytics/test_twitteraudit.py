@@ -1,0 +1,86 @@
+"""Unit tests for the Twitteraudit re-implementation."""
+
+import pytest
+
+from repro.analytics import (
+    RealScore,
+    TA_MAX_POINTS,
+    TA_SAMPLE,
+    Twitteraudit,
+    real_score,
+)
+from repro.api import UserObject
+from repro.core import DAY, PAPER_EPOCH, SimClock, YEAR
+
+NOW = PAPER_EPOCH
+
+
+def make_user(**overrides):
+    defaults = dict(
+        user_id=1, screen_name="u", name="User",
+        created_at=PAPER_EPOCH - YEAR,
+        description="bio", location="", url="",
+        default_profile_image=False, verified=False,
+        followers_count=500, friends_count=200, statuses_count=800,
+        last_status_at=PAPER_EPOCH - DAY,
+    )
+    defaults.update(overrides)
+    return UserObject(**defaults)
+
+
+class TestRealScore:
+    def test_ideal_account_scores_five(self):
+        score = real_score(make_user(), NOW)
+        assert score.total == TA_MAX_POINTS == 5.0
+        assert score.quality == 1.0
+
+    def test_egg_scores_zero(self):
+        egg = make_user(statuses_count=0, last_status_at=None,
+                        followers_count=1, friends_count=900)
+        score = real_score(egg, NOW)
+        assert score.total == 0.0
+
+    def test_three_criteria_compose(self):
+        user = make_user(statuses_count=20,  # 0.75
+                         last_status_at=PAPER_EPOCH - 100 * DAY,  # 0.75
+                         followers_count=100, friends_count=300)  # 1.0
+        score = real_score(user, NOW)
+        assert score == RealScore(0.75, 0.75, 1.0)
+
+    def test_dormant_account_loses_recency_points(self):
+        dormant = make_user(last_status_at=PAPER_EPOCH - YEAR)
+        assert real_score(dormant, NOW).recency_points == 0.0
+
+
+class TestAudit:
+    @pytest.fixture
+    def tool(self, small_world):
+        return Twitteraudit(small_world, SimClock(PAPER_EPOCH), seed=4)
+
+    def test_samples_one_page_of_5000(self, tool):
+        report = tool.audit("smalltown")
+        assert report.sample_size == TA_SAMPLE
+        assert tool.client.call_log.count("followers/ids") == 1
+
+    def test_does_not_report_inactive(self, tool):
+        report = tool.audit("smalltown")
+        assert report.inactive_pct is None
+        assert report.fake_pct + report.genuine_pct == \
+            pytest.approx(100.0, abs=0.2)
+
+    def test_fake_bundles_dormant_accounts(self, tool):
+        """Without an inactive class, dormant accounts score low and
+        land in 'fake' — TA's fake % exceeds the true 10% fake share."""
+        report = tool.audit("smalltown")
+        assert report.fake_pct > 15.0
+
+    def test_details_expose_charts(self, tool):
+        report = tool.audit("smalltown")
+        histogram = report.details["real_points_histogram"]
+        assert set(histogram) == {0, 1, 2, 3, 4, 5}
+        assert sum(histogram.values()) == report.sample_size
+        assert 0.0 <= report.details["mean_quality_score"] <= 1.0
+
+    def test_profile_only_no_timeline_calls(self, tool):
+        tool.audit("smalltown")
+        assert tool.client.call_log.count("statuses/user_timeline") == 0

@@ -1,0 +1,109 @@
+"""Unit tests for the hosted web-application layer."""
+
+import pytest
+
+from repro.analytics import (
+    DEFAULT_PERMISSIONS,
+    HostedCheckerApp,
+    StatusPeopleFakers,
+)
+from repro.core import ConfigurationError, DAY, PAPER_EPOCH, SimClock
+from repro.core.errors import AuthorizationError, QuotaExceededError
+
+
+@pytest.fixture
+def app(small_world):
+    engine = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=6)
+    return HostedCheckerApp(engine, daily_checks_per_user=3)
+
+
+class TestAuthorization:
+    def test_screen_lists_operations(self, app):
+        screen = app.authorization_screen()
+        assert "Authorize statuspeople" in screen
+        for operation in DEFAULT_PERMISSIONS:
+            assert operation in screen
+
+    def test_check_requires_authorization(self, app):
+        from repro.analytics.webapp import AppSession
+        forged = AppSession(token="tok-999", user_handle="eve",
+                            granted_at=0.0, permissions=())
+        with pytest.raises(AuthorizationError):
+            app.check(forged, "smalltown")
+
+    def test_authorized_flow(self, app):
+        session = app.authorize("curious_user")
+        report = app.check(session, "smalltown")
+        assert report.tool == "statuspeople"
+        page = app.report_page(report)
+        assert "Results for @smalltown" in page
+        assert "fake:" in page and "inactive:" in page
+
+    def test_revocation_blocks_further_checks(self, app):
+        session = app.authorize("curious_user")
+        app.check(session, "smalltown")
+        app.revoke(session)
+        with pytest.raises(AuthorizationError):
+            app.check(session, "smalltown")
+
+    def test_empty_handle_rejected(self, app):
+        with pytest.raises(ConfigurationError):
+            app.authorize("  ")
+
+
+class TestQuota:
+    def test_daily_limit_enforced_per_session(self, app):
+        session = app.authorize("heavy_user")
+        for __ in range(3):
+            app.check(session, "smalltown")
+        with pytest.raises(QuotaExceededError):
+            app.check(session, "smalltown")
+
+    def test_other_sessions_unaffected(self, app):
+        first = app.authorize("one")
+        second = app.authorize("two")
+        for __ in range(3):
+            app.check(first, "smalltown")
+        app.check(second, "smalltown")  # fresh quota
+
+    def test_quota_resets_daily(self, app):
+        session = app.authorize("patient_user")
+        for __ in range(3):
+            app.check(session, "smalltown")
+        app.engine.client.clock.advance(DAY)
+        app.check(session, "smalltown")
+
+    def test_unlimited_when_disabled(self, small_world):
+        engine = StatusPeopleFakers(
+            small_world, SimClock(PAPER_EPOCH), seed=6)
+        app = HostedCheckerApp(engine, daily_checks_per_user=None)
+        session = app.authorize("power_user")
+        for __ in range(15):
+            app.check(session, "smalltown")
+
+    def test_validation(self, small_world):
+        engine = StatusPeopleFakers(
+            small_world, SimClock(PAPER_EPOCH), seed=6)
+        with pytest.raises(ConfigurationError):
+            HostedCheckerApp(engine, daily_checks_per_user=0)
+        with pytest.raises(ConfigurationError):
+            HostedCheckerApp(engine, permissions=())
+
+
+class TestWithFcEngine:
+    def test_wraps_the_fc_engine_too(self, small_world, detector):
+        from repro.fc import FakeClassifierEngine
+        engine = FakeClassifierEngine(
+            small_world, SimClock(PAPER_EPOCH), detector, sample_size=300)
+        app = HostedCheckerApp(engine)
+        session = app.authorize("researcher")
+        report = app.check(session, "smalltown")
+        assert report.tool == "fc"
+        assert "previously computed" not in app.report_page(report)
+
+    def test_cached_answers_disclosed(self, app):
+        session = app.authorize("curious_user")
+        app.check(session, "smalltown")
+        second = app.check(session, "smalltown")
+        assert second.cached
+        assert "previously computed" in app.report_page(second)

@@ -1,0 +1,77 @@
+"""Unit tests for wire objects and the call log."""
+
+from repro.api import ApiCall, CallLog, IdsPage, UserObject
+from repro.core import DAY, PAPER_EPOCH, YEAR
+from repro.twitter import Account, Label
+
+
+def make_account():
+    return Account(
+        user_id=7,
+        screen_name="alice",
+        created_at=PAPER_EPOCH - YEAR,
+        description="hello",
+        location="Pisa",
+        followers_count=10,
+        friends_count=300,
+        statuses_count=4,
+        last_tweet_at=PAPER_EPOCH - 5 * DAY,
+        true_label=Label.GENUINE,
+    )
+
+
+class TestUserObject:
+    def test_projection_carries_observables(self):
+        user = UserObject.from_account(make_account())
+        assert user.user_id == 7
+        assert user.followers_count == 10
+        assert user.last_status_at == PAPER_EPOCH - 5 * DAY
+
+    def test_projection_strips_ground_truth(self):
+        user = UserObject.from_account(make_account())
+        assert not hasattr(user, "true_label")
+        assert not hasattr(user, "behavior")
+
+    def test_derived_observables(self):
+        user = UserObject.from_account(make_account())
+        assert user.friends_followers_ratio() == 30.0
+        assert user.has_bio()
+        assert user.has_location()
+        assert user.has_ever_tweeted()
+        assert user.age_at(PAPER_EPOCH) == YEAR
+        assert user.last_status_age(PAPER_EPOCH) == 5 * DAY
+
+    def test_never_tweeted_age_is_none(self):
+        account = Account(
+            user_id=8, screen_name="silent",
+            created_at=PAPER_EPOCH - YEAR, statuses_count=0)
+        user = UserObject.from_account(account)
+        assert user.last_status_age(PAPER_EPOCH) is None
+
+
+class TestIdsPage:
+    def test_len(self):
+        page = IdsPage(ids=(1, 2, 3), next_cursor=0, previous_cursor=0)
+        assert len(page) == 3
+
+
+class TestCallLog:
+    def test_counts_by_resource(self):
+        log = CallLog()
+        log.record(ApiCall("users/lookup", 0.0, 1.0, 0.0, 100))
+        log.record(ApiCall("users/lookup", 1.0, 2.0, 0.5, 50))
+        log.record(ApiCall("followers/ids", 2.0, 3.0, 0.0, 0))
+        assert log.count() == 3
+        assert log.count("users/lookup") == 2
+        assert log.total_items("users/lookup") == 150
+        assert log.total_waited() == 0.5
+
+    def test_latency(self):
+        call = ApiCall("x", 10.0, 12.5, 1.0, 0)
+        assert call.latency == 2.5
+
+    def test_clear(self):
+        log = CallLog()
+        log.record(ApiCall("x", 0.0, 1.0, 0.0, 0))
+        log.clear()
+        assert log.count() == 0

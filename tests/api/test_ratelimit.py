@@ -1,0 +1,122 @@
+"""Unit and property tests for the rate limiter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import (
+    DEFAULT_POLICIES,
+    TABLE_I,
+    WINDOW,
+    RateLimiter,
+    RateLimitPolicy,
+    TokenBucket,
+)
+from repro.core import ConfigurationError, RateLimitExceededError
+
+
+class TestPolicies:
+    def test_table1_values_verbatim(self):
+        expected = {
+            "followers/ids": (5000, 1),
+            "friends/ids": (5000, 1),
+            "users/lookup": (100, 12),
+            "statuses/user_timeline": (200, 12),
+        }
+        assert len(TABLE_I) == 4
+        for policy in TABLE_I:
+            elements, per_minute = expected[policy.resource]
+            assert policy.elements_per_request == elements
+            assert policy.requests_per_minute == per_minute
+
+    def test_window_budget(self):
+        assert DEFAULT_POLICIES["followers/ids"].window_budget == 15
+        assert DEFAULT_POLICIES["users/lookup"].window_budget == 180
+
+    def test_window_is_fifteen_minutes(self):
+        assert WINDOW == 900.0
+
+    def test_invalid_policy(self):
+        with pytest.raises(ConfigurationError):
+            RateLimitPolicy("x", 0, 1)
+        with pytest.raises(ConfigurationError):
+            RateLimitPolicy("x", 1, 0)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(capacity=10, rate=1.0, start_time=0.0)
+        assert bucket.available(0.0) == 10
+
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(capacity=3, rate=1.0, start_time=0.0)
+        for _ in range(3):
+            assert bucket.wait_time(0.0) == 0.0
+            bucket.consume(0.0)
+        assert bucket.wait_time(0.0) == pytest.approx(1.0)
+
+    def test_refills_continuously_up_to_capacity(self):
+        bucket = TokenBucket(capacity=5, rate=2.0, start_time=0.0)
+        for _ in range(5):
+            bucket.consume(0.0)
+        assert bucket.available(1.0) == pytest.approx(2.0)
+        assert bucket.available(100.0) == 5.0
+
+    def test_consume_without_waiting_raises(self):
+        bucket = TokenBucket(capacity=1, rate=0.1, start_time=0.0)
+        bucket.consume(0.0)
+        with pytest.raises(RateLimitExceededError):
+            bucket.consume(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(capacity=0, rate=1, start_time=0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(capacity=1, rate=0, start_time=0)
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=50),
+        rate=st.floats(min_value=0.01, max_value=10.0),
+        consumes=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_wait_then_consume_never_raises(self, capacity, rate,
+                                                     consumes):
+        bucket = TokenBucket(capacity=capacity, rate=rate, start_time=0.0)
+        now = 0.0
+        for _ in range(consumes):
+            now += bucket.wait_time(now)
+            bucket.consume(now)  # must not raise
+        assert bucket.available(now) <= capacity
+
+
+class TestRateLimiter:
+    def test_unknown_resource(self):
+        limiter = RateLimiter(0.0)
+        with pytest.raises(ConfigurationError):
+            limiter.wait_time("nope", 0.0)
+        with pytest.raises(ConfigurationError):
+            limiter.consume("nope", 0.0)
+        with pytest.raises(ConfigurationError):
+            limiter.policy("nope")
+
+    def test_consume_over_budget_names_resource(self):
+        limiter = RateLimiter(0.0)
+        for _ in range(15):
+            limiter.consume("followers/ids", 0.0)
+        with pytest.raises(RateLimitExceededError) as info:
+            limiter.consume("followers/ids", 0.0)
+        assert info.value.resource == "followers/ids"
+        assert info.value.retry_after > 0
+
+    def test_credentials_scale_budget(self):
+        limiter = RateLimiter(0.0, credentials=4)
+        for _ in range(60):  # 4 x 15
+            limiter.consume("followers/ids", 0.0)
+        assert limiter.wait_time("followers/ids", 0.0) > 0
+
+    def test_invalid_credentials(self):
+        with pytest.raises(ConfigurationError):
+            RateLimiter(0.0, credentials=0)
+
+    def test_resources_listing(self):
+        assert set(RateLimiter(0.0).resources()) == set(DEFAULT_POLICIES)

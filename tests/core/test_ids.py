@@ -1,0 +1,72 @@
+"""Unit and property tests for snowflake id generation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    IdGenerator,
+    snowflake,
+    snowflake_timestamp,
+)
+from repro.core.ids import SNOWFLAKE_EPOCH_MS
+
+
+class TestSnowflake:
+    def test_timestamp_roundtrip(self):
+        ts = 1_393_632_000.0  # 2014-03-01
+        assert abs(snowflake_timestamp(snowflake(ts)) - ts) < 0.001
+
+    def test_monotone_in_timestamp(self):
+        assert snowflake(1_400_000_000.0) > snowflake(1_399_999_999.0)
+
+    def test_sequence_breaks_ties(self):
+        ts = 1_400_000_000.0
+        assert snowflake(ts, sequence=1) > snowflake(ts, sequence=0)
+
+    def test_pre_epoch_timestamps_clamp_to_zero(self):
+        assert snowflake_timestamp(snowflake(0.0)) == SNOWFLAKE_EPOCH_MS / 1000.0
+
+    def test_worker_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            snowflake(1e9, worker=1024)
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            snowflake(1e9, sequence=4096)
+
+    def test_negative_id_rejected_on_decode(self):
+        with pytest.raises(ConfigurationError):
+            snowflake_timestamp(-1)
+
+
+class TestIdGenerator:
+    def test_unique_for_identical_timestamps(self):
+        gen = IdGenerator()
+        ids = [gen.next_id(1_400_000_000.0) for _ in range(5000)]
+        assert len(set(ids)) == 5000
+
+    def test_strictly_increasing(self):
+        gen = IdGenerator()
+        ids = [gen.next_id(1_400_000_000.0) for _ in range(100)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_survives_backwards_timestamps(self):
+        gen = IdGenerator()
+        first = gen.next_id(1_400_000_000.0)
+        second = gen.next_id(1_300_000_000.0)
+        assert second > first
+
+    def test_worker_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdGenerator(worker=-1)
+
+    @given(st.lists(
+        st.floats(min_value=0, max_value=2_000_000_000,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=300))
+    def test_property_always_strictly_increasing(self, timestamps):
+        gen = IdGenerator()
+        ids = [gen.next_id(ts) for ts in timestamps]
+        assert all(a < b for a, b in zip(ids, ids[1:]))

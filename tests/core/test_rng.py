@@ -1,0 +1,123 @@
+"""Unit and property tests for seed derivation and distributions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    ZipfTable,
+    bounded_int_lognormal,
+    derive_seed,
+    make_rng,
+    poisson,
+    weighted_choice,
+    zipf_rank,
+)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_distinct_paths_distinct_seeds(self):
+        seeds = {derive_seed(42, "p", index) for index in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_distinct_masters_distinct_seeds(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    @given(st.integers(), st.text(max_size=20))
+    def test_property_in_64_bit_range(self, master, label):
+        assert 0 <= derive_seed(master, label) < 2 ** 64
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(5, "x").random() == make_rng(5, "x").random()
+
+    def test_path_changes_stream(self):
+        assert make_rng(5, "x").random() != make_rng(5, "y").random()
+
+
+class TestBoundedLognormal:
+    def test_respects_bounds(self):
+        rng = make_rng(1)
+        values = [bounded_int_lognormal(rng, 10.0, 3.0, 5, 50)
+                  for _ in range(500)]
+        assert all(5 <= v <= 50 for v in values)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounded_int_lognormal(make_rng(1), 1.0, 1.0, 10, 5)
+
+
+class TestZipf:
+    def test_rank_in_range(self):
+        rng = make_rng(2)
+        assert all(1 <= zipf_rank(rng, 20) <= 20 for _ in range(200))
+
+    def test_rank_one_most_frequent(self):
+        rng = make_rng(3)
+        draws = [zipf_rank(rng, 10) for _ in range(2000)]
+        counts = {k: draws.count(k) for k in (1, 10)}
+        assert counts[1] > counts[10]
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            zipf_rank(make_rng(1), 0)
+
+    def test_table_matches_range(self):
+        table = ZipfTable(50)
+        rng = make_rng(4)
+        assert all(1 <= table.draw(rng) <= 50 for _ in range(500))
+
+    def test_table_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            ZipfTable(0)
+
+
+class TestWeightedChoice:
+    def test_zero_weight_never_chosen(self):
+        rng = make_rng(5)
+        picks = {weighted_choice(rng, ["a", "b"], [1.0, 0.0])
+                 for _ in range(200)}
+        assert picks == {"a"}
+
+    def test_roughly_proportional(self):
+        rng = make_rng(6)
+        picks = [weighted_choice(rng, ["a", "b"], [3.0, 1.0])
+                 for _ in range(4000)]
+        share = picks.count("a") / len(picks)
+        assert 0.70 <= share <= 0.80
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            weighted_choice(make_rng(1), ["a"], [1.0, 2.0])
+
+    def test_empty_items(self):
+        with pytest.raises(ConfigurationError):
+            weighted_choice(make_rng(1), [], [])
+
+    def test_negative_weight(self):
+        with pytest.raises(ConfigurationError):
+            weighted_choice(make_rng(1), ["a", "b"], [1.0, -1.0])
+
+
+class TestPoisson:
+    def test_zero_lambda(self):
+        assert poisson(make_rng(1), 0.0) == 0
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            poisson(make_rng(1), -1.0)
+
+    @pytest.mark.parametrize("lam", [0.5, 4.0, 80.0])
+    def test_mean_close_to_lambda(self, lam):
+        rng = make_rng(7, lam)
+        draws = [poisson(rng, lam) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert abs(mean - lam) < max(0.2, 0.1 * lam)
+
+    def test_always_non_negative(self):
+        rng = make_rng(8)
+        assert all(poisson(rng, 50.0) >= 0 for _ in range(500))

@@ -1,0 +1,45 @@
+"""Unit tests for the acquisition-time experiment."""
+
+import pytest
+
+from repro.experiments import run_acquisition_experiment, validate_model
+
+
+class TestValidateModel:
+    def test_model_matches_simulation(self):
+        result = validate_model(followers=20_000, seed=5)
+        assert result.relative_error < 0.05
+
+    def test_measured_and_predicted_positive(self):
+        result = validate_model(followers=8000, seed=6)
+        assert result.measured_seconds > 0
+        assert result.predicted_seconds > 0
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_acquisition_experiment()
+
+    def test_covers_three_politicians(self, outcome):
+        estimates, __, rendered = outcome
+        assert len(estimates) == 3
+        for handle in ("@David_Cameron", "@fhollande", "@BarackObama"):
+            assert handle in rendered
+
+    def test_obama_around_27_days(self, outcome):
+        estimates, __, __rendered = outcome
+        obama = max(estimates, key=lambda e: e.followers)
+        assert obama.followers == 41_000_000
+        assert 25 <= obama.days <= 32
+
+    def test_smaller_politicians_take_hours(self, outcome):
+        estimates, __, __rendered = outcome
+        for estimate in estimates:
+            if estimate.followers < 1_000_000:
+                assert estimate.seconds < 86_400  # under a day
+
+    def test_empirical_validation_included(self, outcome):
+        __, empirical, rendered = outcome
+        assert empirical.relative_error < 0.05
+        assert "synthetic validation" in rendered

@@ -1,0 +1,39 @@
+"""Unit tests for the Table I experiment."""
+
+import pytest
+
+from repro.api import TABLE_I
+from repro.experiments import measure_rate_limit, run_table1
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("resource,expected", [
+        ("followers/ids", 1.0),
+        ("users/lookup", 12.0),
+    ])
+    def test_sustained_rate_matches_policy(self, resource, expected):
+        measurement = measure_rate_limit(resource, windows=2.0)
+        assert measurement.sustained_per_minute == \
+            pytest.approx(expected, rel=0.1)
+
+    def test_burst_is_fast(self):
+        measurement = measure_rate_limit("followers/ids")
+        # A full window's budget is served without rate-limit waits.
+        assert measurement.burst_seconds < measurement.steady_seconds / 10
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(KeyError):
+            measure_rate_limit("nope")
+
+
+class TestRunTable1:
+    def test_covers_all_four_endpoints(self):
+        measurements, rendered = run_table1(windows=1.2)
+        assert len(measurements) == 4
+        for policy in TABLE_I:
+            assert f"GET {policy.resource}" in rendered
+
+    def test_rendered_values_verbatim_from_paper(self):
+        __, rendered = run_table1(windows=1.2)
+        assert "5000" in rendered and "100" in rendered and "200" in rendered
+        assert "12" in rendered

@@ -1,0 +1,63 @@
+"""Unit tests for the E6/E7 bias demonstrations."""
+
+import pytest
+
+from repro.experiments import (
+    run_deepdive_comparison,
+    run_purchased_burst_demo,
+)
+
+
+class TestPurchasedBurst:
+    @pytest.fixture(scope="class")
+    def outcome(self, detector):
+        return run_purchased_burst_demo(
+            genuine=40_000, purchased=4_000, seed=31, detector=detector)
+
+    def test_closed_form_matches_paper_quote(self, detector):
+        result, __ = run_purchased_burst_demo(
+            genuine=40_000, purchased=4_000, seed=31, detector=detector)
+        # The paper quotes 100K/10K, but the ratios are identical.
+        assert result.closed_form_1k_head.head_rate == 1.0
+        assert result.closed_form_1k_head.whole_rate == pytest.approx(
+            4_000 / 44_000)
+
+    def test_newest_1k_frame_reports_almost_all_fake(self, outcome):
+        result, __ = outcome
+        assert result.sp_newest1k_fake_pct > 85.0
+
+    def test_fc_recovers_the_truth(self, outcome):
+        result, __ = outcome
+        assert result.fc_fake_plus_inactive_pct == pytest.approx(
+            result.true_fake_pct, abs=3.0)
+
+    def test_head_frames_overestimate_monotonically(self, outcome):
+        result, __ = outcome
+        assert result.sp_newest1k_fake_pct > result.sp_default_fake_pct \
+            > result.true_fake_pct
+
+    def test_render(self, outcome):
+        __, rendered = outcome
+        assert "E6" in rendered
+        assert "closed form" in rendered
+
+
+class TestDeepDive:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        # Needs the default 150K base: with fewer followers than the
+        # Fakers 35K head frame, the two configurations coincide.
+        return run_deepdive_comparison(seed=33)
+
+    def test_deep_dive_reports_fewer_fakes(self, outcome):
+        result, __ = outcome
+        assert result.deep_dive_fake_pct < result.fakers_fake_pct
+
+    def test_deep_dive_closer_to_truth(self, outcome):
+        result, __ = outcome
+        assert result.deep_dive_closer
+
+    def test_render_names_both_configs(self, outcome):
+        __, rendered = outcome
+        assert "Deep Dive" in rendered
+        assert "Fakers" in rendered

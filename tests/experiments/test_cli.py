@@ -1,0 +1,40 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "GET followers/ids" in out
+
+    def test_samplesize_with_trials(self, capsys):
+        assert main(["samplesize", "--trials", "5"]) == 0
+        assert "9604" in capsys.readouterr().out
+
+    def test_burst(self, capsys):
+        assert main(["burst"]) == 0
+        assert "E6" in capsys.readouterr().out
+
+    def test_deepdive(self, capsys):
+        assert main(["deepdive"]) == 0
+        assert "Deep Dive" in capsys.readouterr().out
+
+    def test_acquisition(self, capsys):
+        assert main(["acquisition"]) == 0
+        assert "BarackObama" in capsys.readouterr().out
+
+    def test_seed_flag(self, capsys):
+        assert main(["--seed", "7", "table1"]) == 0
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

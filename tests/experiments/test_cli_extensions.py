@@ -1,0 +1,28 @@
+"""Unit tests for the tacharts and monitor CLI subcommands."""
+
+from repro.cli import main
+
+
+class TestTaChartsCommand:
+    def test_renders_three_charts(self, capsys):
+        assert main(["tacharts"]) == 0
+        out = capsys.readouterr().out
+        assert "chart 1" in out
+        assert "chart 2" in out
+        assert "chart 3" in out
+
+
+class TestMonitorCommand:
+    def test_flags_the_buyer_only(self, capsys):
+        assert main(["monitor", "--days", "12"]) == 0
+        out = capsys.readouterr().out
+        organic, buyer = out.split("@buyer")
+        assert "@organic" in organic
+        assert "no anomaly detected" in organic
+        assert "ALERT" in buyer
+        assert "purchased block" in buyer
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        assert main(["--seed", "9", "monitor", "--days", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "ALERT" in out

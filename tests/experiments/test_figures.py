@@ -1,0 +1,78 @@
+"""Unit tests for the Twitteraudit chart rendering (experiment F1)."""
+
+import pytest
+
+from repro.core import ConfigurationError, PAPER_EPOCH, SimClock
+from repro.analytics import Twitteraudit
+from repro.experiments import ascii_bar_chart, render_ta_charts, run_ta_charts
+
+
+class TestAsciiBarChart:
+    def test_renders_labels_and_values(self):
+        chart = ascii_bar_chart(
+            [("fake", 30.0), ("real", 70.0)], title="verdict")
+        lines = chart.splitlines()
+        assert lines[0] == "verdict"
+        assert lines[1].startswith("fake")
+        assert "70" in lines[2]
+
+    def test_bars_proportional(self):
+        chart = ascii_bar_chart([("a", 10.0), ("b", 40.0)], width=40)
+        bars = [line.count("#") for line in chart.splitlines()]
+        assert bars[1] == 4 * bars[0]
+
+    def test_all_zero_values_render(self):
+        chart = ascii_bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "#" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart([])
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart([("a", -1.0)])
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart([("a", 1.0)], width=0)
+
+
+class TestTaCharts:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_ta_charts(seed=9)
+
+    def test_all_three_charts_present(self, outcome):
+        __, rendered = outcome
+        assert "chart 1" in rendered
+        assert "chart 2" in rendered
+        assert "chart 3" in rendered
+        assert "max scale of 5" in rendered
+
+    def test_verdict_counts_cover_sample(self, outcome):
+        report, __ = outcome
+        verdicts = report.details["verdict_counts"]
+        assert set(verdicts) == {"fake", "not sure", "real"}
+        assert sum(verdicts.values()) == report.sample_size
+
+    def test_quality_histogram_deciles(self, outcome):
+        report, __ = outcome
+        histogram = report.details["quality_histogram"]
+        assert set(histogram) == set(range(10))
+        assert sum(histogram.values()) == report.sample_size
+
+    def test_fake_verdicts_match_fake_pct(self, outcome):
+        report, __ = outcome
+        verdicts = report.details["verdict_counts"]
+        expected = round(100.0 * verdicts["fake"] / report.sample_size, 1)
+        assert report.fake_pct == expected
+
+    def test_rejects_foreign_reports(self, small_world, detector):
+        from repro.fc import FakeClassifierEngine
+        engine = FakeClassifierEngine(
+            small_world, SimClock(PAPER_EPOCH), detector, sample_size=200)
+        with pytest.raises(ConfigurationError):
+            render_ta_charts(engine.audit("smalltown"))
+
+    def test_runs_on_existing_world(self, small_world):
+        report, rendered = run_ta_charts(
+            seed=9, world=small_world, handle="smalltown")
+        assert report.target == "smalltown"
+        assert "chart 1" in rendered

@@ -1,0 +1,35 @@
+"""Unit tests for the churn-sensitivity experiment (A6)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments import run_churn_sensitivity
+
+
+class TestChurnSensitivity:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_churn_sensitivity(
+            churn_levels=(0.0, 0.15), days=5, growth_per_day=80.0,
+            warmup_days=3, seed=7)
+
+    def test_zero_churn_reproduces_the_paper(self, outcome):
+        rows, __ = outcome
+        clean = next(row for row in rows if row.daily_churn == 0.0)
+        assert clean.violations == 0
+        assert clean.violation_rate == 0.0
+        assert clean.new_followers > 0
+
+    def test_churn_breaks_the_suffix_property(self, outcome):
+        rows, __ = outcome
+        churny = next(row for row in rows if row.daily_churn > 0.0)
+        assert churny.violations > 0
+
+    def test_render(self, outcome):
+        __, rendered = outcome
+        assert "A6" in rendered
+        assert "0%" in rendered
+
+    def test_days_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_churn_sensitivity(days=1)

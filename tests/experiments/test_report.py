@@ -1,0 +1,46 @@
+"""Unit tests for the text-table renderer."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments import TextTable, pct
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        table = TextTable(["name", "value"], title="demo")
+        table.add_row("alpha", 1)
+        table.add_row("b", 22.5)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert "22.5" in rendered
+
+    def test_none_renders_as_dash(self):
+        table = TextTable(["x"])
+        table.add_row(None)
+        assert table.render().splitlines()[-1] == "-"
+
+    def test_cell_count_enforced(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row("only-one")
+
+    def test_needs_headers(self):
+        with pytest.raises(ConfigurationError):
+            TextTable([])
+
+    def test_str_equals_render(self):
+        table = TextTable(["a"])
+        table.add_row(1)
+        assert str(table) == table.render()
+
+
+class TestPct:
+    def test_formats_one_decimal(self):
+        assert pct(12.34) == "12.3"
+
+    def test_none_is_dash(self):
+        assert pct(None) == "-"

@@ -1,0 +1,58 @@
+"""Unit tests for the Table II experiment (subset for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    ENGINE_ORDER,
+    PAPER_ACCOUNTS_BY_HANDLE,
+    run_response_time_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def rows_and_report(detector):
+    accounts = [
+        PAPER_ACCOUNTS_BY_HANDLE["giovanniallevi"],   # fresh everywhere
+        PAPER_ACCOUNTS_BY_HANDLE["pinucciotwit"],     # pre-cached by TA+SP
+    ]
+    return run_response_time_experiment(
+        seed=13, accounts=accounts, detector=detector)
+
+
+class TestTable2:
+    def test_engine_order_matches_paper_columns(self):
+        assert ENGINE_ORDER == (
+            "fc", "twitteraudit", "statuspeople", "socialbakers")
+
+    def test_fc_always_over_180_seconds(self, rows_and_report):
+        rows, __ = rows_and_report
+        for row in rows:
+            assert row.seconds["fc"] > 180.0
+
+    def test_fresh_latencies_in_paper_bands(self, rows_and_report):
+        rows, __ = rows_and_report
+        fresh = rows[0]
+        assert 30 <= fresh.seconds["twitteraudit"] <= 70
+        assert 15 <= fresh.seconds["statuspeople"] <= 40
+        assert 5 <= fresh.seconds["socialbakers"] <= 16
+
+    def test_precached_accounts_answer_in_seconds(self, rows_and_report):
+        rows, __ = rows_and_report
+        cached_row = rows[1]
+        assert cached_row.cached["twitteraudit"]
+        assert cached_row.cached["statuspeople"]
+        assert cached_row.seconds["twitteraudit"] < 5
+        assert cached_row.seconds["statuspeople"] < 5
+        # Socialbakers performed no caching (paper, Section IV-C).
+        assert not cached_row.cached["socialbakers"]
+
+    def test_render_marks_cache_hits(self, rows_and_report):
+        __, rendered = rows_and_report
+        assert "Table II" in rendered
+        assert "*" in rendered
+
+    def test_prewarm_disabled_means_no_cache_hits(self, detector):
+        accounts = [PAPER_ACCOUNTS_BY_HANDLE["pinucciotwit"]]
+        rows, __ = run_response_time_experiment(
+            seed=13, accounts=accounts, detector=detector, prewarm=False)
+        assert not any(rows[0].cached.values())

@@ -1,0 +1,80 @@
+"""Unit tests for the Table III experiment (low tier for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    LOW,
+    accounts_in_tiers,
+    analyse_disagreement,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def low_tier(detector):
+    return run_table3(
+        seed=17, accounts=accounts_in_tiers(LOW), detector=detector)
+
+
+class TestTable3Rows:
+    def test_one_row_per_account(self, low_tier):
+        rows, __ = low_tier
+        assert len(rows) == 4
+
+    def test_fc_tracks_ground_truth(self, low_tier):
+        rows, __ = low_tier
+        for row in rows:
+            fc = row.reports["fc"]
+            truth_inact, truth_fake, truth_good = row.truth
+            assert fc.inactive_pct == pytest.approx(truth_inact, abs=6.0)
+            assert fc.fake_pct == pytest.approx(truth_fake, abs=5.0)
+
+    def test_fc_tracks_paper_columns(self, low_tier):
+        rows, __ = low_tier
+        for row in rows:
+            fc = row.reports["fc"]
+            paper_inact, paper_fake, paper_good = row.account.fc
+            assert fc.inactive_pct == pytest.approx(paper_inact, abs=7.0)
+            assert fc.genuine_pct == pytest.approx(paper_good, abs=7.0)
+
+    def test_all_four_engines_report(self, low_tier):
+        rows, __ = low_tier
+        for row in rows:
+            assert set(row.reports) == {
+                "fc", "twitteraudit", "statuspeople", "socialbakers"}
+
+    def test_twitteraudit_reports_no_inactive(self, low_tier):
+        rows, __ = low_tier
+        assert all(row.reports["twitteraudit"].inactive_pct is None
+                   for row in rows)
+
+    def test_engines_disagree(self, low_tier):
+        rows, __ = low_tier
+        assert any(row.disagreement() > 3.0 for row in rows)
+
+    def test_render_includes_paper_columns(self, low_tier):
+        __, rendered = low_tier
+        assert "Table III" in rendered
+        assert "paper FC" in rendered
+        assert "@RobDWaller" in rendered
+
+
+class TestDisagreementAnalysis:
+    def test_analysis_fields(self, low_tier):
+        rows, __ = low_tier
+        analysis = analyse_disagreement(rows)
+        assert -1.0 <= analysis.followers_vs_disagreement <= 1.0
+        assert analysis.ta_sb_genuine_gap >= 0.0
+        assert 0.0 <= analysis.sp_lowest_genuine_fraction <= 1.0
+
+    def test_needs_three_rows(self, low_tier):
+        rows, __ = low_tier
+        with pytest.raises(ValueError):
+            analyse_disagreement(rows[:2])
+
+    def test_sb_inactive_below_fc(self, low_tier):
+        """The paper's structural claim: SB reports far fewer inactives
+        than FC because only suspicious accounts are inactivity-tested."""
+        rows, __ = low_tier
+        analysis = analyse_disagreement(rows)
+        assert analysis.fc_minus_sb_inactive > 0.0

@@ -1,0 +1,32 @@
+"""Unit tests for the experiment-suite result container."""
+
+from repro.experiments import ExperimentSuiteResult
+
+
+class TestExperimentSuiteResult:
+    def build(self):
+        suite = ExperimentSuiteResult()
+        suite.add("table1", [1, 2, 3], "rendered table one")
+        suite.add("ordering", {"ok": True}, "rendered ordering")
+        return suite
+
+    def test_sections_and_report(self):
+        suite = self.build()
+        assert set(suite.sections) == {"table1", "ordering"}
+        assert suite.sections["table1"] == [1, 2, 3]
+        report = suite.report()
+        assert "rendered table one" in report
+        assert "rendered ordering" in report
+
+    def test_save_writes_per_section_files(self, tmp_path):
+        suite = self.build()
+        combined = suite.save(tmp_path / "out")
+        assert combined.read_text().count("rendered") == 2
+        assert (tmp_path / "out" / "table1.txt").read_text() \
+            == "rendered table one\n"
+        assert (tmp_path / "out" / "ordering.txt").exists()
+
+    def test_save_creates_nested_directories(self, tmp_path):
+        suite = self.build()
+        combined = suite.save(tmp_path / "a" / "b")
+        assert combined.exists()

@@ -1,0 +1,47 @@
+"""Unit tests for the E8 sample-size experiment."""
+
+import pytest
+
+from repro.experiments import (
+    TOOL_SAMPLE_SIZES,
+    empirical_coverage,
+    run_sample_size_experiment,
+)
+
+
+class TestToolSampleSizes:
+    def test_documented_sizes(self):
+        sizes = dict(TOOL_SAMPLE_SIZES)
+        assert sizes["StatusPeople Fakers"] == 700
+        assert sizes["Socialbakers FFC"] == 2000
+        assert sizes["Twitteraudit"] == 5000
+        assert sizes["Fake Project FC"] == 9604
+
+
+class TestEmpiricalCoverage:
+    def test_fc_sample_size_achieves_95_percent(self):
+        result = empirical_coverage(
+            population=30_000, sample_size=9604, trials=60, seed=19)
+        # Without-replacement sampling from a finite base does a bit
+        # better than the nominal 95%.
+        assert result.coverage >= 0.93
+
+    def test_small_samples_miss_more(self):
+        big = empirical_coverage(
+            population=30_000, sample_size=9604, trials=40, seed=20)
+        small = empirical_coverage(
+            population=30_000, sample_size=400, trials=40, seed=20)
+        assert small.coverage < big.coverage
+
+    def test_truth_matches_spec(self):
+        result = empirical_coverage(
+            population=20_000, sample_size=2000, trials=5, seed=21)
+        assert result.true_proportion == pytest.approx(0.42, abs=0.03)
+
+
+class TestRunExperiment:
+    def test_report_contents(self):
+        coverage, rendered = run_sample_size_experiment(trials=20, seed=22)
+        assert "9604" in rendered
+        assert "+/-1.00%" in rendered
+        assert coverage.trials == 20

@@ -1,0 +1,40 @@
+"""Unit tests for the recency-tilt sensitivity experiment (A7)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments import run_tilt_sensitivity
+
+
+class TestTiltSensitivity:
+    @pytest.fixture(scope="class")
+    def outcome(self, detector):
+        return run_tilt_sensitivity(
+            tilts=(0.0, 0.6), followers=15_000, seed=9, detector=detector)
+
+    def test_fc_is_tilt_blind(self, outcome):
+        rows, __ = outcome
+        estimates = [row.fc_inactive for row in rows]
+        assert max(estimates) - min(estimates) < 5.0
+
+    def test_head_samplers_drop_with_tilt(self, outcome):
+        rows, __ = outcome
+        flat, tilted = rows
+        assert tilted.sb_inactive < flat.sb_inactive
+        assert tilted.fc_minus_sb > flat.fc_minus_sb
+
+    def test_closed_form_direction(self, outcome):
+        rows, __ = outcome
+        flat, tilted = rows
+        assert flat.predicted_sb_head_bias == pytest.approx(0.0, abs=0.1)
+        assert tilted.predicted_sb_head_bias < -5.0
+
+    def test_render(self, outcome):
+        __, rendered = outcome
+        assert "A7" in rendered
+
+    def test_validation(self, detector):
+        with pytest.raises(ConfigurationError):
+            run_tilt_sensitivity(tilts=(), detector=detector)
+        with pytest.raises(ConfigurationError):
+            run_tilt_sensitivity(inactive=0.9, fake=0.2, detector=detector)

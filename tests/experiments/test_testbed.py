@@ -1,0 +1,94 @@
+"""Unit tests for the paper testbed."""
+
+import pytest
+
+from repro.core import PAPER_EPOCH
+from repro.experiments import (
+    AVERAGE,
+    HIGH,
+    LOW,
+    PAPER_ACCOUNTS,
+    PAPER_ACCOUNTS_BY_HANDLE,
+    PRECACHED,
+    accounts_in_tiers,
+    average_accounts,
+    build_paper_world,
+)
+from repro.experiments import testbed_spec as make_testbed_spec
+from repro.twitter import Label
+
+
+class TestPaperData:
+    def test_twenty_accounts(self):
+        assert len(PAPER_ACCOUNTS) == 20
+
+    def test_tier_sizes_match_section_4a(self):
+        assert len(accounts_in_tiers(LOW)) == 4
+        assert len(average_accounts()) == 13
+        assert len(accounts_in_tiers(HIGH)) == 3
+
+    def test_tier_boundaries(self):
+        for account in accounts_in_tiers(LOW):
+            assert account.followers <= 10_800
+        for account in average_accounts():
+            assert 13_900 <= account.followers <= 79_700
+        for account in accounts_in_tiers(HIGH):
+            assert account.followers >= 595_000
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(Exception):
+            accounts_in_tiers("galactic")
+
+    def test_fc_columns_sum_to_100(self):
+        for account in PAPER_ACCOUNTS:
+            assert sum(account.fc) == pytest.approx(100.0, abs=0.6)
+
+    def test_table2_rows_only_for_average_tier(self):
+        for account in PAPER_ACCOUNTS:
+            has_times = account.response_times is not None
+            assert has_times == (account.tier == AVERAGE)
+
+    def test_obama_at_paper_scale(self):
+        assert PAPER_ACCOUNTS_BY_HANDLE["BarackObama"].followers == 41_000_000
+
+    def test_precached_handles_exist(self):
+        for handles in PRECACHED.values():
+            for handle in handles:
+                assert handle in PAPER_ACCOUNTS_BY_HANDLE
+
+
+class TestWorldConstruction:
+    def test_specs_preserve_fc_composition(self):
+        account = PAPER_ACCOUNTS_BY_HANDLE["giovanniallevi"]
+        spec = make_testbed_spec(account, ref_time=PAPER_EPOCH)
+        from repro.twitter import SyntheticWorld
+        world = SyntheticWorld(seed=1, ref_time=PAPER_EPOCH)
+        population = world.add_target(spec)
+        comp = population.composition(PAPER_EPOCH, sample=3000)
+        inact, fake, good = account.fc_fractions
+        assert comp[Label.INACTIVE] == pytest.approx(inact, abs=0.04)
+        assert comp[Label.FAKE] == pytest.approx(fake, abs=0.03)
+
+    def test_mega_accounts_materialised_at_cap(self):
+        account = PAPER_ACCOUNTS_BY_HANDLE["BarackObama"]
+        spec = make_testbed_spec(account, ref_time=PAPER_EPOCH,
+                            max_followers=150_000)
+        assert spec.followers == 150_000
+
+    def test_full_scale_on_request(self):
+        account = PAPER_ACCOUNTS_BY_HANDLE["BarackObama"]
+        spec = make_testbed_spec(account, ref_time=PAPER_EPOCH,
+                            max_followers=None)
+        assert spec.followers == 41_000_000
+
+    def test_world_contains_requested_tiers(self):
+        world = build_paper_world(7, PAPER_EPOCH, tiers=(LOW,))
+        names = {p.spec.screen_name for p in world.targets()}
+        assert names == {a.handle for a in accounts_in_tiers(LOW)}
+
+    def test_targets_keep_growing(self):
+        from repro.core import DAY
+        world = build_paper_world(7, PAPER_EPOCH, tiers=(LOW,))
+        population = world.population("janrezab")
+        assert population.size_at(PAPER_EPOCH + DAY) > \
+            population.size_at(PAPER_EPOCH)

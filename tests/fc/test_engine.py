@@ -1,0 +1,95 @@
+"""Unit tests for the FC engine."""
+
+import pytest
+
+from repro.core import ConfigurationError, PAPER_EPOCH, SimClock
+from repro.fc import FC_SAMPLE_SIZE, FakeClassifierEngine
+from repro.twitter import add_simple_target, build_world
+
+
+@pytest.fixture
+def engine(small_world, detector):
+    clock = SimClock(PAPER_EPOCH)
+    return FakeClassifierEngine(
+        small_world, clock, detector, sample_size=2000, seed=5)
+
+
+class TestAudit:
+    def test_percentages_track_ground_truth(self, engine, small_world):
+        report = engine.audit("smalltown")
+        # smalltown's spec: 40% inactive / 10% fake / 50% genuine.
+        assert report.inactive_pct == pytest.approx(40.0, abs=4.0)
+        assert report.fake_pct == pytest.approx(10.0, abs=4.0)
+        assert report.genuine_pct == pytest.approx(50.0, abs=5.0)
+
+    def test_report_metadata(self, engine):
+        report = engine.audit("smalltown")
+        assert report.tool == "fc"
+        assert report.sample_size == 2000
+        assert not report.cached
+        assert report.details["population"] == 12_000
+        assert report.details["sampling"].startswith("uniform")
+
+    def test_confidence_intervals_bracket_estimates(self, engine):
+        report = engine.audit("smalltown")
+        for key, point in (("fake_ci95", report.fake_pct),
+                           ("inactive_ci95", report.inactive_pct),
+                           ("genuine_ci95", report.genuine_pct)):
+            low, high = report.details[key]
+            assert low <= point <= high
+            # n = 2000 buys roughly a +/-2.2% margin at worst.
+            assert high - low <= 5.0
+
+    def test_default_sample_size_is_9604(self, small_world, detector):
+        engine = FakeClassifierEngine(
+            small_world, SimClock(PAPER_EPOCH), detector)
+        assert engine.sample_size == FC_SAMPLE_SIZE
+
+    def test_small_account_gets_census(self, detector):
+        world = build_world(seed=3)
+        add_simple_target(world, "tiny", 500, 0.2, 0.1, 0.7)
+        engine = FakeClassifierEngine(
+            world, SimClock(PAPER_EPOCH), detector, seed=2)
+        report = engine.audit("tiny")
+        assert report.sample_size == 500
+        assert "census" in report.details["confidence"]
+
+    def test_response_time_exceeds_180s_at_scale(self, small_world, detector):
+        """The paper: FC's response time 'is always greater than 180
+        seconds' — it pages the whole list and looks up 9604 profiles."""
+        engine = FakeClassifierEngine(
+            small_world, SimClock(PAPER_EPOCH), detector)
+        report = engine.audit("smalltown")
+        assert report.response_seconds > 180.0
+
+    def test_no_caching_between_audits(self, engine):
+        first = engine.audit("smalltown")
+        second = engine.audit("smalltown")
+        assert not second.cached
+        assert second.response_seconds > 10  # full re-analysis, not 2-3 s
+
+    def test_audits_use_fresh_samples(self, engine):
+        first = engine.audit("smalltown")
+        second = engine.audit("smalltown")
+        # Same world, same truth, but independent uniform samples:
+        # estimates agree within the margin, yet need not be identical.
+        assert first.inactive_pct == pytest.approx(
+            second.inactive_pct, abs=5.0)
+
+    def test_unknown_target_rejected(self, engine):
+        from repro.core import UnknownAccountError
+        with pytest.raises(UnknownAccountError):
+            engine.audit("ghost")
+
+    def test_followerless_target_rejected(self, detector):
+        world = build_world(seed=4)
+        add_simple_target(world, "lonely", 0, 0.0, 0.0, 1.0)
+        engine = FakeClassifierEngine(
+            world, SimClock(PAPER_EPOCH), detector)
+        with pytest.raises(ConfigurationError):
+            engine.audit("lonely")
+
+    def test_invalid_sample_size(self, small_world, detector):
+        with pytest.raises(ConfigurationError):
+            FakeClassifierEngine(
+                small_world, SimClock(), detector, sample_size=0)

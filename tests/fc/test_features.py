@@ -1,0 +1,154 @@
+"""Unit tests for the feature catalogue."""
+
+import math
+
+import pytest
+
+from repro.api import UserObject
+from repro.core import ConfigurationError, DAY, PAPER_EPOCH, YEAR
+from repro.fc import (
+    CLASS_A,
+    CLASS_B,
+    FEATURES,
+    FEATURES_BY_NAME,
+    FULL_FEATURE_SET,
+    FeatureSet,
+    PROFILE_FEATURE_SET,
+)
+from repro.twitter import Tweet
+
+NOW = PAPER_EPOCH
+
+
+def make_user(**overrides):
+    defaults = dict(
+        user_id=1, screen_name="u", name="User",
+        created_at=PAPER_EPOCH - 2 * YEAR,
+        description="bio", location="Rome", url="",
+        default_profile_image=False, verified=False,
+        followers_count=100, friends_count=200, statuses_count=730,
+        last_status_at=PAPER_EPOCH - DAY,
+    )
+    defaults.update(overrides)
+    return UserObject(**defaults)
+
+
+def make_tweets(texts):
+    return [Tweet(tweet_id=i, user_id=1, created_at=NOW - i, text=t)
+            for i, t in enumerate(texts)]
+
+
+class TestCatalogue:
+    def test_unique_names(self):
+        names = [f.name for f in FEATURES]
+        assert len(set(names)) == len(names)
+
+    def test_cost_classes_valid(self):
+        assert {f.cost_class for f in FEATURES} == {CLASS_A, CLASS_B}
+
+    def test_profile_set_is_class_a_only(self):
+        assert not PROFILE_FEATURE_SET.needs_timeline()
+
+    def test_full_set_needs_timeline(self):
+        assert FULL_FEATURE_SET.needs_timeline()
+
+
+class TestProfileFeatures:
+    def test_log_counts(self):
+        feature = FEATURES_BY_NAME["log_followers"]
+        assert feature(make_user(followers_count=99), None, NOW) == \
+            pytest.approx(math.log(100))
+
+    def test_ff_ratio_feature(self):
+        feature = FEATURES_BY_NAME["log_ff_ratio"]
+        user = make_user(followers_count=10, friends_count=500)
+        assert feature(user, None, NOW) == pytest.approx(math.log(51))
+
+    def test_age_days(self):
+        feature = FEATURES_BY_NAME["age_days"]
+        assert feature(make_user(), None, NOW) == pytest.approx(730.5)
+
+    def test_tweets_per_day(self):
+        feature = FEATURES_BY_NAME["tweets_per_day"]
+        assert feature(make_user(), None, NOW) == pytest.approx(1.0, abs=0.01)
+
+    def test_boolean_flags(self):
+        user = make_user(description="", default_profile_image=True)
+        assert FEATURES_BY_NAME["has_bio"](user, None, NOW) == 0.0
+        assert FEATURES_BY_NAME["default_image"](user, None, NOW) == 1.0
+
+    def test_never_tweeted_sentinel(self):
+        user = make_user(statuses_count=0, last_status_at=None)
+        feature = FEATURES_BY_NAME["last_status_age_days"]
+        assert feature(user, None, NOW) == 10_000.0
+
+
+class TestTimelineFeatures:
+    def test_link_fraction(self):
+        tweets = make_tweets(
+            ["see http://t.co/a", "plain", "go https://x.io", "plain"])
+        feature = FEATURES_BY_NAME["link_fraction"]
+        assert feature(make_user(), tweets, NOW) == 0.5
+
+    def test_retweet_fraction(self):
+        tweets = make_tweets(["RT @a: x", "hello"])
+        assert FEATURES_BY_NAME["retweet_fraction"](
+            make_user(), tweets, NOW) == 0.5
+
+    def test_spam_fraction(self):
+        tweets = make_tweets(["make money fast", "hello there"])
+        assert FEATURES_BY_NAME["spam_fraction"](
+            make_user(), tweets, NOW) == 0.5
+
+    def test_duplicate_fraction_threshold(self):
+        tweets = make_tweets(["same tweet"] * 4 + ["unique one"])
+        assert FEATURES_BY_NAME["duplicate_fraction"](
+            make_user(), tweets, NOW) == 0.8
+        few = make_tweets(["same tweet"] * 3 + ["unique one"])
+        assert FEATURES_BY_NAME["duplicate_fraction"](
+            make_user(), few, NOW) == 0.0
+
+    def test_empty_timeline_gives_zero(self):
+        assert FEATURES_BY_NAME["link_fraction"](make_user(), [], NOW) == 0.0
+
+    def test_class_b_requires_timeline(self):
+        with pytest.raises(ConfigurationError):
+            FEATURES_BY_NAME["link_fraction"](make_user(), None, NOW)
+
+
+class TestFeatureSet:
+    def test_from_names(self):
+        feature_set = FeatureSet.from_names(["log_followers", "has_bio"])
+        assert feature_set.names == ["log_followers", "has_bio"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeatureSet.from_names(["nope"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeatureSet([])
+
+    def test_duplicate_rejected(self):
+        feature = FEATURES_BY_NAME["has_bio"]
+        with pytest.raises(ConfigurationError):
+            FeatureSet([feature, feature])
+
+    def test_extract_vector_shape_and_order(self):
+        feature_set = FeatureSet.from_names(["has_bio", "has_location"])
+        vector = feature_set.extract(make_user(location=""), None, NOW)
+        assert list(vector) == [1.0, 0.0]
+
+    def test_extract_matrix(self):
+        feature_set = PROFILE_FEATURE_SET
+        users = [make_user(), make_user(followers_count=5)]
+        matrix = feature_set.extract_matrix(users, None, NOW)
+        assert matrix.shape == (2, len(feature_set.features))
+
+    def test_extract_matrix_empty(self):
+        matrix = PROFILE_FEATURE_SET.extract_matrix([], None, NOW)
+        assert matrix.shape == (0, len(PROFILE_FEATURE_SET.features))
+
+    def test_matrix_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            FULL_FEATURE_SET.extract_matrix([make_user()], [], NOW)

@@ -1,0 +1,120 @@
+"""Unit tests for greedy budgeted feature selection."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.fc import FEATURES_BY_NAME, evaluate_detector
+from repro.fc.features import CLASS_A_FEATURES, CLASS_B, FEATURES
+from repro.fc.optimizer import (
+    GreedyFeatureSelector,
+    affordable_features,
+    optimize_detector,
+)
+
+
+@pytest.fixture(scope="module")
+def steps(gold):
+    selector = GreedyFeatureSelector(model="tree", seed=3)
+    return selector.path(gold, max_features=6)
+
+
+@pytest.fixture(scope="module")
+def class_a_steps(gold):
+    selector = GreedyFeatureSelector(
+        model="tree", seed=3, candidates=CLASS_A_FEATURES)
+    return selector.path(gold, max_features=6)
+
+
+class TestGreedyPath:
+    def test_monotone_mcc(self, steps):
+        mccs = [step.mcc for step in steps]
+        assert all(b > a for a, b in zip(mccs, mccs[1:]))
+
+    def test_feature_names_accumulate(self, steps):
+        for index, step in enumerate(steps):
+            assert len(step.feature_names) == index + 1
+            assert step.added_feature == step.feature_names[-1]
+
+    def test_first_pick_is_strong(self, steps):
+        assert steps[0].mcc > 0.7
+
+    def test_costs_reflect_cost_classes(self, steps, class_a_steps):
+        for step in list(steps) + list(class_a_steps):
+            has_b = any(
+                FEATURES_BY_NAME[name].cost_class == CLASS_B
+                for name in step.feature_names)
+            if has_b:
+                assert step.crawl_seconds > 10_000
+            else:
+                assert step.crawl_seconds < 300
+
+    def test_class_a_path_reaches_high_quality(self, class_a_steps):
+        """[12]'s finding: profile features alone combine into an
+        excellent detector, even if no single one dominates."""
+        assert class_a_steps[-1].mcc > 0.9
+
+    def test_stops_when_no_improvement(self, gold):
+        selector = GreedyFeatureSelector(model="tree", seed=3)
+        full_path = selector.path(gold)
+        assert len(full_path) < len(FEATURES)
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigurationError):
+            GreedyFeatureSelector(tolerance=-0.1)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GreedyFeatureSelector(candidates=())
+
+
+class TestFrontierAndBudget:
+    def test_frontier_strictly_improves(self, steps):
+        selector = GreedyFeatureSelector(model="tree", seed=3)
+        frontier = selector.pareto_frontier(steps)
+        costs = [step.crawl_seconds for step in frontier]
+        mccs = [step.mcc for step in frontier]
+        assert costs == sorted(costs)
+        assert mccs == sorted(mccs)
+
+    def test_budget_pick_is_affordable_and_best(self, class_a_steps):
+        selector = GreedyFeatureSelector(model="tree", seed=3)
+        chosen = selector.best_under_budget(class_a_steps,
+                                            budget_seconds=240)
+        assert chosen.crawl_seconds <= 240
+        for step in class_a_steps:
+            if step.crawl_seconds <= 240:
+                assert chosen.mcc >= step.mcc
+
+    def test_impossible_budget(self, class_a_steps):
+        selector = GreedyFeatureSelector(model="tree", seed=3)
+        with pytest.raises(ConfigurationError):
+            selector.best_under_budget(class_a_steps, budget_seconds=1e-6)
+        with pytest.raises(ConfigurationError):
+            selector.best_under_budget(class_a_steps, budget_seconds=0)
+
+
+class TestAffordableFeatures:
+    def test_tight_budget_excludes_class_b(self):
+        kept = affordable_features(240.0, 9604)
+        assert kept
+        assert all(f.cost_class != CLASS_B for f in kept)
+
+    def test_loose_budget_keeps_everything(self):
+        assert len(affordable_features(1e9, 9604)) == len(FEATURES)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            affordable_features(0.0, 9604)
+
+
+class TestOptimizeDetector:
+    def test_budgeted_detector_is_class_a_and_good(self, gold):
+        detector = optimize_detector(gold, budget_seconds=240, seed=3)
+        assert not detector.needs_timeline
+        assert evaluate_detector(detector, gold).mcc > 0.85
+
+    def test_unbounded_budget_at_least_as_good(self, gold):
+        cheap = optimize_detector(gold, budget_seconds=240, seed=3)
+        rich = optimize_detector(gold, budget_seconds=1e9, seed=3)
+        assert evaluate_detector(rich, gold).mcc >= \
+            evaluate_detector(cheap, gold).mcc - 0.02

@@ -1,0 +1,178 @@
+"""Unit tests for the literature rule sets."""
+
+import pytest
+
+from repro.api import UserObject
+from repro.core import ConfigurationError, DAY, PAPER_EPOCH, YEAR
+from repro.fc import (
+    BASELINE_RULESETS,
+    CamisaniCalzolariRules,
+    SocialbakersCriteria,
+    StateOfSearchSignals,
+)
+from repro.twitter import Tweet
+
+NOW = PAPER_EPOCH
+
+
+def make_user(**overrides):
+    defaults = dict(
+        user_id=1, screen_name="u", name="User",
+        created_at=PAPER_EPOCH - YEAR,
+        description="a bio", location="Rome", url="http://example.org",
+        default_profile_image=False, verified=False,
+        followers_count=120, friends_count=150, statuses_count=400,
+        last_status_at=PAPER_EPOCH - DAY,
+    )
+    defaults.update(overrides)
+    return UserObject(**defaults)
+
+
+def make_tweets(texts):
+    return [Tweet(tweet_id=i, user_id=1, created_at=NOW - i, text=t)
+            for i, t in enumerate(texts)]
+
+
+HUMAN_TWEETS = make_tweets(
+    [f"nice day in town @friend{i} #life" for i in range(10)])
+
+
+class TestCamisaniCalzolari:
+    def test_well_formed_human_passes(self):
+        rules = CamisaniCalzolariRules()
+        assert not rules.is_fake(make_user(), HUMAN_TWEETS, NOW)
+
+    def test_empty_profile_fails(self):
+        rules = CamisaniCalzolariRules()
+        user = make_user(name="", description="", location="", url="",
+                         default_profile_image=True,
+                         followers_count=2, statuses_count=1)
+        assert rules.is_fake(user, [], NOW)
+
+    def test_score_monotone_in_satisfied_criteria(self):
+        rules = CamisaniCalzolariRules()
+        rich = rules.evaluate(make_user(), HUMAN_TWEETS, NOW)
+        poor = rules.evaluate(
+            make_user(description="", url=""), HUMAN_TWEETS, NOW)
+        assert rich.score > poor.score
+        assert "has_bio" in rich.fired
+        assert "has_bio" not in poor.fired
+
+
+class TestSocialbakersCriteria:
+    def test_clean_account_is_genuine(self):
+        criteria = SocialbakersCriteria()
+        assert criteria.classify(make_user(), HUMAN_TWEETS, NOW) == "genuine"
+
+    def test_ff_ratio_rule(self):
+        criteria = SocialbakersCriteria()
+        user = make_user(followers_count=2, friends_count=100)
+        verdict = criteria.evaluate(user, HUMAN_TWEETS, NOW)
+        assert "ff_ratio_50" in verdict.fired
+
+    def test_spam_phrases_rule(self):
+        criteria = SocialbakersCriteria()
+        spam = make_tweets(["make money now"] * 4 + ["hello"] * 6)
+        verdict = criteria.evaluate(make_user(), spam, NOW)
+        assert "spam_phrases_30pct" in verdict.fired
+
+    def test_repeated_tweets_rule(self):
+        criteria = SocialbakersCriteria()
+        repeats = make_tweets(["the exact same"] * 4 + ["other"])
+        verdict = criteria.evaluate(make_user(), repeats, NOW)
+        assert "repeated_tweets_3x" in verdict.fired
+
+    def test_retweet_and_link_rules(self):
+        criteria = SocialbakersCriteria()
+        retweets = make_tweets([f"RT @a: thing {i}" for i in range(20)])
+        assert "retweets_90pct" in criteria.evaluate(
+            make_user(), retweets, NOW).fired
+        links = make_tweets([f"look http://t.co/{i}" for i in range(20)])
+        assert "links_90pct" in criteria.evaluate(
+            make_user(), links, NOW).fired
+
+    def test_never_tweeted_rule(self):
+        criteria = SocialbakersCriteria()
+        user = make_user(statuses_count=0, last_status_at=None)
+        assert "never_tweeted" in criteria.evaluate(user, [], NOW).fired
+
+    def test_old_default_image_rule(self):
+        criteria = SocialbakersCriteria()
+        old = make_user(default_profile_image=True)
+        assert "old_default_image" in criteria.evaluate(
+            old, HUMAN_TWEETS, NOW).fired
+        young = make_user(default_profile_image=True,
+                          created_at=PAPER_EPOCH - 30 * DAY)
+        assert "old_default_image" not in criteria.evaluate(
+            young, HUMAN_TWEETS, NOW).fired
+
+    def test_empty_profile_following_rule(self):
+        criteria = SocialbakersCriteria()
+        user = make_user(description="", location="", friends_count=150)
+        assert "empty_profile_following_100" in criteria.evaluate(
+            user, HUMAN_TWEETS, NOW).fired
+
+    def test_inactivity_rules(self):
+        assert SocialbakersCriteria.is_inactive(
+            make_user(statuses_count=2), NOW)
+        assert SocialbakersCriteria.is_inactive(
+            make_user(last_status_at=PAPER_EPOCH - 91 * DAY), NOW)
+        assert not SocialbakersCriteria.is_inactive(make_user(), NOW)
+
+    def test_inactive_only_reachable_via_suspicion(self):
+        """The published flow: non-suspicious inactives count genuine."""
+        criteria = SocialbakersCriteria()
+        dormant = make_user(last_status_at=PAPER_EPOCH - YEAR,
+                            statuses_count=50)
+        assert criteria.classify(dormant, HUMAN_TWEETS, NOW) == "genuine"
+
+    def test_suspicious_and_inactive_classified_inactive(self):
+        criteria = SocialbakersCriteria()
+        egg = make_user(statuses_count=0, last_status_at=None,
+                        description="", location="",
+                        friends_count=500, followers_count=2,
+                        default_profile_image=True)
+        assert criteria.classify(egg, [], NOW) == "inactive"
+
+    def test_suspicious_and_active_classified_fake(self):
+        criteria = SocialbakersCriteria()
+        bot = make_user(description="", location="",
+                        friends_count=900, followers_count=3)
+        spam = make_tweets(["work from home http://t.co/x"] * 20)
+        assert criteria.classify(bot, spam, NOW) == "fake"
+
+
+class TestStateOfSearch:
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            StateOfSearchSignals(min_signals=0)
+        with pytest.raises(ConfigurationError):
+            StateOfSearchSignals(min_signals=8)
+
+    def test_obvious_bot_detected(self):
+        signals = StateOfSearchSignals()
+        bot = make_user(
+            followers_count=3, friends_count=900, description="",
+            default_profile_image=True,
+            created_at=PAPER_EPOCH - 30 * DAY)
+        spam = make_tweets(["buy http://t.co/x"] * 10)
+        verdict = signals.evaluate(bot, spam, NOW)
+        assert verdict.is_fake
+        assert len(verdict.fired) >= 4
+
+    def test_human_not_detected(self):
+        signals = StateOfSearchSignals()
+        assert not signals.is_fake(make_user(), HUMAN_TWEETS, NOW)
+
+
+class TestPredictInterface:
+    def test_vectorised_predictions(self):
+        for ruleset in BASELINE_RULESETS:
+            predictions = ruleset.predict(
+                [make_user(), make_user()], [HUMAN_TWEETS, HUMAN_TWEETS], NOW)
+            assert predictions.shape == (2,)
+            assert set(predictions) <= {0, 1}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BASELINE_RULESETS[0].predict([make_user()], [], NOW)

@@ -1,0 +1,69 @@
+"""Unit tests for the burst detector."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.growth import BurstDetector, GrowthSeries
+
+
+def series(values):
+    return GrowthSeries(start_time=0.0, arrivals=tuple(values))
+
+
+class TestBurstDetector:
+    def test_flat_series_no_bursts(self):
+        detector = BurstDetector()
+        assert detector.detect(series([100] * 20)) == []
+
+    def test_noisy_series_no_false_positives(self):
+        values = [95, 103, 99, 108, 92, 101, 97, 104, 100, 96,
+                  105, 98, 102, 94, 107]
+        assert BurstDetector().detect(series(values)) == []
+
+    def test_single_burst_detected(self):
+        values = [100] * 10 + [5100] + [100] * 10
+        events = BurstDetector().detect(series(values))
+        assert len(events) == 1
+        event = events[0]
+        assert event.day == 10
+        assert event.arrivals == 5100
+        assert event.excess == pytest.approx(5000.0)
+        assert event.z_score > 6.0
+
+    def test_two_bursts_sorted_by_strength(self):
+        values = [100] * 8 + [2100] + [100] * 8 + [9100] + [100] * 8
+        events = BurstDetector().detect(series(values))
+        assert [event.arrivals for event in events] == [9100, 2100]
+
+    def test_min_excess_guards_small_accounts(self):
+        # 10 -> 40 is six "sigma" on a quiet account but only 30 heads.
+        values = [10] * 12 + [40] + [10] * 12
+        assert BurstDetector(min_excess=50).detect(series(values)) == []
+        assert BurstDetector(min_excess=10).detect(series(values)) != []
+
+    def test_zero_variance_baseline_fallback(self):
+        values = [0] * 12 + [800] + [0] * 12
+        events = BurstDetector().detect(series(values))
+        assert len(events) == 1
+
+    def test_purchase_estimate(self):
+        values = [100] * 10 + [10_100] + [100] * 10
+        estimate = BurstDetector().purchased_follower_estimate(series(values))
+        assert estimate == pytest.approx(10_000, abs=200)
+
+    def test_needs_history(self):
+        with pytest.raises(ConfigurationError):
+            BurstDetector().detect(series([1, 2, 3]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            BurstDetector(min_excess=-1)
+
+    def test_baseline_robust_to_the_burst_itself(self):
+        """The burst must not drag its own baseline up (median, not mean)."""
+        detector = BurstDetector()
+        clean = detector.baseline(series([100] * 20))
+        with_burst = detector.baseline(series([100] * 19 + [100_000]))
+        assert with_burst[0] == clean[0] == 100.0

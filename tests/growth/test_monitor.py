@@ -1,0 +1,65 @@
+"""Integration tests for the API-driven growth monitor."""
+
+import pytest
+
+from repro.core import ConfigurationError, DAY, PAPER_EPOCH, SimClock
+from repro.growth import BurstDetector, GrowthMonitor
+from repro.twitter import add_simple_target, build_world
+
+
+def romney_world(seed=46):
+    """A target whose purchased block lands ~4 days before ref time."""
+    world = build_world(seed=seed)
+    add_simple_target(
+        world, "challenger", 60_000, 0.1, 0.25, 0.65,
+        fake_burst_fraction=0.9, fake_burst_position=0.99,
+        created_years_before=1.0, daily_new_followers=120)
+    return world
+
+
+class TestGrowthMonitor:
+    def test_detects_the_romney_jump(self):
+        world = romney_world()
+        clock = SimClock(PAPER_EPOCH - 20 * DAY)
+        monitor = GrowthMonitor(world, clock)
+        report = monitor.watch("challenger", days=20)
+        assert report.suspicious
+        assert report.purchased_estimate > 8000
+        # The jump sits days, not weeks, before the reference instant.
+        strongest = report.bursts[0]
+        assert PAPER_EPOCH - 8 * DAY <= strongest.start_time <= PAPER_EPOCH
+
+    def test_quiet_account_not_flagged(self, small_world):
+        clock = SimClock(PAPER_EPOCH)
+        monitor = GrowthMonitor(small_world, clock)
+        report = monitor.watch("smalltown", days=10)
+        assert not report.suspicious
+        assert report.purchased_estimate == 0
+
+    def test_cheap_api_usage(self, small_world):
+        clock = SimClock(PAPER_EPOCH)
+        monitor = GrowthMonitor(small_world, clock)
+        monitor.watch("smalltown", days=10)
+        log = monitor.client.call_log
+        assert log.count("users/lookup") == 11  # one users/show per day
+        assert log.count("followers/ids") == 0  # never crawls followers
+
+    def test_observation_cadence_is_daily(self, small_world):
+        clock = SimClock(PAPER_EPOCH)
+        monitor = GrowthMonitor(small_world, clock)
+        series = monitor.observe("smalltown", days=5)
+        assert len(series) == 5
+        assert series.arrivals == (50,) * 5  # smalltown's trickle rate
+
+    def test_custom_detector_respected(self):
+        world = romney_world()
+        clock = SimClock(PAPER_EPOCH - 20 * DAY)
+        paranoid = GrowthMonitor(
+            world, clock, detector=BurstDetector(threshold=1e9))
+        report = paranoid.watch("challenger", days=20)
+        assert not report.suspicious  # impossible threshold: silence
+
+    def test_days_validated(self, small_world):
+        monitor = GrowthMonitor(small_world, SimClock(PAPER_EPOCH))
+        with pytest.raises(ConfigurationError):
+            monitor.observe("smalltown", days=0)

@@ -1,0 +1,86 @@
+"""Unit tests for growth-series construction."""
+
+import pytest
+
+from repro.core import ConfigurationError, DAY, PAPER_EPOCH
+from repro.growth import (
+    GrowthSeries,
+    series_from_observations,
+    series_from_population,
+)
+from repro.twitter import add_simple_target, build_world
+
+
+class TestGrowthSeries:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GrowthSeries(start_time=0.0, arrivals=())
+        with pytest.raises(ConfigurationError):
+            GrowthSeries(start_time=0.0, arrivals=(1, -1))
+
+    def test_day_start(self):
+        series = GrowthSeries(start_time=100.0, arrivals=(1, 2, 3))
+        assert series.day_start(0) == 100.0
+        assert series.day_start(2) == 100.0 + 2 * DAY
+        with pytest.raises(ConfigurationError):
+            series.day_start(3)
+
+    def test_total_and_len(self):
+        series = GrowthSeries(start_time=0.0, arrivals=(5, 7))
+        assert len(series) == 2
+        assert series.total() == 12
+
+
+class TestFromPopulation:
+    def test_trickle_counts_match_schedule(self, small_world):
+        population = small_world.population("smalltown")
+        series = series_from_population(population, PAPER_EPOCH, days=5)
+        assert len(series) == 5
+        # smalltown grows by 50/day post-reference.
+        assert all(count == 50 for count in series.arrivals)
+
+    def test_days_validated(self, small_world):
+        population = small_world.population("smalltown")
+        with pytest.raises(ConfigurationError):
+            series_from_population(population, PAPER_EPOCH, days=0)
+
+    def test_historical_burst_visible(self):
+        world = build_world(seed=44)
+        add_simple_target(
+            world, "bursty", 30_000, 0.2, 0.2, 0.6,
+            fake_burst_fraction=1.0, fake_burst_position=0.99,
+            created_years_before=1.0)
+        population = world.population("bursty")
+        # Observe the 30 days leading up to the reference instant: the
+        # burst (1% of the window before ref ~ 3.7 days back) is inside.
+        series = series_from_population(
+            population, PAPER_EPOCH - 30 * DAY, days=30)
+        assert max(series.arrivals) > 10 * sorted(series.arrivals)[15]
+
+
+class TestFromObservations:
+    def test_deltas(self):
+        series = series_from_observations(
+            [(0.0, 100), (DAY, 130), (2 * DAY, 130), (3 * DAY, 190)])
+        assert series.arrivals == (30, 0, 60)
+        assert series.start_time == 0.0
+
+    def test_needs_two_readings(self):
+        with pytest.raises(ConfigurationError):
+            series_from_observations([(0.0, 10)])
+
+    def test_chronological_required(self):
+        with pytest.raises(ConfigurationError):
+            series_from_observations([(DAY, 10), (0.0, 20)])
+        with pytest.raises(ConfigurationError):
+            series_from_observations([(0.0, 10), (0.0, 20)])
+
+    def test_decreasing_counts_clip_to_zero_by_default(self):
+        series = series_from_observations(
+            [(0.0, 100), (DAY, 90), (2 * DAY, 150)])
+        assert series.arrivals == (0, 60)
+
+    def test_strict_mode_rejects_decreases(self):
+        with pytest.raises(ConfigurationError):
+            series_from_observations(
+                [(0.0, 100), (DAY, 90)], clip_negative=False)

@@ -1,0 +1,90 @@
+"""Unit tests for inter-tool agreement statistics."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.stats import agreement_matrix, kendall_tau
+
+
+class TestKendallTau:
+    def test_perfect_concordance(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_discordance(self):
+        assert kendall_tau([1, 2, 3, 4], [40, 30, 20, 10]) == -1.0
+
+    def test_independent_is_near_zero(self):
+        assert abs(kendall_tau([1, 2, 3, 4], [20, 10, 40, 30])) < 0.5
+
+    def test_ties_handled(self):
+        tau = kendall_tau([1, 1, 2, 3], [1, 2, 2, 3])
+        assert -1.0 <= tau <= 1.0
+
+    def test_all_tied_returns_zero(self):
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1], [1])
+        with pytest.raises(ConfigurationError):
+            kendall_tau([1, 2], [1])
+
+
+class TestAgreementMatrix:
+    @pytest.fixture
+    def matrix(self):
+        return agreement_matrix({
+            "fc": [10.0, 20.0, 30.0, 40.0],
+            "ta": [12.0, 22.0, 32.0, 42.0],   # fc + 2: close, same ranking
+            "sp": [40.0, 10.0, 35.0, 5.0],    # unrelated
+        })
+
+    def test_pairwise_diffs(self, matrix):
+        assert matrix.mean_abs_diff[("fc", "ta")] == pytest.approx(2.0)
+        assert matrix.mean_abs_diff[("fc", "sp")] > 10.0
+
+    def test_rank_agreement(self, matrix):
+        assert matrix.kendall_tau[("fc", "ta")] == 1.0
+        assert matrix.kendall_tau[("fc", "sp")] < 0.5
+
+    def test_closest_and_most_discordant(self, matrix):
+        assert matrix.closest_pair() == ("fc", "ta")
+        assert "sp" in matrix.most_discordant_pair()
+
+    def test_disagreement_index_positive(self, matrix):
+        assert matrix.disagreement_index > 5.0
+
+    def test_identical_tools_agree_perfectly(self):
+        matrix = agreement_matrix({
+            "a": [1.0, 2.0, 3.0],
+            "b": [1.0, 2.0, 3.0],
+        })
+        assert matrix.mean_abs_diff[("a", "b")] == 0.0
+        assert matrix.disagreement_index == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            agreement_matrix({"only": [1.0, 2.0]})
+        with pytest.raises(ConfigurationError):
+            agreement_matrix({"a": [1.0, 2.0], "b": [1.0]})
+        with pytest.raises(ConfigurationError):
+            agreement_matrix({"a": [1.0], "b": [2.0]})
+
+
+class TestOnTable3Rows:
+    def test_integration_with_measured_reports(self, detector):
+        """The agreement machinery runs directly on Table III rows."""
+        from repro.experiments import LOW, accounts_in_tiers, run_table3
+        rows, __ = run_table3(
+            seed=23, accounts=accounts_in_tiers(LOW), detector=detector)
+        estimates = {
+            tool: [row.reports[tool].fake_pct for row in rows]
+            for tool in ("fc", "twitteraudit", "statuspeople",
+                         "socialbakers")
+        }
+        matrix = agreement_matrix(estimates)
+        assert matrix.disagreement_index > 0.0
+        # Tools broadly agree on *ranking* even while disagreeing on
+        # levels — the structural signature of shared-but-biased frames.
+        taus = list(matrix.kendall_tau.values())
+        assert all(-1.0 <= tau <= 1.0 for tau in taus)

@@ -1,0 +1,140 @@
+"""Unit and integration tests for the fake-follower marketplace."""
+
+import pytest
+
+from repro.core import ConfigurationError, DAY, HOUR, PAPER_EPOCH, SimClock, YEAR
+from repro.market import (
+    CHEAP_BULK,
+    Marketplace,
+    PREMIUM_DRIP,
+    PRESET_SELLERS,
+    STANDARD,
+    SellerProfile,
+)
+from repro.twitter import Account, Label, LiveSimulation, SocialGraph
+
+
+def make_simulation(seed=5):
+    graph = SocialGraph(seed=1)
+    graph.add_account(Account(
+        user_id=700, screen_name="buyer",
+        created_at=PAPER_EPOCH - 2 * YEAR,
+        statuses_count=50, last_tweet_at=PAPER_EPOCH - HOUR))
+    return LiveSimulation(graph, SimClock(PAPER_EPOCH), seed=seed)
+
+
+class TestSellerProfile:
+    def test_presets_are_valid_and_ordered_by_price(self):
+        prices = [seller.price_per_thousand for seller in PRESET_SELLERS]
+        assert prices == sorted(prices)
+
+    def test_pricing(self):
+        assert STANDARD.price(5000) == pytest.approx(40.0)
+        assert CHEAP_BULK.price(1000) == pytest.approx(2.0)
+
+    def test_delivery_hours(self):
+        assert CHEAP_BULK.delivery_hours(10_000) == pytest.approx(2.0)
+        assert PREMIUM_DRIP.delivery_hours(600) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SellerProfile("", 1.0, {"fake_classic": 1.0}, 100, 0.01)
+        with pytest.raises(ConfigurationError):
+            SellerProfile("x", 1.0, {"nope": 1.0}, 100, 0.01)
+        with pytest.raises(ConfigurationError):
+            SellerProfile("x", 1.0, {"fake_classic": 1.0}, 0, 0.01)
+        with pytest.raises(ConfigurationError):
+            SellerProfile("x", 1.0, {"fake_classic": 1.0}, 100, 1.0)
+        with pytest.raises(ConfigurationError):
+            STANDARD.price(0)
+
+
+class TestOrderFulfilment:
+    def test_bulk_order_delivers_within_hours(self):
+        simulation = make_simulation()
+        market = Marketplace(simulation, seed=2)
+        order = market.place_order(CHEAP_BULK, 700, quantity=8000)
+        assert order.price == pytest.approx(16.0)
+        simulation.run_for(4 * HOUR)
+        assert order.fully_delivered
+        assert simulation.graph.follower_count(
+            700, simulation.now()) == 8000
+
+    def test_drip_order_spreads_over_days(self):
+        simulation = make_simulation()
+        market = Marketplace(simulation, seed=2)
+        order = market.place_order(PREMIUM_DRIP, 700, quantity=2000)
+        simulation.run_for(12 * HOUR)
+        assert 0 < order.delivered < 2000  # still dripping
+        simulation.run_for(2 * DAY)
+        assert order.fully_delivered
+
+    def test_delivered_accounts_are_fake_personas(self):
+        simulation = make_simulation()
+        market = Marketplace(simulation, seed=2)
+        market.place_order(STANDARD, 700, quantity=500)
+        simulation.run_for(6 * HOUR)
+        graph = simulation.graph
+        now = simulation.now()
+        for uid in graph.follower_ids(700, 0, 500, now):
+            label = graph.account_by_id(uid, now).true_label
+            assert label in (Label.FAKE, Label.INACTIVE)
+
+    def test_attrition_erodes_the_block(self):
+        simulation = make_simulation()
+        market = Marketplace(simulation, seed=2)
+        order = market.place_order(CHEAP_BULK, 700, quantity=5000)
+        simulation.run_for(2 * HOUR)
+        assert order.fully_delivered
+        simulation.run_for(30 * DAY)
+        # ~4%/day for 30 days: roughly 30% gone (1 - 0.96^30 ~ 0.71
+        # retention), with Poisson noise.
+        assert order.retained < 0.85 * order.delivered
+        assert simulation.graph.follower_count(
+            700, simulation.now()) == order.retained
+
+    def test_premium_attrition_is_negligible(self):
+        simulation = make_simulation()
+        market = Marketplace(simulation, seed=2)
+        order = market.place_order(PREMIUM_DRIP, 700, quantity=600)
+        simulation.run_for(40 * DAY)
+        assert order.retained > 0.9 * order.delivered
+
+    def test_quantity_validated(self):
+        simulation = make_simulation()
+        market = Marketplace(simulation, seed=2)
+        with pytest.raises(ConfigurationError):
+            market.place_order(STANDARD, 700, quantity=0)
+
+    def test_orders_tracked(self):
+        simulation = make_simulation()
+        market = Marketplace(simulation, seed=2)
+        market.place_order(STANDARD, 700, quantity=100)
+        market.place_order(CHEAP_BULK, 700, quantity=100)
+        assert len(market.orders) == 2
+
+
+class TestBurstVisibility:
+    def test_bulk_purchase_trips_the_growth_monitor(self):
+        """End to end: marketplace delivery -> daily poller -> alert."""
+        from repro.growth import GrowthMonitor
+        from repro.twitter import OrganicGrowthProcess
+        simulation = make_simulation(seed=11)
+        simulation.add_process(OrganicGrowthProcess(700, per_day=80.0))
+        market = Marketplace(simulation, seed=3)
+        monitor = GrowthMonitor(simulation.graph, simulation.clock)
+
+        observations = []
+        for day in range(15):
+            if day == 8:
+                market.place_order(CHEAP_BULK, 700, quantity=6000)
+            observations.append((
+                simulation.now(),
+                simulation.graph.follower_count(700, simulation.now())))
+            simulation.run_for(DAY)
+        from repro.growth import BurstDetector, series_from_observations
+        series = series_from_observations(observations)
+        events = BurstDetector().detect(series)
+        assert events
+        assert events[0].day == 8
+        assert events[0].excess > 4000

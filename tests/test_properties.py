@@ -1,0 +1,128 @@
+"""Cross-module property-based tests.
+
+These exercise whole-pipeline invariants with hypothesis-generated
+configurations: arbitrary compositions, arbitrary page sizes, arbitrary
+burst placements.  Each property is something an engine or experiment
+silently relies on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analytics.base import percentages
+from repro.api import TwitterApiClient
+from repro.core import PAPER_EPOCH, SimClock
+from repro.twitter import (
+    Label,
+    SyntheticWorld,
+    build_world,
+    make_target_spec,
+)
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+compositions = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.05, max_value=1.0),
+).filter(lambda parts: sum(parts) > 0.2)
+
+
+class TestPopulationProperties:
+    @given(composition=compositions, seed=st.integers(0, 10_000))
+    @settings(**_SETTINGS)
+    def test_composition_matches_any_spec(self, composition, seed):
+        """Ground-truth label shares track the declared composition."""
+        inactive, fake, genuine = composition
+        total = inactive + fake + genuine
+        world = build_world(seed=seed)
+        spec = make_target_spec("prop", 3000, inactive, fake, genuine,
+                                ref_time=world.ref_time)
+        population = world.add_target(spec)
+        measured = population.composition(PAPER_EPOCH)
+        assert measured[Label.INACTIVE] == pytest.approx(
+            inactive / total, abs=0.06)
+        assert measured[Label.FAKE] == pytest.approx(
+            fake / total, abs=0.06)
+        assert measured[Label.GENUINE] == pytest.approx(
+            genuine / total, abs=0.06)
+
+    @given(
+        composition=compositions,
+        burst=st.floats(min_value=0.0, max_value=1.0),
+        position=st.floats(min_value=0.0, max_value=1.0),
+        tilt=st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(**_SETTINGS)
+    def test_burst_and_tilt_never_change_totals(self, composition, burst,
+                                                position, tilt):
+        """However the arrival order is shaped, totals are invariant."""
+        inactive, fake, genuine = composition
+        total = inactive + fake + genuine
+        world = build_world(seed=77)
+        spec = make_target_spec(
+            "shaped", 2500, inactive, fake, genuine,
+            fake_burst_fraction=burst, fake_burst_position=position,
+            tilt=tilt, ref_time=world.ref_time)
+        population = world.add_target(spec)
+        measured = population.composition(PAPER_EPOCH)
+        assert measured[Label.FAKE] == pytest.approx(
+            fake / total, abs=0.06)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(**_SETTINGS)
+    def test_arrival_times_always_sorted(self, seed):
+        world = build_world(seed=seed)
+        spec = make_target_spec("sorted", 2000, 0.3, 0.3, 0.4,
+                                fake_burst_fraction=0.5,
+                                ref_time=world.ref_time)
+        population = world.add_target(spec)
+        times = [population.followed_at(p) for p in range(0, 2000, 37)]
+        assert times == sorted(times)
+
+
+class TestApiProperties:
+    @given(
+        followers=st.integers(min_value=1, max_value=20_000),
+        page=st.integers(min_value=1, max_value=5000),
+    )
+    @settings(**_SETTINGS)
+    def test_pagination_partitions_exactly(self, followers, page):
+        """Any page size yields every follower exactly once, in order."""
+        world = SyntheticWorld(seed=3, ref_time=PAPER_EPOCH)
+        spec = make_target_spec("paged", followers, 0.2, 0.2, 0.6,
+                                ref_time=PAPER_EPOCH)
+        population = world.add_target(spec)
+        client = TwitterApiClient(world, SimClock(PAPER_EPOCH),
+                                  request_latency=0.0)
+        collected = []
+        cursor = -1
+        while True:
+            result = client.followers_ids(
+                screen_name="paged", cursor=cursor, count=page)
+            collected.extend(result.ids)
+            if result.next_cursor == 0:
+                break
+            cursor = result.next_cursor
+        assert len(collected) == followers
+        assert len(set(collected)) == followers
+        assert collected[0] == population.follower_id_at(followers - 1)
+        assert collected[-1] == population.follower_id_at(0)
+
+
+class TestReportingProperties:
+    @given(counts=st.lists(st.integers(min_value=0, max_value=10_000),
+                           min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_percentages_always_sum_to_100(self, counts):
+        total = sum(counts)
+        if total == 0:
+            return
+        keyed = {f"class{i}": value for i, value in enumerate(counts)}
+        rendered = percentages(keyed, total)
+        assert sum(rendered.values()) == pytest.approx(100.0, abs=0.05)
+        assert all(value >= -1e-9 for value in rendered.values())

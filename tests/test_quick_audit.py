@@ -1,0 +1,34 @@
+"""Unit tests for the top-level quick_audit convenience API."""
+
+import pytest
+
+import repro
+from repro.core import ConfigurationError
+
+
+class TestQuickAudit:
+    def test_single_engine_default(self):
+        reports = repro.quick_audit(3000, 0.3, 0.1, 0.6, seed=3)
+        assert set(reports) == {"fc"}
+        report = reports["fc"]
+        assert report.target == "quick_target"
+        assert report.inactive_pct == pytest.approx(30.0, abs=6.0)
+
+    def test_all_engines(self):
+        reports = repro.quick_audit(3000, 0.3, 0.1, 0.6,
+                                    engines="all", seed=3)
+        assert set(reports) == {"fc", "twitteraudit", "statuspeople",
+                                "socialbakers"}
+        assert reports["twitteraudit"].inactive_pct is None
+
+    def test_spec_kwargs_forwarded(self):
+        reports = repro.quick_audit(
+            50_000, 0.0, 0.5, 0.5, engines=("statuspeople",), seed=3,
+            fake_burst_fraction=1.0, fake_burst_position=1.0, tilt=0.0)
+        # Half the base is a fresh 25K purchased block filling the
+        # 35K head frame: the head sampler reports mostly fakes.
+        assert reports["statuspeople"].fake_pct > 60.0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repro.quick_audit(1000, 0.3, 0.1, 0.6, engines=("nope",))

@@ -1,0 +1,132 @@
+"""Unit tests for the materialised social graph."""
+
+import pytest
+
+from repro.core import (
+    DuplicateAccountError,
+    GraphError,
+    PAPER_EPOCH,
+    UnknownAccountError,
+    YEAR,
+)
+from repro.twitter import Account, SocialGraph
+
+NOW = PAPER_EPOCH
+
+
+def make_account(uid, name, **overrides):
+    defaults = dict(
+        user_id=uid,
+        screen_name=name,
+        created_at=PAPER_EPOCH - 2 * YEAR,
+        statuses_count=10,
+        last_tweet_at=PAPER_EPOCH - 1000,
+    )
+    defaults.update(overrides)
+    return Account(**defaults)
+
+
+@pytest.fixture
+def graph():
+    g = SocialGraph(seed=1)
+    for uid, name in ((1, "alice"), (2, "bob"), (3, "carol")):
+        g.add_account(make_account(uid, name))
+    return g
+
+
+class TestMutation:
+    def test_add_and_len(self, graph):
+        assert len(graph) == 3
+
+    def test_duplicate_id_rejected(self, graph):
+        with pytest.raises(DuplicateAccountError):
+            graph.add_account(make_account(1, "other"))
+
+    def test_duplicate_name_rejected_case_insensitive(self, graph):
+        with pytest.raises(DuplicateAccountError):
+            graph.add_account(make_account(9, "ALICE"))
+
+    def test_follow_and_unfollow(self, graph):
+        graph.follow(2, 1, NOW - 100)
+        assert graph.is_following(2, 1)
+        graph.unfollow(2, 1)
+        assert not graph.is_following(2, 1)
+
+    def test_self_follow_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.follow(1, 1, NOW)
+
+    def test_double_follow_rejected(self, graph):
+        graph.follow(2, 1, NOW)
+        with pytest.raises(GraphError):
+            graph.follow(2, 1, NOW + 1)
+
+    def test_unfollow_without_edge_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.unfollow(2, 1)
+
+    def test_unknown_account_rejected(self, graph):
+        with pytest.raises(UnknownAccountError):
+            graph.follow(99, 1, NOW)
+
+
+class TestObservation:
+    def test_counts_are_live(self, graph):
+        graph.follow(2, 1, NOW - 50)
+        graph.follow(3, 1, NOW - 10)
+        alice = graph.account_by_id(1, NOW)
+        assert alice.followers_count == 2
+        bob = graph.account_by_id(2, NOW)
+        assert bob.friends_count == 1
+
+    def test_counts_respect_observation_time(self, graph):
+        graph.follow(2, 1, NOW - 50)
+        graph.follow(3, 1, NOW + 50)
+        assert graph.follower_count(1, NOW) == 1
+        assert graph.follower_count(1, NOW + 100) == 2
+
+    def test_follower_ids_chronological(self, graph):
+        graph.follow(3, 1, NOW - 10)  # later follow inserted first
+        graph.follow(2, 1, NOW - 50)
+        assert list(graph.follower_ids(1, 0, 10, NOW)) == [2, 3]
+
+    def test_friend_ids_chronological(self, graph):
+        graph.follow(1, 2, NOW - 20)
+        graph.follow(1, 3, NOW - 10)
+        assert list(graph.friend_ids(1, 0, 10, NOW)) == [2, 3]
+
+    def test_lookup_by_name(self, graph):
+        assert graph.account_by_name("Bob", NOW).user_id == 2
+        with pytest.raises(UnknownAccountError):
+            graph.account_by_name("dave", NOW)
+
+    def test_account_not_visible_before_creation(self, graph):
+        with pytest.raises(UnknownAccountError):
+            graph.account_by_id(1, PAPER_EPOCH - 10 * YEAR)
+
+    def test_timeline_filtered_by_now(self, graph):
+        tweets_now = graph.timeline(1, 10, NOW)
+        assert all(t.created_at <= NOW for t in tweets_now)
+
+    def test_all_account_ids(self, graph):
+        assert sorted(graph.all_account_ids()) == [1, 2, 3]
+
+    def test_update_account_replaces_snapshot(self, graph):
+        updated = make_account(1, "alice", statuses_count=99,
+                               last_tweet_at=NOW - 10)
+        graph.update_account(updated)
+        assert graph.account_by_id(1, NOW).statuses_count == 99
+
+    def test_update_account_cannot_rename(self, graph):
+        with pytest.raises(GraphError):
+            graph.update_account(make_account(1, "malice"))
+
+    def test_update_unknown_account_rejected(self, graph):
+        with pytest.raises(UnknownAccountError):
+            graph.update_account(make_account(42, "ghost"))
+
+    def test_declared_counts_floor_reported_counts(self, graph):
+        graph.update_account(make_account(1, "alice", followers_count=500))
+        graph.follow(2, 1, NOW - 5)
+        snapshot = graph.account_by_id(1, NOW)
+        assert snapshot.followers_count == 500  # declared > 1 edge

@@ -1,0 +1,73 @@
+"""Unit tests for stylistic screen-name generation."""
+
+import string
+
+from repro.core import make_rng
+from repro.twitter.names import (
+    bot_screen_name,
+    digit_fraction,
+    display_name,
+    human_screen_name,
+)
+
+
+class TestHumanNames:
+    def test_valid_handles(self):
+        rng = make_rng(1)
+        for __ in range(200):
+            handle = human_screen_name(rng)
+            assert 1 <= len(handle) <= 15
+            assert all(c in string.ascii_lowercase + string.digits + "._"
+                       for c in handle)
+
+    def test_low_digit_fraction_on_average(self):
+        rng = make_rng(2)
+        fractions = [digit_fraction(human_screen_name(rng))
+                     for __ in range(300)]
+        assert sum(fractions) / len(fractions) < 0.2
+
+    def test_large_space(self):
+        rng = make_rng(3)
+        handles = {human_screen_name(rng) for __ in range(500)}
+        assert len(handles) > 450
+
+
+class TestBotNames:
+    def test_valid_handles(self):
+        rng = make_rng(4)
+        for __ in range(200):
+            handle = bot_screen_name(rng)
+            assert 1 <= len(handle) <= 15
+
+    def test_high_digit_fraction_on_average(self):
+        rng = make_rng(5)
+        fractions = [digit_fraction(bot_screen_name(rng))
+                     for __ in range(300)]
+        assert sum(fractions) / len(fractions) > 0.35
+
+    def test_separates_from_human_names(self):
+        """The feature the classifier uses must actually separate."""
+        rng = make_rng(6)
+        human = sorted(digit_fraction(human_screen_name(rng))
+                       for __ in range(300))
+        bot = sorted(digit_fraction(bot_screen_name(rng))
+                     for __ in range(300))
+        # Compare medians: a robust gap, not perfect separation.
+        assert bot[150] > human[150] + 0.2
+
+
+class TestDisplayName:
+    def test_title_case_two_words(self):
+        rng = make_rng(7)
+        name = display_name(rng)
+        parts = name.split(" ")
+        assert len(parts) == 2
+        assert all(part[0].isupper() for part in parts)
+
+
+class TestDigitFraction:
+    def test_values(self):
+        assert digit_fraction("abc123") == 0.5
+        assert digit_fraction("abcdef") == 0.0
+        assert digit_fraction("12345") == 1.0
+        assert digit_fraction("") == 0.0

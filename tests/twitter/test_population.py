@@ -1,0 +1,167 @@
+"""Unit tests for lazy follower populations and the synthetic world."""
+
+import pytest
+
+from repro.core import (
+    DAY,
+    DuplicateAccountError,
+    PAPER_EPOCH,
+    UnknownAccountError,
+)
+from repro.twitter import (
+    AMBIENT_POOL_SIZE,
+    Label,
+    add_simple_target,
+    ambient_id,
+    build_world,
+    decode_follower,
+    follower_id,
+    namespace_of,
+    target_id,
+)
+
+NOW = PAPER_EPOCH
+
+
+@pytest.fixture(scope="module")
+def world():
+    w = build_world(seed=5)
+    add_simple_target(w, "first", 8000, 0.4, 0.1, 0.5,
+                      daily_new_followers=100)
+    add_simple_target(w, "second", 3000, 0.1, 0.0, 0.9)
+    return w
+
+
+class TestIdNamespaces:
+    def test_follower_roundtrip(self):
+        fid = follower_id(3, 123456)
+        assert decode_follower(fid) == (3, 123456)
+
+    def test_namespaces_disjoint(self):
+        tags = {namespace_of(target_id(1)),
+                namespace_of(follower_id(1, 1)),
+                namespace_of(ambient_id(1))}
+        assert len(tags) == 3
+
+    def test_decode_rejects_foreign_namespace(self):
+        with pytest.raises(UnknownAccountError):
+            decode_follower(target_id(1))
+
+
+class TestFollowerPopulation:
+    def test_size_at_reference(self, world):
+        assert world.population("first").size_at(NOW) == 8000
+
+    def test_growth_after_reference(self, world):
+        pop = world.population("first")
+        assert pop.size_at(NOW + DAY) == 8100
+
+    def test_follower_ids_slice_chronological(self, world):
+        pop = world.population("first")
+        ids = list(pop.follower_ids(10, 15))
+        assert ids == [pop.follower_id_at(p) for p in range(10, 15)]
+
+    def test_arrival_times_monotone(self, world):
+        pop = world.population("first")
+        times = [pop.followed_at(p) for p in range(0, 8000, 501)]
+        assert times == sorted(times)
+
+    def test_account_deterministic(self, world):
+        pop = world.population("first")
+        first = pop.account_at(17, NOW)
+        second = pop.account_at(17, NOW)
+        assert first == second
+
+    def test_account_creation_precedes_follow(self, world):
+        pop = world.population("first")
+        for position in range(0, 8000, 997):
+            account = pop.account_at(position, NOW)
+            assert account.created_at <= pop.followed_at(position)
+
+    def test_composition_matches_spec(self, world):
+        comp = world.population("first").composition(NOW)
+        assert comp[Label.INACTIVE] == pytest.approx(0.4, abs=0.03)
+        assert comp[Label.FAKE] == pytest.approx(0.1, abs=0.02)
+        assert comp[Label.GENUINE] == pytest.approx(0.5, abs=0.03)
+
+    def test_recency_tilt_head_less_inactive(self, world):
+        pop = world.population("first")
+        head = [pop.true_label_at(p) for p in range(7000, 8000)]
+        tail = [pop.true_label_at(p) for p in range(0, 1000)]
+        head_inactive = sum(1 for l in head if l is Label.INACTIVE) / 1000
+        tail_inactive = sum(1 for l in tail if l is Label.INACTIVE) / 1000
+        assert head_inactive < tail_inactive
+
+    def test_labels_match_behaviour(self, world):
+        pop = world.population("first")
+        for position in range(0, 8000, 397):
+            account = pop.account_at(position, NOW)
+            age = account.last_tweet_age(NOW)
+            behaviourally_inactive = age is None or age > 90 * DAY
+            assert behaviourally_inactive == (
+                account.true_label is Label.INACTIVE)
+
+
+class TestSyntheticWorld:
+    def test_duplicate_target_rejected(self, world):
+        with pytest.raises(DuplicateAccountError):
+            add_simple_target(world, "FIRST", 10, 0.0, 0.0, 1.0)
+
+    def test_unknown_target_lookup(self, world):
+        with pytest.raises(UnknownAccountError):
+            world.population("nobody")
+        with pytest.raises(UnknownAccountError):
+            world.account_by_name("nobody", NOW)
+
+    def test_target_account_counts_live(self, world):
+        account = world.account_by_name("first", NOW)
+        assert account.followers_count == 8000
+        later = world.account_by_name("first", NOW + 2 * DAY)
+        assert later.followers_count == 8200
+
+    def test_account_by_id_for_follower(self, world):
+        pop = world.population("second")
+        fid = pop.follower_id_at(5)
+        assert world.account_by_id(fid, NOW).user_id == fid
+
+    def test_unborn_follower_not_resolvable(self, world):
+        pop = world.population("first")
+        fid = pop.follower_id_at(8050)  # arrives within the next day
+        with pytest.raises(UnknownAccountError):
+            world.account_by_id(fid, NOW)
+        assert world.account_by_id(fid, NOW + DAY).user_id == fid
+
+    def test_follower_ids_clamped(self, world):
+        assert len(world.follower_ids(target_id(0), 7990, 9999, NOW)) == 10
+
+    def test_leaf_follower_list_empty(self, world):
+        pop = world.population("first")
+        assert world.follower_ids(pop.follower_id_at(0), 0, 10, NOW) == []
+
+    def test_friend_ids_resolve_to_ambient_accounts(self, world):
+        pop = world.population("first")
+        fid = pop.follower_id_at(3)
+        friends = world.friend_ids(fid, 0, 10, NOW)
+        count = min(world.friend_count(fid, NOW), 10)
+        assert len(friends) == count
+        for friend in friends:
+            account = world.account_by_id(friend, NOW)
+            assert account.user_id == friend
+
+    def test_ambient_pool_bounded(self, world):
+        with pytest.raises(UnknownAccountError):
+            world.account_by_id(ambient_id(AMBIENT_POOL_SIZE), NOW)
+
+    def test_timeline_consistent_with_account(self, world):
+        pop = world.population("first")
+        for position in (1, 100, 4000):
+            account = pop.account_at(position, NOW)
+            tweets = world.timeline(account.user_id, 10, NOW)
+            if account.statuses_count == 0:
+                assert tweets == []
+            else:
+                assert tweets[0].created_at == account.last_tweet_at
+
+    def test_targets_listing(self, world):
+        assert [p.spec.screen_name for p in world.targets()] == [
+            "first", "second"]

@@ -1,0 +1,80 @@
+"""Unit tests for the tweet-text generator."""
+
+from collections import Counter
+
+from repro.core import make_rng
+from repro.twitter import BehaviorProfile, Tweet, TweetTextGenerator
+
+
+def generate(profile, n=300, seed=1):
+    gen = TweetTextGenerator(make_rng(seed), profile)
+    return [Tweet(tweet_id=i, user_id=1, created_at=1e9,
+                  text=gen.next_text(), source=gen.next_source())
+            for i in range(n)]
+
+
+class TestContentRates:
+    def test_pure_spam_profile(self):
+        tweets = generate(BehaviorProfile(spam_ratio=1.0, retweet_ratio=0.0))
+        assert all(t.contains_spam_phrase() for t in tweets)
+
+    def test_clean_profile_produces_no_spam(self):
+        tweets = generate(BehaviorProfile(spam_ratio=0.0))
+        assert not any(t.contains_spam_phrase() for t in tweets)
+
+    def test_link_ratio_approximate(self):
+        tweets = generate(BehaviorProfile(link_ratio=0.8, retweet_ratio=0.0))
+        share = sum(1 for t in tweets if t.has_link()) / len(tweets)
+        assert 0.7 <= share <= 0.9
+
+    def test_retweet_ratio_approximate(self):
+        tweets = generate(BehaviorProfile(retweet_ratio=0.5))
+        share = sum(1 for t in tweets if t.is_retweet()) / len(tweets)
+        assert 0.4 <= share <= 0.6
+
+    def test_all_retweets(self):
+        tweets = generate(BehaviorProfile(retweet_ratio=1.0))
+        assert all(t.is_retweet() for t in tweets)
+
+
+class TestDuplicatePool:
+    def test_pool_produces_exact_repeats(self):
+        tweets = generate(
+            BehaviorProfile(duplicate_pool=3, retweet_ratio=0.0), n=100)
+        bodies = Counter(t.body() for t in tweets)
+        assert len(bodies) <= 3
+        assert max(bodies.values()) > 3
+
+    def test_no_pool_rarely_repeats(self):
+        tweets = generate(BehaviorProfile(duplicate_pool=0), n=100)
+        bodies = Counter(t.body() for t in tweets)
+        assert max(bodies.values()) <= 3
+
+    def test_retweeted_duplicates_share_body(self):
+        tweets = generate(
+            BehaviorProfile(duplicate_pool=1, retweet_ratio=0.5), n=50)
+        assert len({t.body() for t in tweets}) == 1
+
+
+class TestSources:
+    def test_automation_ratio_one(self):
+        gen = TweetTextGenerator(
+            make_rng(2), BehaviorProfile(api_source_ratio=1.0))
+        human = ("web", "Twitter for iPhone", "Twitter for Android")
+        assert all(gen.next_source() not in human for _ in range(50))
+
+    def test_automation_ratio_zero(self):
+        gen = TweetTextGenerator(
+            make_rng(3), BehaviorProfile(api_source_ratio=0.0))
+        human = ("web", "Twitter for iPhone", "Twitter for Android")
+        assert all(gen.next_source() in human for _ in range(50))
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        profile = BehaviorProfile(link_ratio=0.5, spam_ratio=0.3)
+        first = [TweetTextGenerator(make_rng(9), profile).next_text()
+                 for _ in range(1)]
+        second = [TweetTextGenerator(make_rng(9), profile).next_text()
+                  for _ in range(1)]
+        assert first == second

@@ -1,0 +1,83 @@
+"""Unit tests for lazy timeline generation."""
+
+import pytest
+
+from repro.core import DAY, PAPER_EPOCH, YEAR
+from repro.twitter import Account, BehaviorProfile, TIMELINE_CAP, TimelineGenerator
+
+
+def make_account(statuses=500, last_tweet_days_ago=1.0, **overrides):
+    defaults = dict(
+        user_id=42,
+        screen_name="talker",
+        created_at=PAPER_EPOCH - 3 * YEAR,
+        statuses_count=statuses,
+        last_tweet_at=(PAPER_EPOCH - last_tweet_days_ago * DAY
+                       if statuses else None),
+        behavior=BehaviorProfile(tweets_per_day=2.0),
+    )
+    defaults.update(overrides)
+    return Account(**defaults)
+
+
+class TestRecentTweets:
+    def test_returns_requested_count(self):
+        tweets = TimelineGenerator(1).recent_tweets(make_account(), 50)
+        assert len(tweets) == 50
+
+    def test_capped_by_statuses_count(self):
+        tweets = TimelineGenerator(1).recent_tweets(make_account(statuses=7), 50)
+        assert len(tweets) == 7
+
+    def test_capped_at_3200(self):
+        account = make_account(statuses=10_000)
+        tweets = TimelineGenerator(1).recent_tweets(account, 5000)
+        assert len(tweets) == TIMELINE_CAP
+
+    def test_empty_for_never_tweeted(self):
+        assert TimelineGenerator(1).recent_tweets(make_account(statuses=0), 10) == []
+
+    def test_zero_count(self):
+        assert TimelineGenerator(1).recent_tweets(make_account(), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineGenerator(1).recent_tweets(make_account(), -1)
+
+    def test_newest_first_and_first_is_last_tweet(self):
+        account = make_account()
+        tweets = TimelineGenerator(1).recent_tweets(account, 30)
+        times = [t.created_at for t in tweets]
+        assert times == sorted(times, reverse=True)
+        assert times[0] == account.last_tweet_at
+
+    def test_no_tweet_before_account_creation(self):
+        account = make_account(statuses=3000)
+        tweets = TimelineGenerator(1).recent_tweets(account, 200)
+        assert all(t.created_at >= account.created_at for t in tweets)
+
+    def test_tweets_attributed_to_account(self):
+        tweets = TimelineGenerator(1).recent_tweets(make_account(), 5)
+        assert all(t.user_id == 42 for t in tweets)
+
+
+class TestDeterminism:
+    def test_same_seed_same_timeline(self):
+        account = make_account()
+        first = TimelineGenerator(7).recent_tweets(account, 20)
+        second = TimelineGenerator(7).recent_tweets(account, 20)
+        assert [t.text for t in first] == [t.text for t in second]
+        assert [t.created_at for t in first] == [t.created_at for t in second]
+
+    def test_different_seed_different_text(self):
+        account = make_account()
+        first = TimelineGenerator(7).recent_tweets(account, 20)
+        second = TimelineGenerator(8).recent_tweets(account, 20)
+        assert [t.text for t in first] != [t.text for t in second]
+
+    def test_prefix_stability(self):
+        """Fetching fewer tweets yields a prefix of the longer fetch."""
+        account = make_account()
+        short = TimelineGenerator(7).recent_tweets(account, 10)
+        long = TimelineGenerator(7).recent_tweets(account, 40)
+        assert [t.text for t in short] == [t.text for t in long[:10]]

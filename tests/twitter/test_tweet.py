@@ -1,0 +1,83 @@
+"""Unit tests for the tweet model and its detectors."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.twitter import SPAM_PHRASES, Tweet
+
+
+def make_tweet(text, **overrides):
+    defaults = dict(tweet_id=1, user_id=2, created_at=1e9, text=text)
+    defaults.update(overrides)
+    return Tweet(**defaults)
+
+
+class TestValidation:
+    def test_empty_text_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tweet("")
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_tweet("hi", tweet_id=-1)
+
+
+class TestRetweetDetection:
+    def test_rt_prefix(self):
+        assert make_tweet("RT @alice: great stuff").is_retweet()
+
+    def test_rt_mid_text_is_not_retweet(self):
+        assert not make_tweet("this is RT @alice: nope").is_retweet()
+
+    def test_plain_text(self):
+        assert not make_tweet("a normal tweet").is_retweet()
+
+
+class TestLinkDetection:
+    def test_http_and_https(self):
+        assert make_tweet("see http://t.co/abc").has_link()
+        assert make_tweet("see https://example.org/x").has_link()
+
+    def test_no_link(self):
+        assert not make_tweet("nothing to click here").has_link()
+
+
+class TestMentionsAndHashtags:
+    def test_mentions(self):
+        tweet = make_tweet("hello @alice and @bob_99")
+        assert tweet.mentions() == frozenset({"alice", "bob_99"})
+
+    def test_email_is_not_a_mention(self):
+        assert make_tweet("mail me me@example.com").mentions() == frozenset()
+
+    def test_hashtags(self):
+        tweet = make_tweet("great #match today #sport")
+        assert tweet.hashtags() == frozenset({"match", "sport"})
+
+    def test_rt_source_counts_as_mention(self):
+        assert "alice" in make_tweet("RT @alice: hi").mentions()
+
+
+class TestSpamDetection:
+    @pytest.mark.parametrize("phrase", SPAM_PHRASES[:3])
+    def test_each_documented_phrase_detected(self, phrase):
+        assert make_tweet(f"try this {phrase} now").contains_spam_phrase()
+
+    def test_case_insensitive(self):
+        assert make_tweet("WORK FROM HOME today").contains_spam_phrase()
+
+    def test_clean_text(self):
+        assert not make_tweet("lovely weather in Pisa").contains_spam_phrase()
+
+
+class TestBody:
+    def test_strips_rt_prefix(self):
+        assert make_tweet("RT @alice: the content").body() == "the content"
+
+    def test_identical_bodies_across_retweeters(self):
+        first = make_tweet("RT @alice: buy this now")
+        second = make_tweet("RT @bob: buy this now")
+        assert first.body() == second.body()
+
+    def test_plain_body_unchanged(self):
+        assert make_tweet("just text").body() == "just text"

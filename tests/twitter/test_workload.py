@@ -1,0 +1,119 @@
+"""Unit and property tests for arrival schedules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigurationError, DAY
+from repro.twitter import ArrivalSchedule, SegmentWindow, even_schedule
+
+
+class TestSegmentWindow:
+    def test_arrivals_inside_window(self):
+        segment = SegmentWindow(count=100, start=0.0, end=1000.0)
+        times = [segment.arrival_time(i) for i in range(100)]
+        assert all(0.0 <= t < 1000.0 for t in times)
+        assert times == sorted(times)
+
+    def test_single_follower_lands_mid_window(self):
+        segment = SegmentWindow(count=1, start=0.0, end=100.0)
+        assert segment.arrival_time(0) == 50.0
+
+    def test_gamma_backloads(self):
+        even = SegmentWindow(count=10, start=0.0, end=100.0, gamma=1.0)
+        late = SegmentWindow(count=10, start=0.0, end=100.0, gamma=3.0)
+        assert late.arrival_time(2) < even.arrival_time(2)
+
+    def test_position_out_of_range(self):
+        segment = SegmentWindow(count=5, start=0.0, end=1.0)
+        with pytest.raises(ConfigurationError):
+            segment.arrival_time(5)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentWindow(count=1, start=10.0, end=5.0)
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentWindow(count=1, start=0.0, end=1.0, gamma=0.0)
+
+
+class TestArrivalSchedule:
+    def test_needs_segments(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalSchedule([])
+
+    def test_overlapping_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalSchedule([
+                SegmentWindow(count=1, start=0.0, end=10.0),
+                SegmentWindow(count=1, start=5.0, end=20.0),
+            ])
+
+    def test_monotone_arrivals_across_segments(self):
+        schedule = ArrivalSchedule([
+            SegmentWindow(count=50, start=0.0, end=100.0),
+            SegmentWindow(count=50, start=100.0, end=110.0),  # a burst
+            SegmentWindow(count=50, start=110.0, end=500.0),
+        ])
+        times = [schedule.arrival_time(i) for i in range(150)]
+        assert times == sorted(times)
+
+    def test_size_at_is_inverse_of_arrival(self):
+        schedule = even_schedule(200, 0.0, 1000.0)
+        for position in (0, 1, 57, 199):
+            moment = schedule.arrival_time(position)
+            assert schedule.size_at(moment) >= position + 1
+            assert schedule.size_at(moment - 1e-6) <= position + 1
+
+    def test_size_before_start_is_zero(self):
+        schedule = even_schedule(100, 50.0, 100.0)
+        assert schedule.size_at(0.0) == 0
+
+    def test_size_at_ref_is_base_count(self):
+        schedule = even_schedule(100, 0.0, 10.0)
+        assert schedule.size_at(10.0) == 100
+        assert schedule.base_count == 100
+
+    def test_trickle_growth(self):
+        schedule = even_schedule(100, 0.0, 10.0, post_ref_daily=24.0)
+        assert schedule.size_at(10.0 + DAY) == 124
+        assert schedule.size_at(10.0 + 2 * DAY) == 148
+
+    def test_trickle_arrival_times_monotone(self):
+        schedule = even_schedule(10, 0.0, 10.0, post_ref_daily=5.0)
+        times = [schedule.arrival_time(i) for i in range(10, 30)]
+        assert times == sorted(times)
+        assert all(t >= 10.0 for t in times)
+
+    def test_position_beyond_non_growing_schedule(self):
+        schedule = even_schedule(10, 0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            schedule.arrival_time(10)
+
+    def test_negative_position(self):
+        schedule = even_schedule(10, 0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            schedule.arrival_time(-1)
+
+
+class TestScheduleProperties:
+    @given(
+        counts=st.lists(st.integers(min_value=1, max_value=40),
+                        min_size=1, max_size=5),
+        trickle=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_arrivals_sorted_and_size_consistent(self, counts, trickle):
+        cursor = 0.0
+        segments = []
+        for count in counts:
+            segments.append(SegmentWindow(
+                count=count, start=cursor, end=cursor + 100.0))
+            cursor += 100.0
+        schedule = ArrivalSchedule(segments, post_ref_daily=trickle)
+        total = sum(counts)
+        times = [schedule.arrival_time(i) for i in range(total)]
+        assert times == sorted(times)
+        # size_at at each arrival instant counts that arrival.
+        for position in range(0, total, max(1, total // 7)):
+            assert schedule.size_at(times[position]) >= position + 1
