@@ -24,6 +24,7 @@ from ..audit import AuditReport
 from ..core.clock import SimClock, Stopwatch
 from ..core.errors import ConfigurationError
 from ..core.rng import make_rng
+from ..obs.runtime import get_observability
 from ..twitter.population import World
 from ..twitter.tweet import Tweet
 
@@ -49,21 +50,34 @@ class ResultCache:
     the default is an unbounded TTL.
     """
 
-    def __init__(self, ttl: Optional[float] = None) -> None:
+    def __init__(self, ttl: Optional[float] = None,
+                 name: str = "audit") -> None:
         if ttl is not None and ttl <= 0:
             raise ConfigurationError(f"ttl must be positive: {ttl!r}")
         self._ttl = ttl
         self._entries: Dict[str, Tuple[AnalysisOutcome, float]] = {}
+        registry = get_observability().registry
+        help_text = "result-cache lookups by outcome"
+        self._hits = registry.counter(
+            "cache_events_total", help=help_text, cache=name, event="hit")
+        self._misses = registry.counter(
+            "cache_events_total", help=help_text, cache=name, event="miss")
+        self._expirations = registry.counter(
+            "cache_events_total", help=help_text, cache=name, event="expired")
 
     def get(self, key: str, now: float) -> Optional[Tuple[AnalysisOutcome, float]]:
         """Return ``(outcome, computed_at)`` if cached and fresh."""
-        entry = self._entries.get(key.lower())
+        normalized = key.lower()
+        entry = self._entries.get(normalized)
         if entry is None:
+            self._misses.inc()
             return None
         __, computed_at = entry
         if self._ttl is not None and now - computed_at > self._ttl:
-            del self._entries[key.lower()]
+            del self._entries[normalized]
+            self._expirations.inc()
             return None
+        self._hits.inc()
         return entry
 
     def put(self, key: str, outcome: AnalysisOutcome, computed_at: float) -> None:
@@ -119,7 +133,8 @@ class CommercialAnalytic:
             request_latency=request_latency,
         )
         self._crawler = Crawler(self._client)
-        self._cache = ResultCache(ttl=cache_ttl)
+        self._cache = ResultCache(ttl=cache_ttl, name=self.name)
+        self._tracer = get_observability().tracer
         self._cache_serve_seconds = cache_serve_seconds
         self._processing_seconds = processing_seconds
         self._seed = seed
@@ -144,23 +159,30 @@ class CommercialAnalytic:
         time as an end user would experience it, which is how Table II
         was measured.
         """
-        stopwatch = Stopwatch(self._clock)
-        cached = None if force_refresh else self._cache.get(
-            screen_name, self._clock.now())
-        if cached is not None:
-            outcome, computed_at = cached
-            self._clock.advance(self._cache_serve_seconds)
-            return self._report(screen_name, outcome,
-                                stopwatch.elapsed(), cached=True,
-                                assessed_at=computed_at)
-        self._client.reset_budgets()
-        outcome = self._analyze(screen_name)
-        self._clock.advance(self._processing_seconds)
-        computed_at = self._clock.now()
-        self._cache.put(screen_name, outcome, computed_at)
-        return self._report(screen_name, outcome,
-                            stopwatch.elapsed(), cached=False,
-                            assessed_at=computed_at)
+        with self._tracer.span("audit", self._clock, tool=self.name,
+                               target=screen_name) as span:
+            stopwatch = Stopwatch(self._clock)
+            cached = None if force_refresh else self._cache.get(
+                screen_name, self._clock.now())
+            if cached is not None:
+                outcome, computed_at = cached
+                self._clock.advance(self._cache_serve_seconds)
+                report = self._report(screen_name, outcome,
+                                      stopwatch.elapsed(), cached=True,
+                                      assessed_at=computed_at)
+            else:
+                self._client.reset_budgets()
+                outcome = self._analyze(screen_name)
+                self._clock.advance(self._processing_seconds)
+                computed_at = self._clock.now()
+                self._cache.put(screen_name, outcome, computed_at)
+                report = self._report(screen_name, outcome,
+                                      stopwatch.elapsed(), cached=False,
+                                      assessed_at=computed_at)
+            span.set_attribute("cached", report.cached)
+            span.set_attribute("fake_pct", report.fake_pct)
+            span.set_attribute("genuine_pct", report.genuine_pct)
+            return report
 
     def prewarm(self, screen_names: Sequence[str]) -> None:
         """Analyse targets ahead of user requests, populating the cache.
@@ -172,8 +194,10 @@ class CommercialAnalytic:
         """
         for screen_name in screen_names:
             if screen_name not in self._cache:
-                outcome = self._analyze(screen_name)
-                self._cache.put(screen_name, outcome, self._clock.now())
+                with self._tracer.span("audit.prewarm", self._clock,
+                                       tool=self.name, target=screen_name):
+                    outcome = self._analyze(screen_name)
+                    self._cache.put(screen_name, outcome, self._clock.now())
 
     # -- subclass hooks ---------------------------------------------------------
 

@@ -22,6 +22,8 @@ from typing import List, Optional, Sequence
 
 from ..core.clock import SimClock
 from ..core.errors import ConfigurationError, InvalidCursorError, UnknownAccountError
+from ..obs.metrics import LATENCY_BUCKETS, WAIT_BUCKETS
+from ..obs.runtime import get_observability
 from ..twitter.population import World
 from ..twitter.tweet import Tweet
 from .endpoints import ApiCall, CallLog, IdsPage, UserObject
@@ -55,9 +57,18 @@ class TwitterApiClient:
         self._clock = clock
         self._credentials = credentials
         self._policies = policies
-        self._limiter = RateLimiter(clock.now(), policies, credentials)
+        obs = get_observability()
+        self._tracer = obs.tracer
+        self._registry = obs.registry
+        self._limiter = RateLimiter(clock.now(), policies, credentials,
+                                    registry=self._registry)
         self._latency = request_latency / parallelism
         self._log = CallLog()
+        # Per-resource (requests, items, latency, wait) instrument
+        # handles, resolved lazily so the no-op and real paths share one
+        # dict lookup per request.
+        self._instruments = {}
+        obs.register_call_log(self._log)
 
     def reset_budgets(self) -> None:
         """Start from fresh, full rate-limit windows.
@@ -68,7 +79,8 @@ class TwitterApiClient:
         paper timed them — each against fresh budgets.
         """
         self._limiter = RateLimiter(
-            self._clock.now(), self._policies, self._credentials)
+            self._clock.now(), self._policies, self._credentials,
+            registry=self._registry)
 
     @property
     def clock(self) -> SimClock:
@@ -84,22 +96,58 @@ class TwitterApiClient:
         """Expose the active rate-limit policy of a resource."""
         return self._limiter.policy(resource)
 
+    def _resource_instruments(self, resource: str):
+        """The (requests, items, latency, wait) handles for a resource."""
+        handles = self._instruments.get(resource)
+        if handles is None:
+            registry = self._registry
+            handles = (
+                registry.counter(
+                    "api_requests_total",
+                    help="requests issued, by API resource",
+                    resource=resource),
+                registry.counter(
+                    "api_items_total",
+                    help="elements returned, by API resource",
+                    resource=resource),
+                registry.histogram(
+                    "api_request_latency_seconds", LATENCY_BUCKETS,
+                    help="request wall time incl. rate-limit wait",
+                    resource=resource),
+                registry.histogram(
+                    "api_ratelimit_wait_seconds", WAIT_BUCKETS,
+                    help="seconds spent waiting for the token bucket",
+                    resource=resource),
+            )
+            self._instruments[resource] = handles
+        return handles
+
     def _execute(self, resource: str, items: int) -> float:
         """Charge one request: rate-limit wait + latency.  Returns 'now'."""
-        issued = self._clock.now()
-        waited = self._limiter.wait_time(resource, issued)
-        if waited > 0:
-            self._clock.advance(waited)
-        self._limiter.consume(resource, self._clock.now())
-        self._clock.advance(self._latency)
-        completed = self._clock.now()
-        self._log.record(ApiCall(
-            resource=resource,
-            issued_at=issued,
-            completed_at=completed,
-            waited=waited,
-            items=items,
-        ))
+        requests, items_counter, latency_hist, wait_hist = \
+            self._resource_instruments(resource)
+        with self._tracer.span("api.request", self._clock,
+                               resource=resource) as span:
+            issued = self._clock.now()
+            waited = self._limiter.wait_time(resource, issued)
+            if waited > 0:
+                self._clock.advance(waited)
+            self._limiter.consume(resource, self._clock.now())
+            self._clock.advance(self._latency)
+            completed = self._clock.now()
+            self._log.record(ApiCall(
+                resource=resource,
+                issued_at=issued,
+                completed_at=completed,
+                waited=waited,
+                items=items,
+            ))
+            requests.inc()
+            items_counter.inc(items)
+            latency_hist.observe(completed - issued)
+            wait_hist.observe(waited)
+            span.set_attribute("waited", waited)
+            span.set_attribute("items", items)
         return completed
 
     # -- users ----------------------------------------------------------------

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
+from ..obs.runtime import get_observability
 from ..twitter.tweet import Tweet
 from .client import DEFAULT_REQUEST_LATENCY, TwitterApiClient
 from .endpoints import UserObject
@@ -26,6 +27,11 @@ class Crawler:
 
     def __init__(self, client: TwitterApiClient) -> None:
         self._client = client
+        obs = get_observability()
+        self._tracer = obs.tracer
+        self._pages = obs.registry.counter(
+            "crawler_pages_total",
+            help="cursor pages fetched by the batching crawler")
 
     @property
     def client(self) -> TwitterApiClient:
@@ -52,34 +58,48 @@ class Crawler:
         """
         if max_ids is not None and max_ids < 1:
             raise ConfigurationError(f"max_ids must be >= 1: {max_ids!r}")
-        ids: List[int] = []
-        cursor = -1
-        while True:
-            page = self._client.followers_ids(
-                screen_name=screen_name, cursor=cursor)
-            ids.extend(page.ids)
-            if max_ids is not None and len(ids) >= max_ids:
-                return ids[:max_ids]
-            if page.next_cursor == 0:
-                return ids
-            cursor = page.next_cursor
+        with self._tracer.span("crawl.followers", self._client.clock,
+                               target=screen_name) as span:
+            ids: List[int] = []
+            cursor = -1
+            pages = 0
+            while True:
+                page = self._client.followers_ids(
+                    screen_name=screen_name, cursor=cursor)
+                pages += 1
+                self._pages.inc()
+                ids.extend(page.ids)
+                if max_ids is not None and len(ids) >= max_ids:
+                    ids = ids[:max_ids]
+                    break
+                if page.next_cursor == 0:
+                    break
+                cursor = page.next_cursor
+            span.set_attribute("pages", pages)
+            span.set_attribute("ids", len(ids))
+        return ids
 
     def lookup_users(self, user_ids: Sequence[int]) -> List[UserObject]:
         """Resolve profiles in ``users/lookup`` batches of 100."""
         batch_size = self._client.policy("users/lookup").elements_per_request
-        users: List[UserObject] = []
-        for start in range(0, len(user_ids), batch_size):
-            batch = list(user_ids[start:start + batch_size])
-            if batch:
-                users.extend(self._client.users_lookup(batch))
+        with self._tracer.span("crawl.lookup", self._client.clock,
+                               requested=len(user_ids)) as span:
+            users: List[UserObject] = []
+            for start in range(0, len(user_ids), batch_size):
+                batch = list(user_ids[start:start + batch_size])
+                if batch:
+                    users.extend(self._client.users_lookup(batch))
+            span.set_attribute("resolved", len(users))
         return users
 
     def fetch_timelines(self, user_ids: Sequence[int],
                         per_user: int = 200) -> Dict[int, List[Tweet]]:
         """Pull one timeline page per user (up to 200 recent tweets)."""
-        timelines: Dict[int, List[Tweet]] = {}
-        for uid in user_ids:
-            timelines[uid] = self._client.user_timeline(uid, count=per_user)
+        with self._tracer.span("crawl.timelines", self._client.clock,
+                               users=len(user_ids)):
+            timelines: Dict[int, List[Tweet]] = {}
+            for uid in user_ids:
+                timelines[uid] = self._client.user_timeline(uid, count=per_user)
         return timelines
 
 

@@ -14,7 +14,7 @@ check "the last tweet is more than 90 days old" without a timeline call.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..twitter.account import Account
 
@@ -153,6 +153,25 @@ class CallLog:
     def total_waited(self) -> float:
         """Total seconds spent waiting on rate limits."""
         return sum(call.waited for call in self._calls)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-resource aggregates of the whole log.
+
+        Returns ``{resource: {"calls", "items", "waited",
+        "total_latency"}}`` with resources in sorted order — the shape
+        consumed by the Prometheus exporter (``api_calllog_*`` series)
+        and the ``repro stats`` summary line.
+        """
+        aggregates: Dict[str, Dict[str, float]] = {}
+        for call in self._calls:
+            stats = aggregates.setdefault(call.resource, {
+                "calls": 0, "items": 0, "waited": 0.0, "total_latency": 0.0})
+            stats["calls"] += 1
+            stats["items"] += call.items
+            stats["waited"] += call.waited
+            stats["total_latency"] += call.latency
+        return {resource: aggregates[resource]
+                for resource in sorted(aggregates)}
 
     def clear(self) -> None:
         """Drop every logged call."""

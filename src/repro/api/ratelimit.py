@@ -27,6 +27,7 @@ from typing import Dict, Iterable, Mapping, Tuple
 
 from ..core.errors import ConfigurationError, RateLimitExceededError
 from ..core.timeutil import MINUTE
+from ..obs.runtime import get_observability
 
 #: Length of the enforcement window used by the real v1.1 API.
 WINDOW = 15 * MINUTE
@@ -126,7 +127,8 @@ class RateLimiter:
 
     def __init__(self, start_time: float,
                  policies: Mapping[str, RateLimitPolicy] = DEFAULT_POLICIES,
-                 credentials: int = 1) -> None:
+                 credentials: int = 1, *,
+                 registry=None) -> None:
         if credentials < 1:
             raise ConfigurationError(f"credentials must be >= 1: {credentials!r}")
         self._policies = dict(policies)
@@ -138,6 +140,25 @@ class RateLimiter:
                 start_time=start_time,
             )
             for name, policy in self._policies.items()
+        }
+        # An explicit registry (the API client passes its own) keeps the
+        # limiter's telemetry bound to whatever context its owner was
+        # built under, even across `reset_budgets` re-creations.
+        if registry is None:
+            registry = get_observability().registry
+        self._throttles = {
+            name: registry.counter(
+                "ratelimit_throttle_total",
+                help="requests that had to wait for a token refill",
+                resource=name)
+            for name in self._policies
+        }
+        self._token_gauges = {
+            name: registry.gauge(
+                "ratelimit_tokens_remaining",
+                help="token-bucket level after the latest consume",
+                resource=name)
+            for name in self._policies
         }
 
     @property
@@ -159,7 +180,10 @@ class RateLimiter:
         """Seconds the caller must wait before issuing one request."""
         if resource not in self._buckets:
             raise ConfigurationError(f"unknown API resource: {resource!r}")
-        return self._buckets[resource].wait_time(now)
+        waited = self._buckets[resource].wait_time(now)
+        if waited > 0:
+            self._throttles[resource].inc()
+        return waited
 
     def consume(self, resource: str, now: float) -> None:
         """Record one request against ``resource`` at instant ``now``."""
@@ -169,3 +193,4 @@ class RateLimiter:
             self._buckets[resource].consume(now)
         except RateLimitExceededError as exc:
             raise RateLimitExceededError(resource, exc.retry_after) from None
+        self._token_gauges[resource].set(self._buckets[resource].available(now))

@@ -20,6 +20,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional, Sequence
 
@@ -43,6 +44,14 @@ from .experiments import (
 )
 from .experiments.testbed import AVERAGE
 from .growth import GrowthMonitor
+from .obs import (
+    activate,
+    console_summary,
+    deactivate,
+    stats_line,
+    write_metrics_prom,
+    write_trace_jsonl,
+)
 from .twitter.generator import add_simple_target, build_world
 
 
@@ -74,6 +83,23 @@ def _run_monitor_demo(*, seed: int, days: int) -> str:
     return "\n\n".join(sections)
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser, *,
+                   suppress: bool = False) -> None:
+    """Attach ``--trace-out`` / ``--metrics-out`` to a parser.
+
+    The flags live on the top-level parser *and* on every subparser so
+    they are accepted on either side of the subcommand; subparsers use
+    ``SUPPRESS`` defaults so they never clobber a value parsed earlier.
+    """
+    default = argparse.SUPPRESS if suppress else None
+    parser.add_argument("--trace-out", metavar="FILE.jsonl", default=default,
+                        help="record sim-clock spans and write them as "
+                             "JSON lines (enables observability)")
+    parser.add_argument("--metrics-out", metavar="FILE.prom", default=default,
+                        help="write Prometheus-style metrics of the run "
+                             "(enables observability)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=42,
                         help="master seed (default: 42)")
+    _add_obs_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table I: API types and rate limits")
@@ -116,14 +143,58 @@ def _build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="run the full suite (E1-E8)")
     everything.add_argument("--days", type=int, default=5)
     everything.add_argument("--trials", type=int, default=100)
+
+    for subparser in sub.choices.values():
+        _add_obs_flags(subparser, suppress=True)
     return parser
+
+
+def _check_writable(parser: argparse.ArgumentParser, path: str,
+                    flag: str) -> None:
+    """Fail fast on an unwritable output path, before the run starts."""
+    parent = pathlib.Path(path).parent
+    if not parent.is_dir():
+        parser.error(f"{flag}: directory does not exist: {parent}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     seed = args.seed
 
+    if args.trace_out:
+        _check_writable(parser, args.trace_out, "--trace-out")
+    if args.metrics_out:
+        _check_writable(parser, args.metrics_out, "--metrics-out")
+    obs = None
+    if args.trace_out or args.metrics_out:
+        obs = activate()
+    try:
+        rendered = _dispatch(args, seed)
+        print(rendered)
+        if obs is not None:
+            if args.command == "all":
+                # `repro stats`: spans, metric series and per-resource
+                # API usage of the whole suite (ends with the one-line
+                # digest).
+                print()
+                print(console_summary(obs))
+            else:
+                print()
+                print(stats_line(obs))
+            if args.trace_out:
+                write_trace_jsonl(obs.tracer, args.trace_out)
+            if args.metrics_out:
+                write_metrics_prom(obs, args.metrics_out)
+    finally:
+        if obs is not None:
+            deactivate()
+    return 0
+
+
+def _dispatch(args, seed: int) -> str:
+    """Run the selected subcommand and return its rendered report."""
     if args.command == "table1":
         __, rendered = run_table1()
     elif args.command == "ordering":
@@ -156,10 +227,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         coverage_trials=args.trials)
         rendered = suite.report()
     else:  # pragma: no cover - argparse enforces choices
-        return 2
-
-    print(rendered)
-    return 0
+        raise SystemExit(2)
+    return rendered
 
 
 if __name__ == "__main__":  # pragma: no cover

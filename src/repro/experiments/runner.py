@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 from ..core.clock import SimClock
 from ..fc.engine import default_detector
 from ..fc.training import TrainedDetector
+from ..obs.runtime import get_observability
 from .acquisition import run_acquisition_experiment
 from .api_limits import run_table1
 from .bias_demo import run_deepdive_comparison, run_purchased_burst_demo
@@ -72,26 +73,31 @@ def run_all(*, seed: int = 42,
     the paper's full account lists.
     """
     suite = ExperimentSuiteResult()
+    tracer = get_observability().tracer
     if detector is None:
         detector = default_detector(seed=seed)
 
-    measurements, rendered = run_table1()
+    with tracer.span("experiment", experiment="table1"):
+        measurements, rendered = run_table1()
     suite.add("table1", measurements, rendered)
 
     world = build_paper_world(seed, SimClock().now(), tiers=(AVERAGE,))
     ordering_pool = (table2_accounts if table2_accounts is not None
                      else average_accounts())
     handles = [account.handle for account in ordering_pool]
-    ordering_results, rendered = run_ordering_experiment(
-        world, handles, days=ordering_days)
+    with tracer.span("experiment", experiment="ordering"):
+        ordering_results, rendered = run_ordering_experiment(
+            world, handles, days=ordering_days)
     suite.add("ordering", ordering_results, rendered)
 
-    rows2, rendered = run_response_time_experiment(
-        seed=seed, detector=detector, accounts=table2_accounts)
+    with tracer.span("experiment", experiment="table2"):
+        rows2, rendered = run_response_time_experiment(
+            seed=seed, detector=detector, accounts=table2_accounts)
     suite.add("table2", rows2, rendered)
 
-    rows3, rendered = run_table3(seed=seed, detector=detector,
-                                 accounts=table3_accounts)
+    with tracer.span("experiment", experiment="table3"):
+        rows3, rendered = run_table3(seed=seed, detector=detector,
+                                     accounts=table3_accounts)
     analysis = analyse_disagreement(rows3)
     rendered += "\n\n" + "\n".join([
         "Table III claims, quantified on measured rows:",
@@ -110,17 +116,22 @@ def run_all(*, seed: int = 42,
     ])
     suite.add("table3", (rows3, analysis), rendered)
 
-    estimates, empirical, rendered = run_acquisition_experiment()
+    with tracer.span("experiment", experiment="acquisition"):
+        estimates, empirical, rendered = run_acquisition_experiment()
     suite.add("acquisition", (estimates, empirical), rendered)
 
-    burst, rendered = run_purchased_burst_demo(seed=seed, detector=detector)
+    with tracer.span("experiment", experiment="purchased_burst"):
+        burst, rendered = run_purchased_burst_demo(seed=seed,
+                                                   detector=detector)
     suite.add("purchased_burst", burst, rendered)
 
-    deepdive, rendered = run_deepdive_comparison(seed=seed)
+    with tracer.span("experiment", experiment="deepdive"):
+        deepdive, rendered = run_deepdive_comparison(seed=seed)
     suite.add("deepdive", deepdive, rendered)
 
-    coverage, rendered = run_sample_size_experiment(
-        trials=coverage_trials, seed=seed)
+    with tracer.span("experiment", experiment="sample_size"):
+        coverage, rendered = run_sample_size_experiment(
+            trials=coverage_trials, seed=seed)
     suite.add("sample_size", coverage, rendered)
 
     return suite

@@ -24,6 +24,7 @@ from ..core.clock import SimClock, Stopwatch
 from ..core.errors import ConfigurationError
 from ..core.rng import make_rng
 from ..core.timeutil import DAY
+from ..obs.runtime import get_observability
 from ..stats.estimation import ProportionEstimate
 from ..twitter.population import World
 from .dataset import build_gold_standard
@@ -70,6 +71,7 @@ class FakeClassifierEngine:
             request_latency=request_latency,
         )
         self._crawler = Crawler(self._client)
+        self._tracer = get_observability().tracer
         self._detector = detector if detector is not None else default_detector(seed)
         self._sample_size = sample_size
         self._processing_seconds = processing_seconds
@@ -99,6 +101,15 @@ class FakeClassifierEngine:
         time is "always greater than 180 seconds", Table II), then the
         uniform sample is classified three ways.
         """
+        with self._tracer.span("audit", self._clock, tool=self.name,
+                               target=screen_name) as span:
+            report = self._audit(screen_name)
+            span.set_attribute("cached", False)
+            span.set_attribute("fake_pct", report.fake_pct)
+            span.set_attribute("genuine_pct", report.genuine_pct)
+            return report
+
+    def _audit(self, screen_name: str) -> AuditReport:
         self._client.reset_budgets()
         self._audit_counter += 1
         stopwatch = Stopwatch(self._clock)

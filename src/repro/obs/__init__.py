@@ -1,0 +1,73 @@
+"""Observability: sim-clock-native tracing and metrics.
+
+The reproduction's results are measurements, so measurement deserves a
+subsystem: a metrics registry (counters, gauges, fixed-bucket
+histograms), a span tracer timed by the simulated clock, and exporters
+(JSONL traces, Prometheus text, console summary).  Disabled by default
+— every instrumented call site talks to shared no-op singletons until
+:func:`activate` (or the CLI's ``--trace-out`` / ``--metrics-out``
+flags) switches a real context in.  See ``docs/observability.md``.
+"""
+
+from .exporters import (
+    console_summary,
+    prometheus_text,
+    span_to_dict,
+    stats_line,
+    trace_to_jsonl,
+    write_metrics_prom,
+    write_trace_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    WAIT_BUCKETS,
+    canonical_labels,
+)
+from .runtime import (
+    NULL_OBS,
+    NullObservability,
+    Observability,
+    activate,
+    deactivate,
+    get_observability,
+    observed,
+)
+from .trace import NULL_SPAN, NULL_TRACER, NullSpan, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullObservability",
+    "NullRegistry",
+    "NullSpan",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "WAIT_BUCKETS",
+    "activate",
+    "canonical_labels",
+    "console_summary",
+    "deactivate",
+    "get_observability",
+    "observed",
+    "prometheus_text",
+    "span_to_dict",
+    "stats_line",
+    "trace_to_jsonl",
+    "write_metrics_prom",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,206 @@
+"""Exporters: JSON-lines traces, Prometheus text, console summaries.
+
+All three renderings are pure functions of the observability state and
+are deterministic: series iterate in sorted order, JSON keys are
+sorted, and numbers are formatted with ``repr``-stable rules — so a
+fixed seed yields byte-identical artifacts, which makes trace/metrics
+dumps usable as regression fixtures under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Tuple
+
+from .metrics import Counter, Gauge, Histogram
+from .trace import Span
+
+
+def _num(value: float) -> str:
+    """Render a number the Prometheus way, stably across runs."""
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels_text(labels: Tuple[Tuple[str, str], ...],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+# ---------------------------------------------------------------------------
+# Traces → JSON lines
+# ---------------------------------------------------------------------------
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    """The JSON shape of one span."""
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "attributes": dict(span.attributes),
+    }
+
+
+def trace_to_jsonl(tracer) -> str:
+    """Render every recorded span as one JSON object per line."""
+    lines = [
+        json.dumps(span_to_dict(span), sort_keys=True,
+                   separators=(",", ":"), default=str)
+        for span in tracer.spans()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_trace_jsonl(tracer, path) -> "pathlib.Path":
+    """Write the JSONL trace dump to ``path`` and return it."""
+    target = pathlib.Path(path)
+    target.write_text(trace_to_jsonl(tracer), encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Metrics → Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+def prometheus_text(obs) -> str:
+    """Render the registry (plus call-log aggregates) as Prometheus text.
+
+    The per-resource API aggregates come from
+    :meth:`repro.api.endpoints.CallLog.summary` via
+    :meth:`~repro.obs.runtime.Observability.call_log_summary`, so the
+    exposition stays authoritative even for code paths that only log
+    calls without touching the registry.
+    """
+    out: List[str] = []
+    for name, kind, help_text in obs.registry.families():
+        if help_text:
+            out.append(f"# HELP {name} {help_text}")
+        out.append(f"# TYPE {name} {kind}")
+        for series_name, series_kind, labels, instrument in obs.registry.series():
+            if series_name != name:
+                continue
+            if isinstance(instrument, (Counter, Gauge)):
+                out.append(
+                    f"{name}{_labels_text(labels)} {_num(instrument.value)}")
+            elif isinstance(instrument, Histogram):
+                edges = [_num(edge) for edge in instrument.buckets] + ["+Inf"]
+                for edge, cumulative in zip(
+                        edges, instrument.cumulative_counts()):
+                    out.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, (('le', edge),))} "
+                        f"{cumulative}")
+                out.append(
+                    f"{name}_sum{_labels_text(labels)} {_num(instrument.sum)}")
+                out.append(
+                    f"{name}_count{_labels_text(labels)} {instrument.count}")
+    summary = obs.call_log_summary()
+    if summary:
+        calllog_series = (
+            ("api_calllog_calls", "counter",
+             "API requests per resource, from CallLog.summary()", "calls"),
+            ("api_calllog_items", "counter",
+             "elements returned per resource", "items"),
+            ("api_calllog_waited_seconds", "counter",
+             "rate-limit wait per resource", "waited"),
+            ("api_calllog_latency_seconds", "counter",
+             "total request wall time per resource", "total_latency"),
+        )
+        for name, kind, help_text, field in calllog_series:
+            out.append(f"# HELP {name} {help_text}")
+            out.append(f"# TYPE {name} {kind}")
+            for resource, stats in summary.items():
+                out.append(
+                    f"{name}{{resource=\"{_escape(resource)}\"}} "
+                    f"{_num(stats[field])}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_metrics_prom(obs, path) -> "pathlib.Path":
+    """Write the Prometheus exposition to ``path`` and return it."""
+    target = pathlib.Path(path)
+    target.write_text(prometheus_text(obs), encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Console summary
+# ---------------------------------------------------------------------------
+
+def _table(headers: Tuple[str, ...], rows: List[Tuple[str, ...]]) -> List[str]:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(cells: Tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(tuple("-" * width for width in widths))]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def console_summary(obs) -> str:
+    """A human-readable digest: spans by name, API usage by resource."""
+    spans = obs.tracer.spans()
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    span_rows = [
+        (name, str(len(durations)), f"{sum(durations):.1f}",
+         f"{max(durations):.1f}")
+        for name, durations in sorted(by_name.items())
+    ]
+    parts: List[str] = ["observability summary", "====================="]
+    if span_rows:
+        parts.append("")
+        parts.extend(_table(("span", "count", "total s", "max s"), span_rows))
+    summary = obs.call_log_summary()
+    if summary:
+        api_rows = [
+            (resource,
+             str(int(stats["calls"])),
+             str(int(stats["items"])),
+             f"{stats['waited']:.1f}",
+             f"{stats['total_latency']:.1f}")
+            for resource, stats in summary.items()
+        ]
+        parts.append("")
+        parts.extend(_table(
+            ("API resource", "calls", "items", "waited s", "latency s"),
+            api_rows))
+    parts.append("")
+    parts.append(stats_line(obs))
+    return "\n".join(parts)
+
+
+def stats_line(obs) -> str:
+    """The one-line ``repro stats`` digest printed after a run."""
+    spans = obs.tracer.spans()
+    summary = obs.call_log_summary()
+    calls = int(sum(stats["calls"] for stats in summary.values()))
+    items = int(sum(stats["items"] for stats in summary.values()))
+    waited = sum(stats["waited"] for stats in summary.values())
+    return (f"repro stats: {len(spans)} spans "
+            f"({len(obs.tracer.span_names())} names), "
+            f"{obs.registry.series_count()} metric series, "
+            f"{calls} API calls, {items} items, "
+            f"{waited:.0f}s rate-limit wait")

@@ -1,0 +1,357 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The paper's evaluation is *measurement*: Table I counts API budgets,
+Table II times responses, the crawl-time model prices acquisitions.
+This module gives the reproduction a first-class place to put those
+numbers while they are being produced, instead of re-deriving them from
+clock reads after the fact.
+
+Design constraints, in order:
+
+* **Determinism.**  Labels are canonicalised to sorted frozen tuples,
+  instruments are stored in insertion order, and exports iterate in
+  sorted ``(name, labels)`` order — so two runs with the same seed
+  produce byte-identical expositions.
+* **Zero overhead when off.**  :data:`NULL_REGISTRY` hands out shared
+  no-op instrument singletons; the hot path never allocates an obs
+  object when observability is disabled.
+* **No wall clock.**  Nothing here reads time at all; durations are
+  observed by callers against the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+
+#: Canonical label form: ``(("resource", "users/lookup"), ...)`` sorted
+#: by key.
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Default latency buckets (seconds).  Spans the 2-5 s cached answers,
+#: the ~10-55 s commercial audits and the >180 s FC runs of Table II.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 900.0)
+
+#: Default rate-limit wait buckets (seconds): zero-wait fast path up to
+#: a full 15-minute window and beyond.
+WAIT_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0)
+
+
+def canonical_labels(labels: Mapping[str, object]) -> Labels:
+    """Sort and stringify a label mapping into its canonical tuple."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; cannot add {amount!r}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current count."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (tokens remaining, queue depth)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (may be negative)."""
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (≤) semantics.
+
+    ``buckets`` are the finite upper edges; an implicit ``+Inf`` bucket
+    always exists.  A value equal to an edge falls into that edge's
+    bucket.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        if not buckets:
+            raise ConfigurationError("histogram needs at least one bucket")
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ConfigurationError(
+                f"bucket edges must be strictly increasing: {buckets!r}")
+        self.buckets: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._sum += value
+        self._count += 1
+        for index, edge in enumerate(self.buckets):
+            if value <= edge:
+                self._counts[index] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Per-bucket counts (non-cumulative), ``+Inf`` last."""
+        return tuple(self._counts)
+
+    def cumulative_counts(self) -> Tuple[int, ...]:
+        """Cumulative ``le`` counts, as Prometheus exposes them."""
+        out: List[int] = []
+        running = 0
+        for count in self._counts:
+            running += count
+            out.append(running)
+        return tuple(out)
+
+
+class _Family:
+    """All instruments sharing one metric name (one per label set)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 buckets: Optional[Tuple[float, ...]]) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.series: Dict[Labels, object] = {}
+
+
+class MetricsRegistry:
+    """Named families of counters, gauges and histograms.
+
+    Instruments are created on first use and shared thereafter:
+    ``registry.counter("api_requests_total", resource="users/lookup")``
+    always returns the same :class:`Counter` for the same labels.
+    """
+
+    #: Real registries report themselves enabled; the null registry does
+    #: not.  Lets hot paths skip optional, allocation-heavy attributes.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: Optional[Tuple[float, ...]]) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, buckets)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {family.kind}, not a {kind}")
+        if kind == "histogram" and buckets is not None \
+                and family.buckets != tuple(float(b) for b in buckets):
+            raise ConfigurationError(
+                f"metric {name!r} was registered with buckets "
+                f"{family.buckets!r}, got {tuple(buckets)!r}")
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: object) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        family = self._family(name, "counter", help, None)
+        key = canonical_labels(labels)
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = Counter()
+            family.series[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        family = self._family(name, "gauge", help, None)
+        key = canonical_labels(labels)
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = Gauge()
+            family.series[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  buckets: Tuple[float, ...] = LATENCY_BUCKETS,
+                  help: str = "", **labels: object) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        family = self._family(name, "histogram", help, tuple(buckets))
+        key = canonical_labels(labels)
+        instrument = family.series.get(key)
+        if instrument is None:
+            instrument = Histogram(family.buckets)  # type: ignore[arg-type]
+            family.series[key] = instrument
+        return instrument  # type: ignore[return-value]
+
+    # -- introspection / export ------------------------------------------------
+
+    def families(self) -> Iterator[Tuple[str, str, str]]:
+        """Yield ``(name, kind, help)`` for each family, sorted by name."""
+        for name in sorted(self._families):
+            family = self._families[name]
+            yield name, family.kind, family.help
+
+    def series(self) -> Iterator[Tuple[str, str, Labels, object]]:
+        """Yield ``(name, kind, labels, instrument)`` in sorted order."""
+        for name in sorted(self._families):
+            family = self._families[name]
+            for labels in sorted(family.series):
+                yield name, family.kind, labels, family.series[labels]
+
+    def series_count(self) -> int:
+        """Number of distinct ``(name, labels)`` series registered."""
+        return sum(len(family.series) for family in self._families.values())
+
+    def get(self, name: str, **labels: object) -> Optional[object]:
+        """Look up an existing instrument without creating it."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.series.get(canonical_labels(labels))
+
+    def value(self, name: str, **labels: object) -> float:
+        """Convenience: the value of an existing counter/gauge, else 0."""
+        instrument = self.get(name, **labels)
+        if isinstance(instrument, (Counter, Gauge)):
+            return instrument.value
+        return 0.0
+
+
+# ---------------------------------------------------------------------------
+# No-op instruments — shared singletons, allocated once at import time.
+# ---------------------------------------------------------------------------
+
+class NullCounter:
+    """Counter that ignores everything (the disabled-observability path)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+    value = 0.0
+
+
+class NullGauge:
+    """Gauge that ignores everything."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def add(self, delta: float) -> None:
+        """Discard the delta."""
+
+    value = 0.0
+
+
+class NullHistogram:
+    """Histogram that ignores everything."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    count = 0
+    sum = 0.0
+    buckets: Tuple[float, ...] = ()
+
+    def bucket_counts(self) -> Tuple[int, ...]:
+        """Always empty."""
+        return ()
+
+    def cumulative_counts(self) -> Tuple[int, ...]:
+        """Always empty."""
+        return ()
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Registry façade that hands out the shared no-op singletons.
+
+    Every accessor returns a pre-allocated module-level instrument, so
+    instrumented hot paths cost a method call and nothing else when
+    observability is off.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", **labels: object) -> NullCounter:
+        """The shared no-op counter."""
+        return NULL_COUNTER
+
+    def gauge(self, name: str, help: str = "", **labels: object) -> NullGauge:
+        """The shared no-op gauge."""
+        return NULL_GAUGE
+
+    def histogram(self, name: str, buckets: Tuple[float, ...] = (),
+                  help: str = "", **labels: object) -> NullHistogram:
+        """The shared no-op histogram."""
+        return NULL_HISTOGRAM
+
+    def families(self) -> Iterator[Tuple[str, str, str]]:
+        """Always empty."""
+        return iter(())
+
+    def series(self) -> Iterator[Tuple[str, str, Labels, object]]:
+        """Always empty."""
+        return iter(())
+
+    def series_count(self) -> int:
+        """Always zero."""
+        return 0
+
+    def get(self, name: str, **labels: object) -> None:
+        """Always ``None``."""
+        return None
+
+    def value(self, name: str, **labels: object) -> float:
+        """Always zero."""
+        return 0.0
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,132 @@
+"""Process-wide observability switchboard.
+
+Instrumented components (API client, rate limiter, crawler, caches,
+engines, experiment runner) ask :func:`get_observability` for the
+active context at construction time.  By default that is
+:data:`NULL_OBS`, whose tracer and registry are shared no-op singletons
+— nothing is allocated or recorded.  The CLI (or a test) activates a
+real :class:`Observability` for the duration of a run:
+
+    obs = activate()
+    try:
+        ...run experiments...
+    finally:
+        deactivate()
+
+or, equivalently, ``with observed() as obs: ...``.
+
+Keeping the switch process-wide (rather than threading an ``obs``
+parameter through every constructor) matches how the engines are
+built: :class:`~repro.analytics.base.CommercialAnalytic` constructs its
+own client, crawler and cache internally, exactly as the closed
+services it models would.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from ..core.clock import SimClock
+from .metrics import MetricsRegistry, NullRegistry, NULL_REGISTRY
+from .trace import NullTracer, NULL_TRACER, Tracer
+
+
+class Observability:
+    """One run's worth of telemetry: a registry, a tracer, call logs.
+
+    ``clock`` is the tracer's fallback clock (used for spans whose
+    caller has no simulated clock of its own, like the experiment
+    runner).  ``call_logs`` collects every
+    :class:`~repro.api.endpoints.CallLog` created while active, so
+    end-of-run summaries can aggregate API usage across all engines.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.registry: MetricsRegistry = MetricsRegistry()
+        self.tracer: Tracer = Tracer(clock)
+        self.call_logs: List[object] = []
+
+    def register_call_log(self, log: object) -> None:
+        """Track one client's call log for end-of-run aggregation."""
+        self.call_logs.append(log)
+
+    def call_log_summary(self) -> dict:
+        """Merged per-resource aggregates across every registered log.
+
+        Each value is ``{"calls", "items", "waited", "total_latency"}``
+        (see :meth:`~repro.api.endpoints.CallLog.summary`), keyed and
+        iterated in sorted resource order.
+        """
+        merged: dict = {}
+        for log in self.call_logs:
+            for resource, stats in log.summary().items():
+                bucket = merged.setdefault(
+                    resource,
+                    {"calls": 0, "items": 0, "waited": 0.0,
+                     "total_latency": 0.0})
+                for key, value in stats.items():
+                    bucket[key] += value
+        return {resource: merged[resource] for resource in sorted(merged)}
+
+
+class NullObservability:
+    """The disabled context: shared no-op registry/tracer, no state."""
+
+    enabled = False
+    registry: NullRegistry = NULL_REGISTRY
+    tracer: NullTracer = NULL_TRACER
+    call_logs: List[object] = []
+
+    def register_call_log(self, log: object) -> None:
+        """Ignore the log."""
+
+    def call_log_summary(self) -> dict:
+        """Always empty."""
+        return {}
+
+
+NULL_OBS = NullObservability()
+
+_current = NULL_OBS
+
+
+def get_observability():
+    """The active observability context (:data:`NULL_OBS` by default)."""
+    return _current
+
+
+def activate(obs: Optional[Observability] = None,
+             clock: Optional[SimClock] = None) -> Observability:
+    """Install ``obs`` (or a fresh context) as the active one."""
+    global _current
+    if obs is None:
+        obs = Observability(clock)
+    _current = obs
+    return obs
+
+
+def deactivate() -> None:
+    """Restore the no-op context."""
+    global _current
+    _current = NULL_OBS
+
+
+@contextmanager
+def observed(obs: Optional[Observability] = None,
+             clock: Optional[SimClock] = None) -> Iterator[Observability]:
+    """Activate observability for a ``with`` block, then restore.
+
+    Restores whatever context was active before the block, so nested
+    use composes.
+    """
+    global _current
+    previous = _current
+    active = obs if obs is not None else Observability(clock)
+    _current = active
+    try:
+        yield active
+    finally:
+        _current = previous

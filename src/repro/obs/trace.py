@@ -1,0 +1,207 @@
+"""Span tracing against the simulated clock.
+
+A span is one timed unit of work — an API request, a crawl phase, an
+audit, a whole experiment.  Timestamps are read from the *simulated*
+clock (the component doing the work passes its own :class:`SimClock`),
+so traces measure exactly what the paper measures: rate-limit-bound
+virtual time, not host CPU time.  Span ids are snowflakes minted by a
+dedicated :class:`~repro.core.ids.IdGenerator`, which makes them unique
+and deterministic for a fixed seed.
+
+The paper reverse-engineers closed services by observing them from
+outside; a trace is the same discipline applied to our own engines —
+every second of a Table II response time is attributable to a span.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.clock import SimClock
+from ..core.ids import IdGenerator
+from ..core.timeutil import PAPER_EPOCH
+
+#: Worker id of the tracer's snowflake generator — the top of the
+#: 10-bit worker space, far from the substrate's account/tweet workers.
+TRACER_WORKER = 1023
+
+
+class Span:
+    """One timed, attributed unit of work.
+
+    ``end`` stays ``None`` while the span is open; ``duration`` is the
+    simulated seconds between start and end.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attributes")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 start: float, attributes: Dict[str, object]) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes = attributes
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from start to end (0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, start={self.start}, "
+                f"end={self.end})")
+
+
+class _SpanContext:
+    """Context manager binding one span to the tracer's active stack."""
+
+    __slots__ = ("_tracer", "_span", "_clock")
+
+    def __init__(self, tracer: "Tracer", span: Span, clock: SimClock) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._clock = clock
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self._span.set_attribute("error", f"{exc_type.__name__}: {exc}")
+        self._tracer._finish(self._span, self._clock.now())
+        return False
+
+
+class Tracer:
+    """Collects nested spans in deterministic start order.
+
+    The tracer is single-threaded by design (the whole simulation is);
+    nesting is tracked with an explicit stack, so a span started while
+    another is open becomes its child.
+
+    Parameters
+    ----------
+    clock:
+        Fallback clock for spans whose caller has no natural
+        :class:`SimClock` (e.g. the experiment runner, which wraps
+        experiments that each build their own clock internally).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self._clock = clock if clock is not None else SimClock(PAPER_EPOCH)
+        self._ids = IdGenerator(worker=TRACER_WORKER)
+        self._spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, clock: Optional[SimClock] = None,
+             **attributes: object) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("api.request", clock):``.
+
+        ``clock`` supplies the start/end timestamps — pass the component's
+        own simulated clock.  Extra keyword arguments become initial span
+        attributes; the yielded :class:`Span` accepts more via
+        :meth:`Span.set_attribute`.
+        """
+        at = clock if clock is not None else self._clock
+        start = at.now()
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._ids.next_id(start), parent, name, start,
+                    dict(attributes))
+        self._spans.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span, at)
+
+    def _finish(self, span: Span, end: float) -> None:
+        span.end = end
+        # Close any abandoned inner spans too (exception unwound past them).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end is None:  # pragma: no cover - defensive
+                top.end = end
+
+    def spans(self) -> Tuple[Span, ...]:
+        """All spans recorded so far, in start order (parents first)."""
+        return tuple(self._spans)
+
+    def span_names(self) -> Tuple[str, ...]:
+        """Sorted distinct span names seen so far."""
+        return tuple(sorted({span.name for span in self._spans}))
+
+    def children(self, span: Span) -> Tuple[Span, ...]:
+        """Direct children of ``span``, in start order."""
+        return tuple(s for s in self._spans if s.parent_id == span.span_id)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class NullSpan:
+    """Shared do-nothing span/context-manager for disabled tracing."""
+
+    __slots__ = ()
+
+    span_id = 0
+    parent_id = None
+    name = ""
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attributes: Dict[str, object] = {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Ignore the attribute."""
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """Tracer façade that returns the shared :data:`NULL_SPAN` singleton.
+
+    ``with tracer.span(...)`` on the null tracer allocates nothing and
+    records nothing — the disabled-observability hot path.
+    """
+
+    enabled = False
+
+    def span(self, name: str, clock: Optional[SimClock] = None,
+             **attributes: object) -> NullSpan:
+        """The shared no-op span."""
+        return NULL_SPAN
+
+    def spans(self) -> Tuple[Span, ...]:
+        """Always empty."""
+        return ()
+
+    def span_names(self) -> Tuple[str, ...]:
+        """Always empty."""
+        return ()
+
+    def children(self, span: object) -> Tuple[Span, ...]:
+        """Always empty."""
+        return ()
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

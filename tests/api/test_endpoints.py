@@ -75,3 +75,18 @@ class TestCallLog:
         log.record(ApiCall("x", 0.0, 1.0, 0.0, 0))
         log.clear()
         assert log.count() == 0
+
+    def test_summary_aggregates_per_resource(self):
+        log = CallLog()
+        log.record(ApiCall("users/lookup", 0.0, 1.0, 0.0, 100))
+        log.record(ApiCall("users/lookup", 1.0, 3.0, 0.5, 50))
+        log.record(ApiCall("followers/ids", 3.0, 4.0, 0.25, 0))
+        summary = log.summary()
+        assert list(summary) == ["followers/ids", "users/lookup"]  # sorted
+        assert summary["users/lookup"] == {
+            "calls": 2, "items": 150, "waited": 0.5, "total_latency": 3.0}
+        assert summary["followers/ids"]["calls"] == 1
+        assert summary["followers/ids"]["waited"] == 0.25
+
+    def test_summary_empty_log(self):
+        assert CallLog().summary() == {}

@@ -1,0 +1,144 @@
+"""Exporter tests: JSONL / Prometheus golden files, console summary.
+
+The golden files under ``tests/obs/golden/`` pin the exact bytes the
+exporters produce for a small hand-built scenario; byte-stability is
+what makes trace/metrics dumps usable as regression artifacts.
+"""
+
+import json
+import pathlib
+
+from repro.api import ApiCall, CallLog
+from repro.core import PAPER_EPOCH, SimClock
+from repro.obs import (
+    Observability,
+    console_summary,
+    prometheus_text,
+    stats_line,
+    trace_to_jsonl,
+    write_metrics_prom,
+    write_trace_jsonl,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def build_scenario() -> Observability:
+    """A tiny deterministic run: one audit, two API calls, a call log."""
+    obs = Observability(SimClock(PAPER_EPOCH))
+    clock = SimClock(PAPER_EPOCH)
+    tracer = obs.tracer
+    registry = obs.registry
+
+    with tracer.span("audit", clock, tool="demo", target="alice") as root:
+        with tracer.span("api.request", clock,
+                         resource="users/lookup") as request:
+            clock.advance(1.9)
+            request.set_attribute("waited", 0.0)
+        with tracer.span("api.request", clock,
+                         resource="followers/ids") as request:
+            clock.advance(60.0)
+            request.set_attribute("waited", 58.1)
+        root.set_attribute("fake_pct", 12.5)
+
+    registry.counter("api_requests_total",
+                     help="requests issued, by API resource",
+                     resource="users/lookup").inc()
+    registry.counter("api_requests_total",
+                     help="requests issued, by API resource",
+                     resource="followers/ids").inc()
+    registry.gauge("ratelimit_tokens_remaining",
+                   resource="users/lookup").set(179.0)
+    latency = registry.histogram(
+        "api_request_latency_seconds", buckets=(1.0, 5.0, 60.0),
+        help="request wall time", resource="users/lookup")
+    latency.observe(1.9)
+    latency.observe(0.5)
+
+    log = CallLog()
+    log.record(ApiCall(resource="users/lookup", issued_at=PAPER_EPOCH,
+                       completed_at=PAPER_EPOCH + 1.9, waited=0.0, items=100))
+    log.record(ApiCall(resource="followers/ids",
+                       issued_at=PAPER_EPOCH + 1.9,
+                       completed_at=PAPER_EPOCH + 61.9, waited=58.1, items=0))
+    obs.register_call_log(log)
+    return obs
+
+
+class TestGoldenFiles:
+    def test_jsonl_trace_matches_golden(self):
+        rendered = trace_to_jsonl(build_scenario().tracer)
+        assert rendered == (GOLDEN / "trace.jsonl").read_text(encoding="utf-8")
+
+    def test_prometheus_matches_golden(self):
+        rendered = prometheus_text(build_scenario())
+        assert rendered == (GOLDEN / "metrics.prom").read_text(
+            encoding="utf-8")
+
+    def test_exports_are_byte_stable_across_runs(self):
+        assert trace_to_jsonl(build_scenario().tracer) == \
+            trace_to_jsonl(build_scenario().tracer)
+        assert prometheus_text(build_scenario()) == \
+            prometheus_text(build_scenario())
+
+
+class TestJsonlShape:
+    def test_one_valid_json_object_per_span(self):
+        obs = build_scenario()
+        lines = trace_to_jsonl(obs.tracer).splitlines()
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        root, first, second = parsed
+        assert root["name"] == "audit"
+        assert root["parent_id"] is None
+        assert first["parent_id"] == root["span_id"]
+        assert second["parent_id"] == root["span_id"]
+        assert second["duration"] == 60.0
+        assert root["attributes"]["fake_pct"] == 12.5
+
+    def test_empty_tracer_renders_empty_string(self):
+        obs = Observability()
+        assert trace_to_jsonl(obs.tracer) == ""
+
+
+class TestPrometheusShape:
+    def test_histogram_exposes_cumulative_buckets(self):
+        text = prometheus_text(build_scenario())
+        assert ('api_request_latency_seconds_bucket'
+                '{resource="users/lookup",le="1"} 1') in text
+        assert ('api_request_latency_seconds_bucket'
+                '{resource="users/lookup",le="+Inf"} 2') in text
+        assert ('api_request_latency_seconds_count'
+                '{resource="users/lookup"} 2') in text
+
+    def test_calllog_summary_series_present(self):
+        text = prometheus_text(build_scenario())
+        assert 'api_calllog_calls{resource="followers/ids"} 1' in text
+        assert 'api_calllog_waited_seconds{resource="followers/ids"} 58.1' \
+            in text
+        assert 'api_calllog_items{resource="users/lookup"} 100' in text
+
+
+class TestWriters:
+    def test_write_helpers_create_files(self, tmp_path):
+        obs = build_scenario()
+        trace_path = write_trace_jsonl(obs.tracer, tmp_path / "t.jsonl")
+        prom_path = write_metrics_prom(obs, tmp_path / "m.prom")
+        assert trace_path.stat().st_size > 0
+        assert prom_path.stat().st_size > 0
+
+
+class TestConsoleSummary:
+    def test_mentions_spans_and_resources(self):
+        obs = build_scenario()
+        text = console_summary(obs)
+        assert "audit" in text
+        assert "users/lookup" in text
+        assert text.endswith(stats_line(obs))
+
+    def test_stats_line_aggregates(self):
+        line = stats_line(build_scenario())
+        assert line.startswith("repro stats: 3 spans (2 names)")
+        assert "2 API calls" in line
+        assert "100 items" in line
+        assert "58s rate-limit wait" in line

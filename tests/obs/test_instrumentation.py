@@ -1,0 +1,165 @@
+"""End-to-end instrumentation tests: engines emit spans and metrics.
+
+Covers the acceptance-critical behaviours: cache-hit vs fresh-audit
+counters, span nesting across the audit/crawl/api layers, rate-limiter
+telemetry, and the guarantee that disabled observability records
+nothing.
+"""
+
+import pytest
+
+from repro.analytics import StatusPeopleFakers
+from repro.core import PAPER_EPOCH, SimClock
+from repro.obs import NULL_OBS, get_observability, observed
+from repro.twitter import add_simple_target, build_world
+
+
+def make_world():
+    world = build_world(seed=17, ref_time=PAPER_EPOCH)
+    add_simple_target(world, "tinytown", 3_000, 0.3, 0.2, 0.5)
+    return world
+
+
+class TestAuditInstrumentation:
+    def test_fresh_audit_then_cache_hit_counters(self):
+        world = make_world()
+        with observed() as obs:
+            engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
+            registry = obs.registry
+
+            engine.audit("tinytown")
+            assert registry.value("cache_events_total",
+                                  cache="statuspeople", event="miss") == 1
+            assert registry.value("cache_events_total",
+                                  cache="statuspeople", event="hit") == 0
+
+            engine.audit("tinytown")
+            assert registry.value("cache_events_total",
+                                  cache="statuspeople", event="miss") == 1
+            assert registry.value("cache_events_total",
+                                  cache="statuspeople", event="hit") == 1
+
+    def test_audit_spans_carry_outcome_attributes(self):
+        world = make_world()
+        with observed() as obs:
+            engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
+            fresh = engine.audit("tinytown")
+            engine.audit("tinytown")
+        audits = [span for span in obs.tracer.spans()
+                  if span.name == "audit"]
+        assert [span.attributes["cached"] for span in audits] == [False, True]
+        assert audits[0].attributes["tool"] == "statuspeople"
+        assert audits[0].attributes["fake_pct"] == fresh.fake_pct
+        assert audits[0].attributes["genuine_pct"] == fresh.genuine_pct
+        # The cached audit costs simulated seconds but no API spans.
+        assert audits[1].duration > 0
+
+    def test_span_nesting_audit_crawl_api(self):
+        world = make_world()
+        with observed() as obs:
+            engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
+            engine.audit("tinytown")
+        spans = obs.tracer.spans()
+        names = {span.name for span in spans}
+        assert {"audit", "crawl.followers", "crawl.lookup",
+                "api.request"} <= names
+        audit = next(span for span in spans if span.name == "audit")
+        crawl = next(span for span in spans
+                     if span.name == "crawl.followers")
+        assert crawl.parent_id == audit.span_id
+        api_children = [span for span in spans
+                        if span.parent_id == crawl.span_id]
+        assert api_children
+        assert all(span.name == "api.request" for span in api_children)
+        assert crawl.attributes["ids"] == 3_000
+
+    def test_api_and_ratelimit_metrics_populated(self):
+        world = make_world()
+        with observed() as obs:
+            engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
+            engine.audit("tinytown")
+        registry = obs.registry
+        assert registry.value("api_requests_total",
+                              resource="users/lookup") > 0
+        latency = registry.get("api_request_latency_seconds",
+                               resource="users/lookup")
+        assert latency is not None
+        assert latency.count == registry.value("api_requests_total",
+                                               resource="users/lookup")
+        tokens = registry.get("ratelimit_tokens_remaining",
+                              resource="users/lookup")
+        assert tokens is not None
+        assert tokens.value >= 0
+
+    def test_call_log_summary_flows_into_observability(self):
+        world = make_world()
+        with observed() as obs:
+            engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
+            engine.audit("tinytown")
+        summary = obs.call_log_summary()
+        assert "users/lookup" in summary
+        stats = summary["users/lookup"]
+        assert stats["calls"] == obs.registry.value(
+            "api_requests_total", resource="users/lookup")
+        assert stats["items"] > 0
+        assert list(summary) == sorted(summary)
+
+
+class TestDisabledObservability:
+    def test_default_context_is_the_null_singleton(self):
+        assert get_observability() is NULL_OBS
+
+    def test_audit_with_obs_off_records_nothing(self):
+        world = make_world()
+        assert get_observability() is NULL_OBS
+        engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
+        report = engine.audit("tinytown")
+        assert report.sample_size > 0
+        assert len(NULL_OBS.tracer) == 0
+        assert NULL_OBS.registry.series_count() == 0
+        assert NULL_OBS.call_log_summary() == {}
+
+    def test_results_identical_with_and_without_observability(self):
+        without = StatusPeopleFakers(
+            make_world(), SimClock(PAPER_EPOCH)).audit("tinytown")
+        with observed():
+            withobs = StatusPeopleFakers(
+                make_world(), SimClock(PAPER_EPOCH)).audit("tinytown")
+        assert without == withobs
+
+    def test_observed_restores_previous_context(self):
+        with observed() as outer:
+            assert get_observability() is outer
+            with observed() as inner:
+                assert get_observability() is inner
+            assert get_observability() is outer
+        assert get_observability() is NULL_OBS
+
+    def test_engines_built_while_disabled_stay_silent_later(self):
+        world = make_world()
+        engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
+        with observed() as obs:
+            engine.audit("tinytown")
+            # The engine bound the null tracer/registry at construction;
+            # activating afterwards must not retroactively instrument it.
+            assert len(obs.tracer) == 0
+            assert obs.registry.series_count() == 0
+
+
+class TestExperimentSpans:
+    def test_runner_emits_experiment_spans(self):
+        pytest.importorskip("numpy")
+        from repro.experiments import run_all
+        from repro.experiments.testbed import average_accounts
+        with observed() as obs:
+            run_all(seed=1, ordering_days=2, coverage_trials=1,
+                    table2_accounts=average_accounts()[:1],
+                    table3_accounts=average_accounts()[:3])
+        names = [span.attributes.get("experiment")
+                 for span in obs.tracer.spans()
+                 if span.name == "experiment"]
+        assert names == ["table1", "ordering", "table2", "table3",
+                         "acquisition", "purchased_burst", "deepdive",
+                         "sample_size"]
+        assert len(obs.tracer.span_names()) >= 6
+        assert obs.registry.series_count() >= 8

@@ -1,0 +1,126 @@
+"""Unit tests for the metrics registry: instruments, labels, no-op mode."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    canonical_labels,
+)
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.add(-2.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_edge_falls_into_that_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 5.0, 10.0))
+        hist.observe(1.0)   # == first edge -> first bucket (le semantics)
+        hist.observe(5.0)   # == second edge -> second bucket
+        hist.observe(5.1)   # just above -> third bucket
+        hist.observe(99.0)  # beyond all edges -> +Inf
+        hist.observe(0.0)   # below all edges -> first bucket
+        assert hist.bucket_counts() == (2, 1, 1, 1)
+        assert hist.cumulative_counts() == (2, 3, 4, 5)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(110.1)
+
+    def test_rejects_unsorted_or_empty_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", buckets=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("empty", buckets=())
+
+    def test_conflicting_buckets_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", buckets=(3.0, 4.0))
+
+
+class TestRegistry:
+    def test_same_labels_share_one_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("api_total", resource="users/lookup")
+        b = registry.counter("api_total", resource="users/lookup")
+        c = registry.counter("api_total", resource="friends/ids")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_is_canonicalised(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", x="1", y="2")
+        b = registry.counter("c", y="2", x="1")
+        assert a is b
+        assert canonical_labels({"y": 2, "x": 1}) == (("x", "1"), ("y", "2"))
+
+    def test_kind_conflicts_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("m")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("m", buckets=(1.0,))
+
+    def test_series_iterate_in_sorted_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", resource="b")
+        registry.counter("a_total")
+        registry.counter("z_total", resource="a")
+        listed = [(name, labels) for name, __, labels, __ in registry.series()]
+        assert listed == [
+            ("a_total", ()),
+            ("z_total", (("resource", "a"),)),
+            ("z_total", (("resource", "b"),)),
+        ]
+        assert registry.series_count() == 3
+
+    def test_get_and_value_do_not_create_series(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+        assert registry.value("nope") == 0.0
+        assert registry.series_count() == 0
+
+
+class TestNullRegistry:
+    def test_hands_out_shared_singletons(self):
+        assert NULL_REGISTRY.counter("x", resource="r") is NULL_COUNTER
+        assert NULL_REGISTRY.gauge("y") is NULL_GAUGE
+        assert NULL_REGISTRY.histogram("z", buckets=(1.0,)) is NULL_HISTOGRAM
+
+    def test_no_side_effects(self):
+        NULL_COUNTER.inc(100.0)
+        NULL_GAUGE.set(42.0)
+        NULL_HISTOGRAM.observe(3.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+        assert NULL_REGISTRY.series_count() == 0
+        assert list(NULL_REGISTRY.series()) == []
+        assert NULL_REGISTRY.enabled is False

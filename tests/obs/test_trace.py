@@ -1,0 +1,105 @@
+"""Unit tests for the sim-clock span tracer: nesting, ids, no-op mode."""
+
+import pytest
+
+from repro.core import PAPER_EPOCH, SimClock
+from repro.core.ids import snowflake_timestamp
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+
+
+class TestSpans:
+    def test_timestamps_come_from_the_simulated_clock(self):
+        clock = SimClock(PAPER_EPOCH)
+        tracer = Tracer()
+        with tracer.span("work", clock) as span:
+            clock.advance(12.5)
+        assert span.start == PAPER_EPOCH
+        assert span.end == PAPER_EPOCH + 12.5
+        assert span.duration == pytest.approx(12.5)
+
+    def test_nesting_records_parent_child_ids(self):
+        clock = SimClock(PAPER_EPOCH)
+        tracer = Tracer()
+        with tracer.span("outer", clock) as outer:
+            with tracer.span("inner", clock) as inner:
+                clock.advance(1.0)
+            with tracer.span("inner2", clock) as inner2:
+                clock.advance(1.0)
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert inner2.parent_id == outer.span_id
+        assert tracer.children(outer) == (inner, inner2)
+
+    def test_spans_listed_in_start_order_parents_first(self):
+        clock = SimClock(PAPER_EPOCH)
+        tracer = Tracer()
+        with tracer.span("a", clock):
+            with tracer.span("b", clock):
+                clock.advance(1.0)
+        with tracer.span("c", clock):
+            pass
+        assert [span.name for span in tracer.spans()] == ["a", "b", "c"]
+        assert tracer.span_names() == ("a", "b", "c")
+        assert len(tracer) == 3
+
+    def test_span_ids_are_unique_and_time_ordered(self):
+        clock = SimClock(PAPER_EPOCH)
+        tracer = Tracer()
+        for __ in range(50):
+            with tracer.span("tick", clock):
+                pass
+        ids = [span.span_id for span in tracer.spans()]
+        assert len(set(ids)) == 50
+        assert ids == sorted(ids)
+        # Snowflakes encode the simulated start instant.
+        assert snowflake_timestamp(ids[0]) == pytest.approx(PAPER_EPOCH)
+
+    def test_attributes_initial_and_set(self):
+        tracer = Tracer()
+        with tracer.span("audit", SimClock(PAPER_EPOCH), tool="fc") as span:
+            span.set_attribute("fake_pct", 12.5)
+        assert span.attributes == {"tool": "fc", "fake_pct": 12.5}
+
+    def test_exception_is_recorded_and_reraised(self):
+        tracer = Tracer()
+        clock = SimClock(PAPER_EPOCH)
+        with pytest.raises(ValueError):
+            with tracer.span("boom", clock):
+                raise ValueError("nope")
+        (span,) = tracer.spans()
+        assert span.end is not None
+        assert span.attributes["error"] == "ValueError: nope"
+
+    def test_fallback_clock_used_when_none_passed(self):
+        fallback = SimClock(PAPER_EPOCH + 123.0)
+        tracer = Tracer(fallback)
+        with tracer.span("experiment") as span:
+            pass
+        assert span.start == PAPER_EPOCH + 123.0
+
+    def test_determinism_two_tracers_same_inputs_same_spans(self):
+        def run():
+            clock = SimClock(PAPER_EPOCH)
+            tracer = Tracer()
+            with tracer.span("outer", clock):
+                clock.advance(2.0)
+                with tracer.span("inner", clock, k="v"):
+                    clock.advance(1.0)
+            return [(s.span_id, s.parent_id, s.name, s.start, s.end)
+                    for s in tracer.spans()]
+        assert run() == run()
+
+
+class TestNullTracer:
+    def test_span_returns_shared_singleton(self):
+        assert NULL_TRACER.span("anything", SimClock(PAPER_EPOCH)) is NULL_SPAN
+        assert NULL_TRACER.span("other", resource="x") is NULL_SPAN
+
+    def test_no_side_effects(self):
+        with NULL_TRACER.span("work") as span:
+            span.set_attribute("k", "v")
+        assert span is NULL_SPAN
+        assert NULL_SPAN.attributes == {}
+        assert NULL_TRACER.spans() == ()
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.enabled is False
