@@ -14,7 +14,7 @@ tool supplies its sampling configuration and its classification rules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..api.client import TwitterApiClient
@@ -22,8 +22,10 @@ from ..api.crawler import Crawler
 from ..api.endpoints import UserObject
 from ..audit import AuditReport
 from ..core.clock import SimClock, Stopwatch
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, RetryableApiError
 from ..core.rng import make_rng
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..obs.runtime import get_observability
 from ..twitter.population import World
 from ..twitter.tweet import Tweet
@@ -31,14 +33,22 @@ from ..twitter.tweet import Tweet
 
 @dataclass(frozen=True)
 class AnalysisOutcome:
-    """Raw output of one tool's analysis pass (before report assembly)."""
+    """Raw output of one tool's analysis pass (before report assembly).
+
+    ``completeness`` and ``errors_seen`` describe how cleanly the
+    acquisition went (see :class:`~repro.audit.AuditReport`); subclass
+    ``_analyze`` hooks leave them at their defaults and the audit
+    wrapper fills them in from the client's fault accounting.
+    """
 
     followers_count: int
     sample_size: int
     fake_pct: float
     genuine_pct: float
     inactive_pct: Optional[float]
-    details: Dict[str, object]
+    details: Dict[str, object] = field(default_factory=dict)
+    completeness: float = 1.0
+    errors_seen: int = 0
 
 
 class ResultCache:
@@ -124,6 +134,8 @@ class CommercialAnalytic:
                  cache_serve_seconds: float = 2.5,
                  processing_seconds: float = 1.0,
                  cache_ttl: Optional[float] = None,
+                 faults: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None,
                  seed: int = 99) -> None:
         self._clock = clock
         self._client = TwitterApiClient(
@@ -131,6 +143,8 @@ class CommercialAnalytic:
             credentials=credentials,
             parallelism=parallelism,
             request_latency=request_latency,
+            faults=faults,
+            retry=retry,
         )
         self._crawler = Crawler(self._client)
         self._cache = ResultCache(ttl=cache_ttl, name=self.name)
@@ -139,6 +153,7 @@ class CommercialAnalytic:
         self._processing_seconds = processing_seconds
         self._seed = seed
         self._audit_counter = 0
+        self._last_completeness = 1.0
 
     @property
     def client(self) -> TwitterApiClient:
@@ -172,16 +187,22 @@ class CommercialAnalytic:
                                       assessed_at=computed_at)
             else:
                 self._client.reset_budgets()
-                outcome = self._analyze(screen_name)
+                outcome = self._fresh_outcome(screen_name)
                 self._clock.advance(self._processing_seconds)
                 computed_at = self._clock.now()
-                self._cache.put(screen_name, outcome, computed_at)
+                if outcome.completeness > 0.0:
+                    # A fully failed audit is never cached: the tool
+                    # retries from scratch on the next request instead
+                    # of serving an empty result forever.
+                    self._cache.put(screen_name, outcome, computed_at)
                 report = self._report(screen_name, outcome,
                                       stopwatch.elapsed(), cached=False,
                                       assessed_at=computed_at)
             span.set_attribute("cached", report.cached)
             span.set_attribute("fake_pct", report.fake_pct)
             span.set_attribute("genuine_pct", report.genuine_pct)
+            if report.completeness < 1.0:
+                span.set_attribute("completeness", report.completeness)
             return report
 
     def prewarm(self, screen_names: Sequence[str]) -> None:
@@ -196,14 +217,47 @@ class CommercialAnalytic:
             if screen_name not in self._cache:
                 with self._tracer.span("audit.prewarm", self._clock,
                                        tool=self.name, target=screen_name):
-                    outcome = self._analyze(screen_name)
-                    self._cache.put(screen_name, outcome, self._clock.now())
+                    outcome = self._fresh_outcome(screen_name)
+                    if outcome.completeness > 0.0:
+                        self._cache.put(screen_name, outcome,
+                                        self._clock.now())
 
     # -- subclass hooks ---------------------------------------------------------
 
     def _analyze(self, screen_name: str) -> AnalysisOutcome:
         """Run a fresh analysis, charging all API costs to the clock."""
         raise NotImplementedError
+
+    # -- degradation-aware analysis wrapper -------------------------------------
+
+    def _fresh_outcome(self, screen_name: str) -> AnalysisOutcome:
+        """Run ``_analyze`` and attach completeness/fault accounting.
+
+        An acquisition failure that survives the retry layer degrades to
+        an empty outcome (``completeness == 0.0``) instead of raising —
+        the surveyed services show an apologetic banner, not a stack
+        trace.
+        """
+        faults_before = self._client.faults_seen
+        self._last_completeness = 1.0
+        try:
+            outcome = self._analyze(screen_name)
+            completeness = self._last_completeness
+        except RetryableApiError as error:
+            outcome = AnalysisOutcome(
+                followers_count=0,
+                sample_size=0,
+                fake_pct=0.0,
+                genuine_pct=0.0,
+                inactive_pct=0.0 if self.reports_inactive else None,
+                details={"degraded": type(error).__name__},
+            )
+            completeness = 0.0
+        return replace(
+            outcome,
+            completeness=completeness,
+            errors_seen=self._client.faults_seen - faults_before,
+        )
 
     # -- helpers ------------------------------------------------------------------
 
@@ -236,11 +290,26 @@ class CommercialAnalytic:
         else:
             sampled_ids = list(head_ids)
         users = self._crawler.lookup_users(sampled_ids)
+        # Completeness = frame completeness x sample completeness: how
+        # much of the intended head frame was paged in, times how much
+        # of the intended within-frame sample actually resolved.
+        expected_frame = min(head, target.followers_count)
+        frame_part = (min(1.0, len(head_ids) / expected_frame)
+                      if expected_frame > 0 else 1.0)
+        expected_sample = min(sample, len(head_ids))
+        sample_part = (min(1.0, len(users) / expected_sample)
+                       if expected_sample > 0 else 1.0)
+        self._last_completeness = frame_part * sample_part
         timelines: Optional[List[List[Tweet]]] = None
         if with_timelines:
             by_id = self._crawler.fetch_timelines(
                 [user.user_id for user in users], per_user=200)
             timelines = [by_id[user.user_id] for user in users]
+            if users:
+                # Degraded-to-empty timelines silently bias activity
+                # rules, so they count against completeness too.
+                self._last_completeness *= (
+                    1.0 - self._crawler.last_timeline_shortfall / len(users))
         return target, users, timelines
 
     def _report(self, screen_name: str, outcome: AnalysisOutcome,
@@ -257,6 +326,8 @@ class CommercialAnalytic:
             response_seconds=response_seconds,
             cached=cached,
             assessed_at=assessed_at,
+            completeness=outcome.completeness,
+            errors_seen=outcome.errors_seen,
             details=dict(outcome.details),
         )
 

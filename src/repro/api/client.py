@@ -18,10 +18,22 @@ commercial tools run fleets (see ``repro.analytics``).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.clock import SimClock
-from ..core.errors import ConfigurationError, InvalidCursorError, UnknownAccountError
+from ..core.errors import (
+    ConfigurationError,
+    InvalidCursorError,
+    RateLimitExceededError,
+    RequestTimeoutError,
+    RetryableApiError,
+    StaleCursorError,
+    TransientServerError,
+    UnknownAccountError,
+)
+from ..faults.injectors import Fault, FaultInjector
+from ..faults.plan import FaultPlan
+from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy, RetryState
 from ..obs.metrics import LATENCY_BUCKETS, WAIT_BUCKETS
 from ..obs.runtime import get_observability
 from ..twitter.population import World
@@ -47,6 +59,8 @@ class TwitterApiClient:
             parallelism: int = 1,
             request_latency: float = DEFAULT_REQUEST_LATENCY,
             policies=DEFAULT_POLICIES,
+            faults: Optional[FaultPlan] = None,
+            retry: Optional[RetryPolicy] = None,
     ) -> None:
         if parallelism < 1:
             raise ConfigurationError(f"parallelism must be >= 1: {parallelism!r}")
@@ -68,10 +82,25 @@ class TwitterApiClient:
         # handles, resolved lazily so the no-op and real paths share one
         # dict lookup per request.
         self._instruments = {}
+        # Fault-path telemetry (retry counters, backoff histograms,
+        # error counters) is created lazily on first failure, so a
+        # fault-free run registers no extra metric series and its
+        # exports stay byte-identical to a build without this layer.
+        self._retry_instruments = {}
+        self._error_counters = {}
+        self._injector = (FaultInjector(faults, registry=self._registry)
+                          if faults is not None else None)
+        retry_policy = retry
+        if retry_policy is None and faults is not None:
+            retry_policy = DEFAULT_RETRY_POLICY
+        self._retry = (RetryState(retry_policy)
+                       if retry_policy is not None else None)
+        self._faults_seen = 0
+        self._retries_total = 0
         obs.register_call_log(self._log)
 
     def reset_budgets(self) -> None:
-        """Start from fresh, full rate-limit windows.
+        """Start from fresh, full rate-limit windows and retry budgets.
 
         Models an operator rotating to unused credentials (or simply
         waiting out the 15-minute window) between audits; experiment
@@ -81,6 +110,8 @@ class TwitterApiClient:
         self._limiter = RateLimiter(
             self._clock.now(), self._policies, self._credentials,
             registry=self._registry)
+        if self._retry is not None:
+            self._retry.reset()
 
     @property
     def clock(self) -> SimClock:
@@ -91,6 +122,21 @@ class TwitterApiClient:
     def call_log(self) -> CallLog:
         """Record of every request issued through this client."""
         return self._log
+
+    @property
+    def faults_seen(self) -> int:
+        """Fault-injected failures (and truncations) observed so far.
+
+        Counts every injector fire, including failures later recovered
+        by retry — engines snapshot it around an analysis to report
+        ``errors_seen``.
+        """
+        return self._faults_seen
+
+    @property
+    def retries_total(self) -> int:
+        """Retries issued by this client across all resources."""
+        return self._retries_total
 
     def policy(self, resource: str) -> RateLimitPolicy:
         """Expose the active rate-limit policy of a resource."""
@@ -122,17 +168,96 @@ class TwitterApiClient:
             self._instruments[resource] = handles
         return handles
 
-    def _execute(self, resource: str, items: int) -> float:
-        """Charge one request: rate-limit wait + latency.  Returns 'now'."""
+    def _retry_handles(self, resource: str):
+        """The (retries, backoff-wait) handles of one resource (lazy)."""
+        handles = self._retry_instruments.get(resource)
+        if handles is None:
+            handles = (
+                self._registry.counter(
+                    "api_retries_total",
+                    help="request retries after retryable failures",
+                    resource=resource),
+                self._registry.histogram(
+                    "api_backoff_wait_seconds", WAIT_BUCKETS,
+                    help="retry backoff charged to the sim clock",
+                    resource=resource),
+            )
+            self._retry_instruments[resource] = handles
+        return handles
+
+    def _error_counter(self, resource: str, kind: str):
+        """The failed-attempt counter of one (resource, error) pair."""
+        counter = self._error_counters.get((resource, kind))
+        if counter is None:
+            counter = self._registry.counter(
+                "api_request_errors_total",
+                help="failed request attempts by resource and error kind",
+                resource=resource, error=kind)
+            self._error_counters[(resource, kind)] = counter
+        return counter
+
+    def _raise_fault(self, resource: str, fault: Fault,
+                     completed: float, cursor: Optional[int]) -> None:
+        """Turn a decided raising fault into its typed exception."""
+        spec = fault.spec
+        if fault.kind == "transient_503":
+            raise TransientServerError(resource)
+        if fault.kind == "timeout":
+            raise RequestTimeoutError(resource, spec.timeout_seconds)
+        if fault.kind == "rate_limit_spike":
+            raise RateLimitExceededError(
+                resource, spec.retry_after,
+                reset_at=completed + spec.retry_after)
+        if fault.kind == "stale_cursor":
+            raise StaleCursorError(resource, cursor if cursor is not None
+                                   else -1)
+        raise ConfigurationError(          # pragma: no cover - plan validates
+            f"unexpected raising fault kind: {fault.kind!r}")
+
+    def _attempt(self, resource: str, items: int, *,
+                 paged: bool, cursor: Optional[int]
+                 ) -> Tuple[float, Optional[Fault]]:
+        """Charge one request attempt; raise if a fault fires.
+
+        Returns ``(completed_time, fault)``; a returned fault is always
+        the non-raising ``truncated_ids_page`` kind, which the caller
+        applies to the payload.
+        """
         requests, items_counter, latency_hist, wait_hist = \
             self._resource_instruments(resource)
         with self._tracer.span("api.request", self._clock,
                                resource=resource) as span:
             issued = self._clock.now()
+            fault = None
+            if self._injector is not None:
+                fault = self._injector.decide(
+                    resource, issued, paged=paged,
+                    cursor_positive=cursor is not None and cursor > 0)
             waited = self._limiter.wait_time(resource, issued)
             if waited > 0:
                 self._clock.advance(waited)
+            # The token is consumed even for a failing request: the
+            # request was sent, and the real service bills it.
             self._limiter.consume(resource, self._clock.now())
+            if fault is not None and fault.raises:
+                if fault.kind == "timeout":
+                    self._clock.advance(fault.spec.timeout_seconds)
+                else:
+                    self._clock.advance(self._latency)
+                completed = self._clock.now()
+                self._log.record(ApiCall(
+                    resource=resource,
+                    issued_at=issued,
+                    completed_at=completed,
+                    waited=waited,
+                    items=0,
+                    error=fault.kind,
+                ))
+                self._faults_seen += 1
+                self._error_counter(resource, fault.kind).inc()
+                span.set_attribute("waited", waited)
+                span.set_attribute("error", fault.kind)
+                self._raise_fault(resource, fault, completed, cursor)
             self._clock.advance(self._latency)
             completed = self._clock.now()
             self._log.record(ApiCall(
@@ -148,6 +273,44 @@ class TwitterApiClient:
             wait_hist.observe(waited)
             span.set_attribute("waited", waited)
             span.set_attribute("items", items)
+            if fault is not None:
+                self._faults_seen += 1
+                span.set_attribute("fault", fault.kind)
+        return completed, fault
+
+    def _request(self, resource: str, items: int, *,
+                 paged: bool = False, cursor: Optional[int] = None
+                 ) -> Tuple[float, Optional[Fault]]:
+        """Issue one logical request, retrying retryable failures.
+
+        Backoff waits are charged to the simulated clock; when the
+        retry allowance (attempts or per-resource budget) is exhausted
+        the last failure propagates to the caller.
+        """
+        retry_index = 0
+        previous_wait = 0.0
+        while True:
+            try:
+                return self._attempt(resource, items,
+                                     paged=paged, cursor=cursor)
+            except RetryableApiError as error:
+                wait = None
+                if self._retry is not None:
+                    wait = self._retry.next_wait(
+                        resource, retry_index, error, previous_wait)
+                if wait is None:
+                    raise
+                retries, backoff_hist = self._retry_handles(resource)
+                retries.inc()
+                backoff_hist.observe(wait)
+                self._retries_total += 1
+                self._clock.advance(wait)
+                previous_wait = wait
+                retry_index += 1
+
+    def _execute(self, resource: str, items: int) -> float:
+        """Charge one request: rate-limit wait + latency.  Returns 'now'."""
+        completed, __ = self._request(resource, items)
         return completed
 
     # -- users ----------------------------------------------------------------
@@ -207,7 +370,7 @@ class TwitterApiClient:
             offset = cursor
         else:
             raise InvalidCursorError(f"bad cursor: {cursor!r}")
-        now = self._execute(resource, 0)
+        now, fault = self._request(resource, 0, paged=True, cursor=cursor)
         # `offset` counts newest-first; chronological positions run the
         # other way.  Twitter returns followers newest-first — the fact
         # the paper establishes in Section IV-B.
@@ -217,6 +380,12 @@ class TwitterApiClient:
         chrono_stop = total - start_newest
         chronological = fetch(chrono_start, chrono_stop, now)
         ids = tuple(int(uid) for uid in reversed(list(chronological)))
+        if fault is not None and ids:
+            # A truncated page silently drops the tail of the listing
+            # while the cursor still advances past the full page — the
+            # client cannot tell, so downstream frames come up short.
+            keep = max(1, int(len(ids) * (1 - fault.spec.truncate_fraction)))
+            ids = ids[:keep]
         next_cursor = stop_newest if stop_newest < total else 0
         previous_cursor = -start_newest if start_newest > 0 else 0
         return IdsPage(ids=ids, next_cursor=next_cursor,

@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, RetryableApiError
 from ..obs.runtime import get_observability
 from ..twitter.tweet import Tweet
 from .client import DEFAULT_REQUEST_LATENCY, TwitterApiClient
@@ -27,6 +27,10 @@ class Crawler:
 
     def __init__(self, client: TwitterApiClient) -> None:
         self._client = client
+        #: Users whose timeline fetch degraded to empty during the most
+        #: recent :meth:`fetch_timelines` call (callers fold this into
+        #: their completeness fraction).
+        self.last_timeline_shortfall = 0
         obs = get_observability()
         self._tracer = obs.tracer
         self._pages = obs.registry.counter(
@@ -64,8 +68,15 @@ class Crawler:
             cursor = -1
             pages = 0
             while True:
-                page = self._client.followers_ids(
-                    screen_name=screen_name, cursor=cursor)
+                try:
+                    page = self._client.followers_ids(
+                        screen_name=screen_name, cursor=cursor)
+                except RetryableApiError:
+                    # Retries are exhausted and the cursor chain is
+                    # broken; degrade to whatever was paged in so far
+                    # rather than losing the whole crawl.
+                    span.set_attribute("degraded", True)
+                    break
                 pages += 1
                 self._pages.inc()
                 ids.extend(page.ids)
@@ -87,8 +98,14 @@ class Crawler:
             users: List[UserObject] = []
             for start in range(0, len(user_ids), batch_size):
                 batch = list(user_ids[start:start + batch_size])
-                if batch:
+                if not batch:
+                    continue
+                try:
                     users.extend(self._client.users_lookup(batch))
+                except RetryableApiError:
+                    # Batches are independent: drop the failed one and
+                    # keep resolving the rest of the sample.
+                    span.set_attribute("degraded", True)
             span.set_attribute("resolved", len(users))
         return users
 
@@ -96,10 +113,23 @@ class Crawler:
                         per_user: int = 200) -> Dict[int, List[Tweet]]:
         """Pull one timeline page per user (up to 200 recent tweets)."""
         with self._tracer.span("crawl.timelines", self._client.clock,
-                               users=len(user_ids)):
+                               users=len(user_ids)) as span:
             timelines: Dict[int, List[Tweet]] = {}
+            shortfall = 0
             for uid in user_ids:
-                timelines[uid] = self._client.user_timeline(uid, count=per_user)
+                try:
+                    timelines[uid] = self._client.user_timeline(
+                        uid, count=per_user)
+                except RetryableApiError:
+                    # Keep the key so callers can still index by user;
+                    # an empty timeline reads as "never tweeted", the
+                    # conservative degradation for inactivity rules.
+                    timelines[uid] = []
+                    shortfall += 1
+            if shortfall:
+                span.set_attribute("degraded", True)
+                span.set_attribute("shortfall", shortfall)
+            self.last_timeline_shortfall = shortfall
         return timelines
 
 

@@ -112,13 +112,25 @@ class IdsPage:
 
 @dataclass(frozen=True)
 class ApiCall:
-    """One logged API request, for cost accounting and experiments."""
+    """One logged API request (or failed attempt), for cost accounting.
+
+    ``error`` is ``None`` for a successful call; for a failed attempt it
+    names the failure kind (e.g. ``"transient_503"``).  With fault
+    injection on, every retried attempt is logged individually, so the
+    log remains a complete, deterministic record of what the client did.
+    """
 
     resource: str
     issued_at: float
     completed_at: float
     waited: float
     items: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request completed successfully."""
+        return self.error is None
 
     @property
     def latency(self) -> float:
@@ -146,6 +158,10 @@ class CallLog:
         """Number of logged calls, optionally filtered by resource."""
         return len(self.calls(resource))
 
+    def failures(self, resource: Optional[str] = None) -> int:
+        """Number of logged failed attempts, optionally by resource."""
+        return sum(1 for call in self.calls(resource) if not call.ok)
+
     def total_items(self, resource: Optional[str] = None) -> int:
         """Total elements returned, optionally filtered by resource."""
         return sum(call.items for call in self.calls(resource))
@@ -158,14 +174,22 @@ class CallLog:
         """Per-resource aggregates of the whole log.
 
         Returns ``{resource: {"calls", "items", "waited",
-        "total_latency"}}`` with resources in sorted order — the shape
-        consumed by the Prometheus exporter (``api_calllog_*`` series)
-        and the ``repro stats`` summary line.
+        "total_latency", "failures"}}`` with resources in sorted order —
+        the shape consumed by the Prometheus exporter (``api_calllog_*``
+        series) and the ``repro stats`` summary line.  Failed attempts
+        count only under ``"failures"``: they contribute nothing to
+        ``"calls"``, ``"items"``, ``"waited"`` or ``"total_latency"``,
+        so per-resource latency averages (``total_latency / calls``)
+        describe successful requests only.
         """
         aggregates: Dict[str, Dict[str, float]] = {}
         for call in self._calls:
             stats = aggregates.setdefault(call.resource, {
-                "calls": 0, "items": 0, "waited": 0.0, "total_latency": 0.0})
+                "calls": 0, "items": 0, "waited": 0.0, "total_latency": 0.0,
+                "failures": 0})
+            if not call.ok:
+                stats["failures"] += 1
+                continue
             stats["calls"] += 1
             stats["items"] += call.items
             stats["waited"] += call.waited

@@ -111,8 +111,9 @@ class TokenBucket:
         """
         self._refill(now)
         if self._level + 1e-9 < tokens:
+            wait = self.wait_time(now, tokens)
             raise RateLimitExceededError(
-                "token-bucket", self.wait_time(now, tokens))
+                "token-bucket", wait, reset_at=now + wait)
         self._level -= tokens
 
 
@@ -192,5 +193,9 @@ class RateLimiter:
         try:
             self._buckets[resource].consume(now)
         except RateLimitExceededError as exc:
-            raise RateLimitExceededError(resource, exc.retry_after) from None
+            # Re-raise under the resource's name but keep the original
+            # token-bucket state (retry_after AND the absolute window
+            # reset instant) so retry layers can honor it end-to-end.
+            raise RateLimitExceededError(
+                resource, exc.retry_after, reset_at=exc.reset_at) from None
         self._token_gauges[resource].set(self._buckets[resource].available(now))

@@ -37,6 +37,14 @@ class AuditReport:
     #: cached answer this predates the request, as Twitteraudit's
     #: "evaluated 7 months ago" notes make visible).
     assessed_at: float
+    #: Fraction (0-1) of the intended acquisition actually achieved.
+    #: 1.0 on a clean run; below 1.0 the engine degraded gracefully
+    #: under API failures and the percentages describe a partial
+    #: sample; 0.0 means no data could be acquired at all.
+    completeness: float = 1.0
+    #: Injected API failures observed while producing this result
+    #: (including ones recovered by retry).
+    errors_seen: int = 0
     details: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -46,6 +54,11 @@ class AuditReport:
             raise ConfigurationError("sample_size must be >= 0")
         if self.response_seconds < 0:
             raise ConfigurationError("response_seconds must be >= 0")
+        if not -1e-9 <= self.completeness <= 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"completeness must be in [0, 1]: {self.completeness!r}")
+        if self.errors_seen < 0:
+            raise ConfigurationError("errors_seen must be >= 0")
         parts = [self.fake_pct, self.genuine_pct]
         if self.inactive_pct is not None:
             parts.append(self.inactive_pct)
@@ -54,6 +67,9 @@ class AuditReport:
                 raise ConfigurationError(
                     f"percentages must be in [0, 100]: {value!r}")
         total = sum(parts)
+        if self.completeness == 0.0 and total == 0.0:
+            # A fully failed audit reports no composition at all.
+            return
         if not 99.0 <= total <= 101.0:
             raise ConfigurationError(
                 f"percentages must sum to ~100, got {total!r}")

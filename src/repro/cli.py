@@ -14,7 +14,12 @@ Examples
     repro samplesize             # n = 9604 arithmetic + coverage
     repro tacharts               # the three Twitteraudit report charts
     repro monitor                # growth monitoring / burst detection
+    repro chaos --faults bursty  # engine robustness under API faults
+    repro run chaos              # alias form: run <experiment>
     repro all                    # everything, one report
+
+Any experiment accepts ``--faults SCENARIO`` (plus ``--fault-seed``) to
+rerun it under deterministic injected API failures; see docs/faults.md.
 """
 
 from __future__ import annotations
@@ -42,7 +47,10 @@ from .experiments import (
     run_table3,
     validate_world,
 )
+from .experiments import run_chaos_experiment
 from .experiments.testbed import AVERAGE
+from .faults import named_plan
+from .faults.plan import SCENARIOS
 from .growth import GrowthMonitor
 from .obs import (
     activate,
@@ -100,6 +108,29 @@ def _add_obs_flags(parser: argparse.ArgumentParser, *,
                              "(enables observability)")
 
 
+def _add_fault_flags(parser: argparse.ArgumentParser, *,
+                     suppress: bool = False) -> None:
+    """Attach ``--faults`` / ``--fault-seed``; same placement rules as
+    the observability flags."""
+    parser.add_argument("--faults", metavar="SCENARIO",
+                        choices=sorted(SCENARIOS),
+                        default=argparse.SUPPRESS if suppress else None,
+                        help="inject deterministic API faults from a named "
+                             f"scenario ({', '.join(sorted(SCENARIOS))})")
+    parser.add_argument("--fault-seed", type=int, metavar="N",
+                        default=argparse.SUPPRESS if suppress else 7,
+                        help="seed of the fault plan's random stream "
+                             "(default: 7)")
+
+
+def _fault_plan(args):
+    """The :class:`FaultPlan` selected on the command line, or ``None``."""
+    name = getattr(args, "faults", None)
+    if not name:
+        return None
+    return named_plan(name, seed=args.fault_seed)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -109,6 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42,
                         help="master seed (default: 42)")
     _add_obs_flags(parser)
+    _add_fault_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table I: API types and rate limits")
@@ -140,12 +172,30 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--sample", type=int, default=1500,
                           help="followers sampled per target (default: 1500)")
 
+    chaos = sub.add_parser(
+        "chaos", help="engine robustness sweep under injected API faults")
+    chaos.add_argument("--levels", type=float, nargs="+", metavar="X",
+                       default=None,
+                       help="fault intensity multipliers; the first must "
+                            "be 0 (baseline).  Default: 0 0.5 1 2")
+
     everything = sub.add_parser("all", help="run the full suite (E1-E8)")
     everything.add_argument("--days", type=int, default=5)
     everything.add_argument("--trials", type=int, default=100)
 
+    runner = sub.add_parser(
+        "run", help="run one experiment by name (e.g. 'repro run chaos')")
+    runner.add_argument("experiment",
+                        choices=[name for name in sub.choices
+                                 if name != "run"],
+                        help="the experiment to run")
+    # Knobs that normally live on individual subparsers, with their
+    # defaults, so `repro run <experiment>` dispatches cleanly.
+    runner.set_defaults(days=5, trials=100, sample=1500, levels=None)
+
     for subparser in sub.choices.values():
         _add_obs_flags(subparser, suppress=True)
+        _add_fault_flags(subparser, suppress=True)
     return parser
 
 
@@ -195,6 +245,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _dispatch(args, seed: int) -> str:
     """Run the selected subcommand and return its rendered report."""
+    if args.command == "run":
+        # Alias form: `repro run <experiment>` == `repro <experiment>`.
+        args.command = args.experiment
+        return _dispatch(args, seed)
     if args.command == "table1":
         __, rendered = run_table1()
     elif args.command == "ordering":
@@ -203,9 +257,18 @@ def _dispatch(args, seed: int) -> str:
         __, rendered = run_ordering_experiment(
             world, handles, days=args.days)
     elif args.command == "table2":
-        __, rendered = run_response_time_experiment(seed=seed)
+        __, rendered = run_response_time_experiment(
+            seed=seed, faults=_fault_plan(args))
     elif args.command == "table3":
-        rows, rendered = run_table3(seed=seed)
+        rows, rendered = run_table3(seed=seed, faults=_fault_plan(args))
+    elif args.command == "chaos":
+        scenario = getattr(args, "faults", None) or "bursty"
+        kwargs = {}
+        if getattr(args, "levels", None):
+            kwargs["levels"] = tuple(args.levels)
+        __, rendered = run_chaos_experiment(
+            seed=seed, scenario=scenario,
+            fault_seed=args.fault_seed, **kwargs)
     elif args.command == "acquisition":
         __, __, rendered = run_acquisition_experiment()
     elif args.command == "burst":

@@ -16,6 +16,13 @@ from .bias_demo import (
     run_deepdive_comparison,
     run_purchased_burst_demo,
 )
+from .chaos import (
+    ChaosLevel,
+    ChaosResult,
+    DEFAULT_CHAOS_LEVELS,
+    render_chaos,
+    run_chaos_experiment,
+)
 from .figures import ascii_bar_chart, render_ta_charts, run_ta_charts
 from .live_ordering import ChurnSensitivityRow, run_churn_sensitivity
 from .sensitivity import TiltSensitivityRow, run_tilt_sensitivity
@@ -69,8 +76,11 @@ from .testbed import (
 __all__ = [
     "AVERAGE",
     "BurstDemoResult",
+    "ChaosLevel",
+    "ChaosResult",
     "ChurnSensitivityRow",
     "CoverageResult",
+    "DEFAULT_CHAOS_LEVELS",
     "DEFAULT_MAX_FOLLOWERS",
     "DeepDiveResult",
     "DisagreementAnalysis",
@@ -102,10 +112,12 @@ __all__ = [
     "empirical_coverage",
     "measure_rate_limit",
     "pct",
+    "render_chaos",
     "render_ta_charts",
     "render_table3",
     "run_acquisition_experiment",
     "run_all",
+    "run_chaos_experiment",
     "run_churn_sensitivity",
     "run_deepdive_comparison",
     "run_ordering_experiment",

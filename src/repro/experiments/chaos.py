@@ -1,0 +1,177 @@
+"""Experiment E9 — chaos: engine robustness under injected API faults.
+
+The paper measured four engines against a *live* service; every number
+in its tables therefore absorbed whatever 503s, timeouts and flaky
+cursors Twitter served that week.  This bench asks how much that
+matters: it reruns the Table III testbed under a named fault scenario
+(see :data:`repro.faults.SCENARIOS`) at increasing intensity and
+reports, per engine,
+
+* the **drift** of its fake-percentage estimates from the fault-free
+  baseline (mean absolute difference across targets);
+* the mean **completeness** of its degraded results;
+* the injected **errors seen** and the **retries** its client spent
+  recovering.
+
+Everything stays deterministic: the scenario plan carries its own
+fault seed, so the same ``(seed, scenario, fault_seed)`` triple yields
+byte-identical reports on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..audit import AuditReport
+from ..core.clock import SimClock
+from ..core.errors import ConfigurationError
+from ..faults.plan import FaultPlan, SCENARIOS, named_plan
+from ..fc.engine import default_detector
+from ..fc.training import TrainedDetector
+from .report import TextTable
+from .response_time import ENGINE_ORDER, build_engines
+from .testbed import LOW, PaperAccount, accounts_in_tiers, build_paper_world
+
+#: Multipliers applied to the scenario's base probabilities.  Level 0
+#: runs with fault injection fully off — the baseline every drift
+#: number is measured against.
+DEFAULT_CHAOS_LEVELS: Tuple[float, ...] = (0.0, 0.5, 1.0, 2.0)
+
+#: Follower cap for chaos runs: the drift signal is scale-free and the
+#: sweep reruns the whole testbed once per level.
+CHAOS_MAX_FOLLOWERS = 20_000
+
+
+@dataclass(frozen=True)
+class ChaosLevel:
+    """All reports of one sweep level (one fault intensity)."""
+
+    factor: float
+    #: ``{handle: {tool: report}}`` for every audited target.
+    reports: Dict[str, Dict[str, AuditReport]]
+    #: Per-tool client retry totals accumulated over the level.
+    retries: Dict[str, int]
+
+    def mean_completeness(self, tool: str) -> float:
+        """Average completeness of one engine's reports at this level."""
+        values = [per_tool[tool].completeness
+                  for per_tool in self.reports.values()]
+        return sum(values) / len(values) if values else 1.0
+
+    def errors_seen(self, tool: str) -> int:
+        """Total injected failures one engine observed at this level."""
+        return sum(per_tool[tool].errors_seen
+                   for per_tool in self.reports.values())
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """The whole sweep: one :class:`ChaosLevel` per intensity."""
+
+    scenario: str
+    fault_seed: int
+    levels: List[ChaosLevel]
+
+    @property
+    def baseline(self) -> ChaosLevel:
+        """The fault-free level the drift is measured against."""
+        return self.levels[0]
+
+    def drift(self, tool: str, level: ChaosLevel) -> float:
+        """Mean |fake% - baseline fake%| of one engine at one level."""
+        gaps = [
+            abs(level.reports[handle][tool].fake_pct
+                - self.baseline.reports[handle][tool].fake_pct)
+            for handle in level.reports
+        ]
+        return sum(gaps) / len(gaps) if gaps else 0.0
+
+
+def run_chaos_experiment(
+        *,
+        seed: int = 42,
+        scenario: str = "bursty",
+        fault_seed: int = 7,
+        levels: Sequence[float] = DEFAULT_CHAOS_LEVELS,
+        accounts: Optional[Sequence[PaperAccount]] = None,
+        max_followers: Optional[int] = CHAOS_MAX_FOLLOWERS,
+        detector: Optional[TrainedDetector] = None,
+) -> Tuple[ChaosResult, str]:
+    """Sweep the testbed through increasing fault intensity.
+
+    Each level rebuilds the world and all four engines from the same
+    seeds, so level-to-level differences are attributable to the fault
+    plan alone (plus the retries it provokes).
+    """
+    if scenario not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown fault scenario {scenario!r}; "
+            f"choose from {sorted(SCENARIOS)}")
+    if not levels:
+        raise ConfigurationError("need at least one chaos level")
+    if levels[0] != 0.0:
+        raise ConfigurationError(
+            "the first chaos level must be 0.0 (the fault-free baseline)")
+    if accounts is None:
+        accounts = accounts_in_tiers(LOW)
+    tiers = tuple(sorted({account.tier for account in accounts}))
+    base_plan = named_plan(scenario, seed=fault_seed)
+    if detector is None:
+        # Train once, share across levels: level-to-level drift must
+        # come from the fault plan, never from detector retraining.
+        detector = default_detector(seed)
+
+    swept: List[ChaosLevel] = []
+    for factor in levels:
+        plan: Optional[FaultPlan] = None
+        if factor > 0.0:
+            plan = base_plan.scaled(factor)
+        world = build_paper_world(
+            seed, SimClock().now(), tiers=tiers, max_followers=max_followers)
+        clock = SimClock(world.ref_time)
+        engines = build_engines(world, clock, detector, seed=seed,
+                                faults=plan)
+        reports: Dict[str, Dict[str, AuditReport]] = {}
+        for account in accounts:
+            reports[account.handle] = {
+                tool: engines[tool].audit(account.handle)
+                for tool in ENGINE_ORDER
+            }
+        retries = {tool: engines[tool].client.retries_total
+                   for tool in ENGINE_ORDER}
+        swept.append(ChaosLevel(factor=factor, reports=reports,
+                                retries=retries))
+
+    result = ChaosResult(scenario=scenario, fault_seed=fault_seed,
+                         levels=swept)
+    return result, render_chaos(result)
+
+
+def render_chaos(result: ChaosResult) -> str:
+    """Render the sweep: drift/completeness/errors/retries per engine."""
+    table = TextTable(
+        ["fault level", "engine", "fake% drift", "completeness",
+         "errors seen", "retries"],
+        title=(f"Chaos sweep: scenario '{result.scenario}' "
+               f"(fault seed {result.fault_seed}) vs fault-free baseline"),
+    )
+    for level in result.levels:
+        for tool in ENGINE_ORDER:
+            table.add_row(
+                f"x{level.factor:g}",
+                tool,
+                f"{result.drift(tool, level):.1f}",
+                f"{level.mean_completeness(tool):.3f}",
+                level.errors_seen(tool),
+                level.retries[tool],
+            )
+    lines = [table.render(), ""]
+    worst = result.levels[-1]
+    degraded = [tool for tool in ENGINE_ORDER
+                if worst.mean_completeness(tool) < 1.0]
+    lines.append(
+        f"At x{worst.factor:g} intensity "
+        f"{len(degraded)}/{len(ENGINE_ORDER)} engines returned partial "
+        f"results (graceful degradation); none raised.")
+    return "\n".join(lines)

@@ -29,6 +29,8 @@ from ..analytics import (
 )
 from ..audit import AuditReport
 from ..core.clock import SimClock
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..fc.engine import FakeClassifierEngine
 from ..fc.training import TrainedDetector
 from ..twitter.population import SyntheticWorld
@@ -62,19 +64,26 @@ class ResponseTimeRow:
 
 def build_engines(world: SyntheticWorld, clock: SimClock,
                   detector: Optional[TrainedDetector] = None,
-                  seed: int = 5) -> Dict[str, object]:
+                  seed: int = 5,
+                  faults: Optional[FaultPlan] = None,
+                  retry: Optional[RetryPolicy] = None) -> Dict[str, object]:
     """The paper's four engines, sharing one world and one clock.
 
     Socialbakers' ten-per-day quota is lifted for experiment runs (the
     authors spread their audits over days; the runner does them in one
-    session).
+    session).  ``faults``/``retry`` make every engine's client crawl
+    under the same injected API weather (see ``repro.faults``).
     """
     return {
-        "fc": FakeClassifierEngine(world, clock, detector, seed=seed),
-        "twitteraudit": Twitteraudit(world, clock, seed=seed),
-        "statuspeople": StatusPeopleFakers(world, clock, seed=seed),
+        "fc": FakeClassifierEngine(world, clock, detector, seed=seed,
+                                   faults=faults, retry=retry),
+        "twitteraudit": Twitteraudit(world, clock, seed=seed,
+                                     faults=faults, retry=retry),
+        "statuspeople": StatusPeopleFakers(world, clock, seed=seed,
+                                           faults=faults, retry=retry),
         "socialbakers": SocialbakersFakeFollowerCheck(
-            world, clock, daily_quota=10**9, seed=seed),
+            world, clock, daily_quota=10**9, seed=seed,
+            faults=faults, retry=retry),
     }
 
 
@@ -84,13 +93,14 @@ def run_response_time_experiment(
         accounts: Optional[Sequence[PaperAccount]] = None,
         detector: Optional[TrainedDetector] = None,
         prewarm: bool = True,
+        faults: Optional[FaultPlan] = None,
 ) -> Tuple[List[ResponseTimeRow], str]:
     """Measure Table II: first-analysis latency of all four engines."""
     if accounts is None:
         accounts = average_accounts()
     world = build_paper_world(seed, SimClock().now(), tiers=(AVERAGE,))
     clock = SimClock(world.ref_time)
-    engines = build_engines(world, clock, detector, seed=seed)
+    engines = build_engines(world, clock, detector, seed=seed, faults=faults)
 
     if prewarm:
         handles = {account.handle for account in accounts}

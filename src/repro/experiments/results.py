@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..audit import AuditReport
 from ..core.clock import SimClock
+from ..faults.plan import FaultPlan
 from ..fc.training import TrainedDetector
 from ..twitter.account import Label
 from .report import TextTable, pct
@@ -83,6 +84,7 @@ def run_table3(
         max_followers: Optional[int] = DEFAULT_MAX_FOLLOWERS,
         detector: Optional[TrainedDetector] = None,
         truth_sample: int = 4000,
+        faults: Optional[FaultPlan] = None,
 ) -> Tuple[List[Table3Row], str]:
     """Run all four engines over the testbed and render Table III."""
     if accounts is None:
@@ -91,7 +93,7 @@ def run_table3(
     world = build_paper_world(
         seed, SimClock().now(), tiers=tiers, max_followers=max_followers)
     clock = SimClock(world.ref_time)
-    engines = build_engines(world, clock, detector, seed=seed)
+    engines = build_engines(world, clock, detector, seed=seed, faults=faults)
 
     rows: List[Table3Row] = []
     for account in accounts:

@@ -1,0 +1,49 @@
+"""Deterministic fault injection and retry for the simulated API.
+
+The paper's numbers were measured against a flaky live service; this
+package lets the reproduction ask how every engine's results degrade
+when the service misbehaves — without giving up bit-for-bit
+reproducibility.  Three pieces:
+
+* :class:`FaultPlan` / :class:`InjectorSpec` / :class:`BurstSchedule`
+  (``repro.faults.plan``) — declarative weather: which failure modes,
+  against which resources, at what (possibly bursty) probability;
+* :class:`FaultInjector` (``repro.faults.injectors``) — the per-client
+  runtime that turns a plan plus a dedicated seeded RNG into per-request
+  decisions;
+* :class:`RetryPolicy` / :class:`RetryState` (``repro.faults.retry``) —
+  capped exponential backoff with jitter and per-resource budgets,
+  charged to the simulated clock.
+
+Pass ``faults=named_plan("bursty")`` to
+:class:`~repro.api.client.TwitterApiClient` (or to any engine, which
+forwards it) to turn the weather on; the default ``faults=None`` leaves
+every code path byte-identical to a fault-free build.
+"""
+
+from .injectors import Fault, FaultInjector
+from .plan import (
+    BurstSchedule,
+    FaultPlan,
+    INJECTOR_KINDS,
+    InjectorSpec,
+    RAISING_KINDS,
+    SCENARIOS,
+    named_plan,
+)
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, RetryState
+
+__all__ = [
+    "BurstSchedule",
+    "DEFAULT_RETRY_POLICY",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "INJECTOR_KINDS",
+    "InjectorSpec",
+    "RAISING_KINDS",
+    "RetryPolicy",
+    "RetryState",
+    "SCENARIOS",
+    "named_plan",
+]

@@ -1,0 +1,95 @@
+"""Runtime fault injection: binding a :class:`FaultPlan` to a client.
+
+A :class:`FaultInjector` owns one dedicated ``random.Random`` derived
+from the plan's seed (never the world's or any engine's RNG, so fault
+weather cannot perturb sampling decisions) and answers one question per
+API request: *does this request fail, and how?*
+
+Decisions are made in injector-spec order with a first-hit-wins rule,
+one uniform draw per applicable spec.  Because the draw sequence is a
+pure function of the request sequence, two runs that issue the same
+requests under the same plan observe identical faults — the contract
+the property tests in ``tests/faults/test_properties.py`` enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.rng import make_rng
+from .plan import FaultPlan, InjectorSpec
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One decided fault: the kind that fired and its parameter source."""
+
+    kind: str
+    spec: InjectorSpec
+
+    @property
+    def raises(self) -> bool:
+        """Whether this fault surfaces as an exception (vs. truncation)."""
+        return self.kind != "truncated_ids_page"
+
+
+class FaultInjector:
+    """Per-client fault decision engine.
+
+    Parameters
+    ----------
+    plan:
+        The declarative weather description.
+    registry:
+        Metrics registry for per-injector fire counters
+        (``faults_injected_total{injector=...,resource=...}``).
+        Instruments are created lazily on first fire, so a plan that
+        never fires adds no metric series.
+    """
+
+    def __init__(self, plan: FaultPlan, registry=None) -> None:
+        self._plan = plan
+        self._rng = make_rng(plan.seed, "faults")
+        self._registry = registry
+        self._fired = {}
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The bound fault plan."""
+        return self._plan
+
+    def _count_fire(self, kind: str, resource: str) -> None:
+        if self._registry is None:
+            return
+        counter = self._fired.get((kind, resource))
+        if counter is None:
+            counter = self._registry.counter(
+                "faults_injected_total",
+                help="fault-injector fires, by injector kind and resource",
+                injector=kind, resource=resource)
+            self._fired[(kind, resource)] = counter
+        counter.inc()
+
+    def decide(self, resource: str, now: float, *,
+               paged: bool = False,
+               cursor_positive: bool = False) -> Optional[Fault]:
+        """Decide the fate of one request issued at simulated ``now``.
+
+        ``paged`` marks ids-page requests (the only ones eligible for
+        ``truncated_ids_page``); ``cursor_positive`` marks continuation
+        pages (the only ones eligible for ``stale_cursor`` — a first
+        page has no cursor to go stale).  Returns ``None`` when the
+        request proceeds normally.
+        """
+        for spec in self._plan.injectors:
+            if not spec.applies_to(resource):
+                continue
+            if spec.kind == "truncated_ids_page" and not paged:
+                continue
+            if spec.kind == "stale_cursor" and not cursor_positive:
+                continue
+            if self._rng.random() < spec.probability_at(now):
+                self._count_fire(spec.kind, resource)
+                return Fault(spec.kind, spec)
+        return None

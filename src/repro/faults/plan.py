@@ -1,0 +1,231 @@
+"""Declarative fault plans: what can go wrong, where, when, how often.
+
+The paper's measurements were taken against a live service that failed
+constantly — 503 storms, hung connections, rate-limit surprises beyond
+the documented budgets, truncated follower pages, cursors that expired
+mid-crawl.  "Fame for sale" (Cresci et al., 2015) makes the point
+bluntly: crawler robustness determines dataset completeness.  A
+:class:`FaultPlan` describes that hostile weather as data, so the same
+storm can be replayed bit-for-bit against any engine.
+
+A plan is a tuple of :class:`InjectorSpec` entries plus a seed.  Each
+spec names one failure mode (one of :data:`INJECTOR_KINDS`), the API
+resources it applies to, a base per-request probability, and an
+optional :class:`BurstSchedule` that multiplies the probability during
+periodic sim-time windows (503s come in storms, not as white noise).
+
+Plans are *inert*: nothing here draws randomness or touches a clock.
+:class:`repro.faults.injectors.FaultInjector` binds a plan to a client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..core.errors import ConfigurationError
+
+#: The supported failure modes, in documentation order.
+#:
+#: * ``transient_503`` — the request reaches the service and dies with
+#:   HTTP 503; normal latency is charged.
+#: * ``timeout`` — the request hangs; the client's full timeout interval
+#:   is charged before the failure surfaces.
+#: * ``rate_limit_spike`` — a server-side 429 beyond the documented
+#:   Table I budgets, carrying a ``retry_after`` hint.
+#: * ``truncated_ids_page`` — an ids page *succeeds* but silently drops
+#:   the tail of its ids; pagination advances past the lost ids, so the
+#:   crawl completes with an incomplete frame.
+#: * ``stale_cursor`` — a continuation cursor expires mid-pagination
+#:   (HTTP 400); only requests with ``cursor > 0`` are eligible.
+INJECTOR_KINDS: Tuple[str, ...] = (
+    "transient_503",
+    "timeout",
+    "rate_limit_spike",
+    "truncated_ids_page",
+    "stale_cursor",
+)
+
+#: Kinds that surface as raised exceptions (vs. degraded payloads).
+RAISING_KINDS: Tuple[str, ...] = (
+    "transient_503", "timeout", "rate_limit_spike", "stale_cursor")
+
+
+@dataclass(frozen=True)
+class BurstSchedule:
+    """Periodic high-intensity windows on the simulated timeline.
+
+    During ``[k * period + phase, k * period + phase + duration)`` the
+    owning injector's probability is multiplied by ``multiplier``
+    (capped at 1.0); outside those windows the base probability holds.
+    Driven entirely by the shared :class:`~repro.core.clock.SimClock`,
+    so two runs that issue requests at the same simulated instants see
+    the same storms.
+    """
+
+    period: float
+    duration: float
+    multiplier: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be > 0: {self.period!r}")
+        if not 0 < self.duration <= self.period:
+            raise ConfigurationError(
+                f"duration must be in (0, period]: {self.duration!r}")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1: {self.multiplier!r}")
+
+    def active(self, now: float) -> bool:
+        """Whether the instant ``now`` falls inside a burst window."""
+        return (now - self.phase) % self.period < self.duration
+
+    def factor(self, now: float) -> float:
+        """The probability multiplier in effect at ``now``."""
+        return self.multiplier if self.active(now) else 1.0
+
+
+@dataclass(frozen=True)
+class InjectorSpec:
+    """One failure mode's probability/burst schedule and parameters.
+
+    ``resources`` limits the spec to the named API resources (``None``
+    means every resource).  The remaining fields parameterise specific
+    kinds and are ignored by the others: ``retry_after`` rides on
+    ``rate_limit_spike`` 429s, ``timeout_seconds`` is the interval a
+    ``timeout`` charges, ``truncate_fraction`` is the share of an ids
+    page ``truncated_ids_page`` silently drops.
+    """
+
+    kind: str
+    probability: float
+    resources: Optional[Tuple[str, ...]] = None
+    burst: Optional[BurstSchedule] = None
+    retry_after: float = 60.0
+    timeout_seconds: float = 30.0
+    truncate_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in INJECTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown injector kind: {self.kind!r} "
+                f"(known: {', '.join(INJECTOR_KINDS)})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1]: {self.probability!r}")
+        if self.retry_after < 0:
+            raise ConfigurationError(
+                f"retry_after must be >= 0: {self.retry_after!r}")
+        if self.timeout_seconds < 0:
+            raise ConfigurationError(
+                f"timeout_seconds must be >= 0: {self.timeout_seconds!r}")
+        if not 0.0 < self.truncate_fraction <= 1.0:
+            raise ConfigurationError(
+                f"truncate_fraction must be in (0, 1]: "
+                f"{self.truncate_fraction!r}")
+
+    def applies_to(self, resource: str) -> bool:
+        """Whether this spec covers requests against ``resource``."""
+        return self.resources is None or resource in self.resources
+
+    def probability_at(self, now: float) -> float:
+        """Effective fire probability at simulated instant ``now``."""
+        factor = self.burst.factor(now) if self.burst is not None else 1.0
+        return min(1.0, self.probability * factor)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus injector specs: one reproducible stretch of bad weather.
+
+    The determinism contract: given the same plan (seed included) and
+    the same sequence of API requests at the same simulated instants,
+    the injected faults are identical — byte-identical
+    :class:`~repro.api.endpoints.CallLog` records, identical audit
+    results.  See ``docs/faults.md``.
+    """
+
+    injectors: Tuple[InjectorSpec, ...]
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.injectors, tuple):
+            object.__setattr__(self, "injectors", tuple(self.injectors))
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """A copy with every probability multiplied by ``factor``.
+
+        The chaos experiment sweeps a scenario through increasing
+        intensities this way; probabilities cap at 1.0.
+        """
+        if factor < 0:
+            raise ConfigurationError(f"factor must be >= 0: {factor!r}")
+        return replace(self, injectors=tuple(
+            replace(spec, probability=min(1.0, spec.probability * factor))
+            for spec in self.injectors))
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same weather pattern under a different random stream."""
+        return replace(self, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Named scenarios (the CLI's --faults choices and the chaos testbed)
+# ---------------------------------------------------------------------------
+
+def _quiet(seed: int) -> FaultPlan:
+    """Background noise only: rare 503s and timeouts, always retryable.
+
+    Calibrated so a default :class:`~repro.faults.retry.RetryPolicy`
+    recovers essentially every fault — FC's 9604-sample estimate must
+    stay inside its ±1 % interval under this plan.
+    """
+    return FaultPlan(seed=seed, injectors=(
+        InjectorSpec("transient_503", 0.01),
+        InjectorSpec("timeout", 0.004, timeout_seconds=15.0),
+    ))
+
+
+def _bursty(seed: int) -> FaultPlan:
+    """503 storms: a 2-minute outage every 5 minutes, plus 429 spikes."""
+    return FaultPlan(seed=seed, injectors=(
+        InjectorSpec("transient_503", 0.05,
+                     burst=BurstSchedule(period=300.0, duration=120.0,
+                                         multiplier=12.0)),
+        InjectorSpec("rate_limit_spike", 0.02, retry_after=45.0),
+        InjectorSpec("timeout", 0.01, timeout_seconds=30.0),
+    ))
+
+
+def _truncation(seed: int) -> FaultPlan:
+    """Incomplete listings: dropped page tails and expiring cursors."""
+    return FaultPlan(seed=seed, injectors=(
+        InjectorSpec("truncated_ids_page", 0.35, truncate_fraction=0.5),
+        InjectorSpec("stale_cursor", 0.08),
+        InjectorSpec("transient_503", 0.02),
+    ))
+
+
+#: Scenario name -> plan factory, in CLI presentation order.
+SCENARIOS = {
+    "quiet": _quiet,
+    "bursty": _bursty,
+    "truncation": _truncation,
+}
+
+
+def named_plan(name: str, seed: int = 7) -> FaultPlan:
+    """Build one of the canonical scenarios by name.
+
+    ``quiet`` is recoverable background noise, ``bursty`` reproduces
+    503 storms with rate-limit spikes, ``truncation`` attacks dataset
+    completeness through dropped ids and stale cursors.
+    """
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown fault scenario: {name!r} "
+            f"(known: {', '.join(sorted(SCENARIOS))})")
+    return factory(seed)

@@ -1,0 +1,133 @@
+"""Retry with capped exponential backoff, charged to the simulated clock.
+
+The real crawler behind the paper's 27-day Obama acquisition could not
+afford to abandon a follower page because of one 503; neither can the
+reproduction once faults are injected.  :class:`RetryPolicy` describes
+*how* to wait (base, multiplier, cap, deterministic jitter, per-resource
+retry budgets); :class:`RetryState` is the mutable per-client tracker
+that spends those budgets and guarantees the waits it hands out are
+monotone non-decreasing within one request's attempt sequence — even
+when jitter or a server ``retry_after`` hint would say otherwise.
+
+Only :class:`~repro.core.errors.RetryableApiError` subclasses are ever
+retried; permanent failures propagate to the caller immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.errors import ConfigurationError, RetryableApiError
+from ..core.rng import make_rng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter and per-resource budgets.
+
+    ``max_attempts`` counts the initial try: the default 4 allows three
+    retries.  The wait before retry ``n`` (0-based) is
+    ``min(max_backoff, base_backoff * multiplier**n)`` plus a uniform
+    jitter of up to ``jitter`` times that wait, raised to any
+    ``retry_after`` the failure carried.  ``budget_per_resource`` caps
+    the *total* retries chargeable to one API resource between budget
+    resets (the client resets alongside
+    :meth:`~repro.api.client.TwitterApiClient.reset_budgets`), so a
+    sustained outage degrades the dataset instead of stalling forever.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 2.0
+    multiplier: float = 2.0
+    max_backoff: float = 120.0
+    jitter: float = 0.1
+    budget_per_resource: int = 24
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1: {self.max_attempts!r}")
+        if self.base_backoff <= 0:
+            raise ConfigurationError(
+                f"base_backoff must be > 0: {self.base_backoff!r}")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1: {self.multiplier!r}")
+        if self.max_backoff < self.base_backoff:
+            raise ConfigurationError(
+                f"max_backoff must be >= base_backoff: {self.max_backoff!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1]: {self.jitter!r}")
+        if self.budget_per_resource < 0:
+            raise ConfigurationError(
+                f"budget_per_resource must be >= 0: "
+                f"{self.budget_per_resource!r}")
+
+    def backoff(self, retry_index: int) -> float:
+        """The deterministic (pre-jitter) wait before retry ``retry_index``."""
+        if retry_index < 0:
+            raise ConfigurationError(
+                f"retry_index must be >= 0: {retry_index!r}")
+        return min(self.max_backoff,
+                   self.base_backoff * self.multiplier ** retry_index)
+
+
+class RetryState:
+    """Per-client retry bookkeeping: budgets spent, jitter stream.
+
+    One instance lives inside each :class:`TwitterApiClient`; its jitter
+    RNG derives from the policy's seed, so same policy + same failure
+    sequence means identical waits.
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self._policy = policy
+        self._rng = make_rng(policy.seed, "retry-jitter")
+        self._spent: Dict[str, int] = {}
+
+    @property
+    def policy(self) -> RetryPolicy:
+        """The immutable policy this state executes."""
+        return self._policy
+
+    def spent(self, resource: str) -> int:
+        """Retries charged to ``resource`` since the last reset."""
+        return self._spent.get(resource, 0)
+
+    def reset(self) -> None:
+        """Refill every resource's retry budget (fresh credentials)."""
+        self._spent.clear()
+
+    def next_wait(self, resource: str, retry_index: int,
+                  error: Exception, previous_wait: float) -> Optional[float]:
+        """Seconds to back off before retry ``retry_index``, or ``None``.
+
+        ``None`` means *do not retry* — the error is not retryable, the
+        request's attempt allowance is exhausted, or the resource's
+        retry budget is spent.  A returned wait honors the error's
+        ``retry_after`` (when present) and never decreases below
+        ``previous_wait``, keeping per-request backoff sequences
+        monotone non-decreasing.
+        """
+        if not isinstance(error, RetryableApiError):
+            return None
+        if retry_index + 1 >= self._policy.max_attempts:
+            return None
+        spent = self._spent.get(resource, 0)
+        if spent >= self._policy.budget_per_resource:
+            return None
+        self._spent[resource] = spent + 1
+        wait = self._policy.backoff(retry_index)
+        wait += wait * self._policy.jitter * self._rng.random()
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            wait = max(wait, float(retry_after))
+        return max(wait, previous_wait)
+
+
+#: The policy clients fall back to when faults are enabled without an
+#: explicit retry configuration.
+DEFAULT_RETRY_POLICY = RetryPolicy()

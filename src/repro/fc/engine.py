@@ -21,9 +21,11 @@ from ..api.client import TwitterApiClient
 from ..api.crawler import Crawler
 from ..audit import AuditReport
 from ..core.clock import SimClock, Stopwatch
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, RetryableApiError
 from ..core.rng import make_rng
 from ..core.timeutil import DAY
+from ..faults.plan import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..obs.runtime import get_observability
 from ..stats.estimation import ProportionEstimate
 from ..twitter.population import World
@@ -61,6 +63,8 @@ class FakeClassifierEngine:
                  sample_size: int = FC_SAMPLE_SIZE,
                  request_latency: float = 1.9,
                  processing_seconds: float = 2.0,
+                 faults: Optional[FaultPlan] = None,
+                 retry: Optional[RetryPolicy] = None,
                  seed: int = 0) -> None:
         if sample_size < 1:
             raise ConfigurationError(f"sample_size must be >= 1: {sample_size!r}")
@@ -69,6 +73,8 @@ class FakeClassifierEngine:
             world, clock,
             credentials=1, parallelism=1,
             request_latency=request_latency,
+            faults=faults,
+            retry=retry,
         )
         self._crawler = Crawler(self._client)
         self._tracer = get_observability().tracer
@@ -107,17 +113,54 @@ class FakeClassifierEngine:
             span.set_attribute("cached", False)
             span.set_attribute("fake_pct", report.fake_pct)
             span.set_attribute("genuine_pct", report.genuine_pct)
+            if report.completeness < 1.0:
+                span.set_attribute("completeness", report.completeness)
             return report
+
+    def _degraded_report(self, screen_name: str, stopwatch: Stopwatch,
+                         errors_seen: int, followers_count: int,
+                         reason: str) -> AuditReport:
+        """The empty, degraded answer for an unrecoverable acquisition."""
+        return AuditReport(
+            tool=self.name,
+            target=screen_name,
+            followers_count=followers_count,
+            sample_size=0,
+            fake_pct=0.0,
+            genuine_pct=0.0,
+            inactive_pct=0.0,
+            response_seconds=stopwatch.elapsed(),
+            cached=False,
+            assessed_at=self._clock.now(),
+            completeness=0.0,
+            errors_seen=errors_seen,
+            details={"degraded": reason},
+        )
 
     def _audit(self, screen_name: str) -> AuditReport:
         self._client.reset_budgets()
         self._audit_counter += 1
         stopwatch = Stopwatch(self._clock)
+        faults_before = self._client.faults_seen
 
-        target = self._client.users_show(screen_name=screen_name)
+        try:
+            target = self._client.users_show(screen_name=screen_name)
+        except RetryableApiError as error:
+            return self._degraded_report(
+                screen_name, stopwatch,
+                self._client.faults_seen - faults_before,
+                followers_count=0, reason=type(error).__name__)
         follower_ids = self._crawler.fetch_all_follower_ids(screen_name)
         population = len(follower_ids)
         if population == 0:
+            if self._client.faults_seen > faults_before:
+                # The crawl degraded to nothing; answer with an empty
+                # report instead of a stack trace.
+                return self._degraded_report(
+                    screen_name, stopwatch,
+                    self._client.faults_seen - faults_before,
+                    followers_count=target.followers_count,
+                    reason="empty follower crawl")
             raise ConfigurationError(
                 f"{screen_name!r} has no followers to audit")
 
@@ -131,10 +174,14 @@ class FakeClassifierEngine:
 
         users = self._crawler.lookup_users(sampled_ids)
         timelines = None
+        timeline_part = 1.0
         if self._detector.needs_timeline:
             by_id = self._crawler.fetch_timelines(
                 [user.user_id for user in users], per_user=200)
             timelines = [by_id[user.user_id] for user in users]
+            if users:
+                timeline_part = (
+                    1.0 - self._crawler.last_timeline_shortfall / len(users))
 
         now = self._clock.now()
         active_users = []
@@ -167,6 +214,15 @@ class FakeClassifierEngine:
             low, high = ProportionEstimate(
                 positives, total).wald_interval(0.95)
             return round(100.0 * low, 1), round(100.0 * high, 1)
+        # Frame completeness (how much of the follower list was paged
+        # in) times sample completeness (how much of the intended
+        # uniform sample resolved to profiles) times timeline
+        # completeness (how many sampled timelines actually fetched).
+        frame_part = (min(1.0, population / target.followers_count)
+                      if target.followers_count > 0 else 1.0)
+        expected_sample = min(self._sample_size, population)
+        sample_part = (min(1.0, len(users) / expected_sample)
+                       if expected_sample > 0 else 1.0)
         return AuditReport(
             tool=self.name,
             target=screen_name,
@@ -178,6 +234,8 @@ class FakeClassifierEngine:
             response_seconds=stopwatch.elapsed(),
             cached=False,
             assessed_at=self._clock.now(),
+            completeness=frame_part * sample_part * timeline_part,
+            errors_seen=self._client.faults_seen - faults_before,
             details={
                 "population": population,
                 "detector": self._detector.name,

@@ -124,13 +124,21 @@ def prometheus_text(obs) -> str:
             ("api_calllog_latency_seconds", "counter",
              "total request wall time per resource", "total_latency"),
         )
+        # The failures series appears only once a failure was logged,
+        # so fault-free expositions stay byte-identical to pre-fault
+        # builds (the golden-file contract).
+        if any(stats.get("failures") for stats in summary.values()):
+            calllog_series += (
+                ("api_calllog_failures", "counter",
+                 "failed request attempts per resource", "failures"),
+            )
         for name, kind, help_text, field in calllog_series:
             out.append(f"# HELP {name} {help_text}")
             out.append(f"# TYPE {name} {kind}")
             for resource, stats in summary.items():
                 out.append(
                     f"{name}{{resource=\"{_escape(resource)}\"}} "
-                    f"{_num(stats[field])}")
+                    f"{_num(stats.get(field, 0))}")
     return "\n".join(out) + ("\n" if out else "")
 
 

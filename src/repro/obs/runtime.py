@@ -63,12 +63,9 @@ class Observability:
         merged: dict = {}
         for log in self.call_logs:
             for resource, stats in log.summary().items():
-                bucket = merged.setdefault(
-                    resource,
-                    {"calls": 0, "items": 0, "waited": 0.0,
-                     "total_latency": 0.0})
+                bucket = merged.setdefault(resource, {})
                 for key, value in stats.items():
-                    bucket[key] += value
+                    bucket[key] = bucket.get(key, 0) + value
         return {resource: merged[resource] for resource in sorted(merged)}
 
 

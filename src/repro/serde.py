@@ -80,6 +80,8 @@ def audit_report_to_dict(report: AuditReport) -> Dict[str, Any]:
         "response_seconds": report.response_seconds,
         "cached": report.cached,
         "assessed_at": report.assessed_at,
+        "completeness": report.completeness,
+        "errors_seen": report.errors_seen,
         "details": _jsonify(dict(report.details)),
     }
 
@@ -98,6 +100,10 @@ def audit_report_from_dict(payload: Dict[str, Any]) -> AuditReport:
         response_seconds=payload["response_seconds"],
         cached=payload["cached"],
         assessed_at=payload["assessed_at"],
+        # Documents written before the fault-injection layer predate
+        # these fields; a clean, complete audit is the right default.
+        completeness=payload.get("completeness", 1.0),
+        errors_seen=payload.get("errors_seen", 0),
         details=payload["details"],
     )
 

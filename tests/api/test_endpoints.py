@@ -84,9 +84,54 @@ class TestCallLog:
         summary = log.summary()
         assert list(summary) == ["followers/ids", "users/lookup"]  # sorted
         assert summary["users/lookup"] == {
-            "calls": 2, "items": 150, "waited": 0.5, "total_latency": 3.0}
+            "calls": 2, "items": 150, "waited": 0.5, "total_latency": 3.0,
+            "failures": 0}
         assert summary["followers/ids"]["calls"] == 1
         assert summary["followers/ids"]["waited"] == 0.25
 
     def test_summary_empty_log(self):
         assert CallLog().summary() == {}
+
+    def test_call_ok_flag(self):
+        assert ApiCall("x", 0.0, 1.0, 0.0, 5).ok
+        assert not ApiCall("x", 0.0, 1.0, 0.0, 0, error="timeout").ok
+
+    def test_failures_counted_per_resource(self):
+        log = CallLog()
+        log.record(ApiCall("users/lookup", 0.0, 1.0, 0.0, 100))
+        log.record(ApiCall("users/lookup", 1.0, 2.0, 0.0, 0,
+                           error="transient_503"))
+        log.record(ApiCall("followers/ids", 2.0, 3.0, 0.0, 0,
+                           error="timeout"))
+        assert log.failures() == 2
+        assert log.failures("users/lookup") == 1
+        assert log.failures("followers/ids") == 1
+        assert log.count("users/lookup") == 2  # attempts, incl. failed
+
+    def test_summary_mixed_success_failure(self):
+        """Failed attempts must not pollute per-resource latency stats."""
+        log = CallLog()
+        log.record(ApiCall("users/lookup", 0.0, 2.0, 0.0, 100))
+        # A slow, waited-on failure: none of its numbers may leak into
+        # the success aggregates.
+        log.record(ApiCall("users/lookup", 2.0, 42.0, 7.0, 0,
+                           error="transient_503"))
+        log.record(ApiCall("users/lookup", 42.0, 44.0, 0.0, 100))
+        summary = log.summary()
+        stats = summary["users/lookup"]
+        assert stats["calls"] == 2
+        assert stats["failures"] == 1
+        assert stats["items"] == 200
+        assert stats["waited"] == 0.0
+        assert stats["total_latency"] == 4.0
+        # Mean latency of *successful* calls stays 2 s despite the 40 s
+        # failed attempt in between.
+        assert stats["total_latency"] / stats["calls"] == 2.0
+
+    def test_summary_failures_only_resource(self):
+        log = CallLog()
+        log.record(ApiCall("statuses/user_timeline", 0.0, 1.0, 0.0, 0,
+                           error="rate_limit_spike"))
+        stats = log.summary()["statuses/user_timeline"]
+        assert stats == {"calls": 0, "items": 0, "waited": 0.0,
+                         "total_latency": 0.0, "failures": 1}

@@ -1,0 +1,116 @@
+"""Unit tests for fault plans, injector specs and burst schedules."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.faults import (
+    BurstSchedule,
+    FaultPlan,
+    INJECTOR_KINDS,
+    InjectorSpec,
+    RAISING_KINDS,
+    SCENARIOS,
+    named_plan,
+)
+
+
+class TestBurstSchedule:
+    def test_active_windows_repeat(self):
+        burst = BurstSchedule(period=300.0, duration=120.0, multiplier=10.0)
+        assert burst.active(0.0)
+        assert burst.active(119.9)
+        assert not burst.active(120.0)
+        assert not burst.active(299.9)
+        assert burst.active(300.0)  # next period
+
+    def test_phase_shifts_the_window(self):
+        burst = BurstSchedule(period=100.0, duration=10.0,
+                              multiplier=2.0, phase=50.0)
+        assert not burst.active(0.0)
+        assert burst.active(55.0)
+
+    def test_factor(self):
+        burst = BurstSchedule(period=100.0, duration=10.0, multiplier=7.0)
+        assert burst.factor(5.0) == 7.0
+        assert burst.factor(50.0) == 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"period": 0.0, "duration": 1.0, "multiplier": 2.0},
+        {"period": 10.0, "duration": 0.0, "multiplier": 2.0},
+        {"period": 10.0, "duration": 11.0, "multiplier": 2.0},
+        {"period": 10.0, "duration": 5.0, "multiplier": 0.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BurstSchedule(**kwargs)
+
+
+class TestInjectorSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InjectorSpec("explode", 0.1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            InjectorSpec("timeout", 1.5)
+        with pytest.raises(ConfigurationError):
+            InjectorSpec("timeout", -0.1)
+
+    def test_applies_to(self):
+        spec = InjectorSpec("transient_503", 0.1,
+                            resources=("users/lookup",))
+        assert spec.applies_to("users/lookup")
+        assert not spec.applies_to("followers/ids")
+        assert InjectorSpec("transient_503", 0.1).applies_to("anything")
+
+    def test_probability_at_uses_burst(self):
+        spec = InjectorSpec(
+            "transient_503", 0.05,
+            burst=BurstSchedule(period=100.0, duration=10.0, multiplier=4.0))
+        assert spec.probability_at(5.0) == pytest.approx(0.2)
+        assert spec.probability_at(50.0) == pytest.approx(0.05)
+
+    def test_probability_at_caps_at_one(self):
+        spec = InjectorSpec(
+            "transient_503", 0.5,
+            burst=BurstSchedule(period=10.0, duration=5.0, multiplier=100.0))
+        assert spec.probability_at(1.0) == 1.0
+
+
+class TestFaultPlan:
+    def test_scaled_multiplies_and_caps(self):
+        plan = FaultPlan(injectors=(
+            InjectorSpec("transient_503", 0.2),
+            InjectorSpec("timeout", 0.8),
+        ))
+        scaled = plan.scaled(2.0)
+        assert scaled.injectors[0].probability == pytest.approx(0.4)
+        assert scaled.injectors[1].probability == 1.0
+        assert scaled.seed == plan.seed
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(injectors=()).scaled(-1.0)
+
+    def test_with_seed(self):
+        plan = named_plan("quiet", seed=3)
+        assert plan.with_seed(9).seed == 9
+        assert plan.with_seed(9).injectors == plan.injectors
+
+    def test_kind_partition(self):
+        assert set(RAISING_KINDS) | {"truncated_ids_page"} == \
+            set(INJECTOR_KINDS)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_named_plans_build(self, name):
+        plan = named_plan(name, seed=123)
+        assert plan.seed == 123
+        assert plan.injectors
+        for spec in plan.injectors:
+            assert spec.kind in INJECTOR_KINDS
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            named_plan("hurricane")

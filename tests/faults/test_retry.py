@@ -1,0 +1,98 @@
+"""Unit tests for the retry policy and its per-client state."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.core.errors import (
+    RateLimitExceededError,
+    TransientServerError,
+    UnknownAccountError,
+)
+from repro.faults import RetryPolicy, RetryState
+
+
+def transient():
+    return TransientServerError("users/lookup")
+
+
+class TestRetryPolicy:
+    def test_backoff_is_capped_exponential(self):
+        policy = RetryPolicy(base_backoff=2.0, multiplier=2.0,
+                             max_backoff=10.0)
+        assert policy.backoff(0) == 2.0
+        assert policy.backoff(1) == 4.0
+        assert policy.backoff(2) == 8.0
+        assert policy.backoff(3) == 10.0  # capped
+        assert policy.backoff(10) == 10.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_backoff": 0.0},
+        {"multiplier": 0.9},
+        {"max_backoff": 1.0, "base_backoff": 2.0},
+        {"jitter": 1.5},
+        {"budget_per_resource": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestRetryState:
+    def test_non_retryable_error_is_refused(self):
+        state = RetryState(RetryPolicy())
+        assert state.next_wait("r", 0, UnknownAccountError("nope"), 0.0) \
+            is None
+
+    def test_attempt_allowance(self):
+        state = RetryState(RetryPolicy(max_attempts=3))
+        assert state.next_wait("r", 0, transient(), 0.0) is not None
+        assert state.next_wait("r", 1, transient(), 0.0) is not None
+        # Attempt 3 would be the 4th try: beyond max_attempts.
+        assert state.next_wait("r", 2, transient(), 0.0) is None
+
+    def test_budget_is_per_resource_and_resettable(self):
+        state = RetryState(RetryPolicy(budget_per_resource=2))
+        assert state.next_wait("a", 0, transient(), 0.0) is not None
+        assert state.next_wait("a", 0, transient(), 0.0) is not None
+        assert state.next_wait("a", 0, transient(), 0.0) is None  # spent
+        assert state.spent("a") == 2
+        # Another resource has its own budget.
+        assert state.next_wait("b", 0, transient(), 0.0) is not None
+        state.reset()
+        assert state.spent("a") == 0
+        assert state.next_wait("a", 0, transient(), 0.0) is not None
+
+    def test_retry_after_raises_the_wait(self):
+        state = RetryState(RetryPolicy(base_backoff=1.0, jitter=0.0))
+        error = RateLimitExceededError("users/lookup", retry_after=45.0)
+        wait = state.next_wait("users/lookup", 0, error, 0.0)
+        assert wait == 45.0
+
+    def test_wait_never_decreases_below_previous(self):
+        state = RetryState(RetryPolicy(base_backoff=2.0, jitter=0.0))
+        wait = state.next_wait("r", 0, transient(), previous_wait=99.0)
+        assert wait == 99.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5, seed=13)
+        waits_a = [RetryState(policy).next_wait("r", i, transient(), 0.0)
+                   for i in range(3)]
+        waits_b = [RetryState(policy).next_wait("r", i, transient(), 0.0)
+                   for i in range(3)]
+        assert waits_a == waits_b
+
+    def test_monotone_sequence_under_jitter_and_cap(self):
+        """Threaded previous_wait keeps each attempt sequence monotone."""
+        policy = RetryPolicy(max_attempts=8, base_backoff=1.0,
+                             multiplier=2.0, max_backoff=5.0, jitter=0.9,
+                             budget_per_resource=100)
+        state = RetryState(policy)
+        previous = 0.0
+        waits = []
+        for retry_index in range(7):
+            wait = state.next_wait("r", retry_index, transient(), previous)
+            assert wait is not None
+            waits.append(wait)
+            previous = wait
+        assert waits == sorted(waits)
