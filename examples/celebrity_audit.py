@@ -11,14 +11,10 @@ Run::
     python examples/celebrity_audit.py
 """
 
-from repro.analytics import (
-    SocialbakersFakeFollowerCheck,
-    StatusPeopleFakers,
-    Twitteraudit,
-)
+from repro.audit import AuditRequest, build_engines
 from repro.core import SimClock, format_duration
 from repro.experiments import TextTable
-from repro.fc import FakeClassifierEngine, default_detector
+from repro.fc import default_detector
 from repro.twitter import add_simple_target, build_world
 
 
@@ -35,20 +31,15 @@ def main() -> None:
     clock = SimClock()
 
     print("training the FC detector ...")
-    engines = [
-        FakeClassifierEngine(world, clock, default_detector(seed=3)),
-        Twitteraudit(world, clock),
-        StatusPeopleFakers(world, clock),
-        SocialbakersFakeFollowerCheck(world, clock),
-    ]
+    engines = build_engines(world, clock, default_detector(seed=3), 3)
 
     table = TextTable(
         ["engine", "sample", "inactive %", "fake %", "genuine %",
          "response time"],
         title="@senator_x, as seen by four fake-follower analytics",
     )
-    for engine in engines:
-        report = engine.audit("senator_x")
+    for engine in engines.values():
+        report = engine.audit(AuditRequest(target="senator_x"))
         table.add_row(
             report.tool,
             report.sample_size,

@@ -22,6 +22,7 @@ Run::
 """
 
 from repro.analytics import StatusPeopleFakers
+from repro.audit import AuditRequest
 from repro.core import DAY, HOUR, PAPER_EPOCH, SimClock, YEAR, isoformat
 from repro.fc import FakeClassifierEngine, default_detector
 from repro.growth import BurstDetector, series_from_observations
@@ -58,8 +59,9 @@ def audit(simulation, detector, moment_label):
     clock = simulation.clock
     sp = StatusPeopleFakers(graph, clock, seed=4)
     fc = FakeClassifierEngine(graph, clock, detector, seed=4)
-    sp_report = sp.audit("rising_star")
-    fc_report = fc.audit("rising_star")
+    request = AuditRequest(target="rising_star")
+    sp_report = sp.audit(request)
+    fc_report = fc.audit(request)
     followers = graph.follower_count(TARGET_ID, clock.now())
     print(f"\n--- audit {moment_label} "
           f"({followers} followers, {isoformat(clock.now())[:10]}) ---")

@@ -15,6 +15,7 @@ Run::
 """
 
 from repro.analytics import Twitteraudit
+from repro.audit import AuditRequest
 from repro.core import SimClock, format_duration
 from repro.fc import FakeClassifierEngine, default_detector
 from repro.twitter import add_simple_target, build_world
@@ -32,7 +33,7 @@ def main() -> None:
     # 2. The FC engine: statistically sound, honest about its cost.
     print("training the FC detector on a persona gold standard ...")
     fc = FakeClassifierEngine(world, clock, default_detector(seed=7))
-    report = fc.audit("example_vip")
+    report = fc.audit(AuditRequest(target="example_vip"))
     print(f"\n[{report.tool}] @{report.target} "
           f"({report.followers_count} followers, "
           f"sample {report.sample_size}):")
@@ -43,7 +44,7 @@ def main() -> None:
 
     # 3. Twitteraudit: fast, opaque, and sampling only the newest 5000.
     ta = Twitteraudit(world, clock)
-    report = ta.audit("example_vip")
+    report = ta.audit(AuditRequest(target="example_vip"))
     print(f"\n[{report.tool}] @{report.target}:")
     print(f"  fake {report.fake_pct}%  genuine {report.genuine_pct}%  "
           f"(no inactive class)")

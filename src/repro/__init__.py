@@ -33,36 +33,19 @@ def quick_audit(followers, inactive, fake, genuine, *,
     This is the front door for a first session with the library; real
     studies should assemble the pieces explicitly (see ``examples/``).
     """
-    from .analytics import (
-        SocialbakersFakeFollowerCheck,
-        StatusPeopleFakers,
-        Twitteraudit,
-    )
+    from .audit import AuditRequest, build_engines
     from .core.clock import SimClock
-    from .core.errors import ConfigurationError
-    from .fc import FakeClassifierEngine, default_detector
     from .twitter import add_simple_target, build_world
 
     if engines == "all":
         engines = _ENGINE_NAMES
-    unknown = set(engines) - set(_ENGINE_NAMES)
-    if unknown:
-        raise ConfigurationError(
-            f"unknown engines: {sorted(unknown)!r}; "
-            f"choose from {_ENGINE_NAMES}")
     world = build_world(seed=seed)
     add_simple_target(world, "quick_target", followers,
                       inactive, fake, genuine, **spec_kwargs)
     clock = SimClock()
-    factories = {
-        "fc": lambda: FakeClassifierEngine(
-            world, clock, default_detector(seed=seed), seed=seed),
-        "twitteraudit": lambda: Twitteraudit(world, clock, seed=seed),
-        "statuspeople": lambda: StatusPeopleFakers(world, clock, seed=seed),
-        "socialbakers": lambda: SocialbakersFakeFollowerCheck(
-            world, clock, seed=seed),
-    }
+    built = build_engines(world, clock, seed=seed, engines=tuple(engines))
     return {
-        name: factories[name]().audit("quick_target")
+        name: built[name].audit(
+            AuditRequest(target="quick_target", engine=name))
         for name in engines
     }

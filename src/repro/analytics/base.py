@@ -14,13 +14,14 @@ tool supplies its sampling configuration and its classification rules.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..api.client import TwitterApiClient
 from ..api.crawler import Crawler
 from ..api.endpoints import UserObject
-from ..audit import AuditReport
+from ..audit import AuditReport, AuditRequest, coerce_request, drain_steps
 from ..core.clock import SimClock, Stopwatch
 from ..core.errors import ConfigurationError, RetryableApiError
 from ..core.rng import make_rng
@@ -52,21 +53,34 @@ class AnalysisOutcome:
 
 
 class ResultCache:
-    """Audit-result cache with optional expiry.
+    """Audit-result cache with optional expiry and an optional bound.
 
     The surveyed tools never disclose their caching policy; what the
     paper *observes* is that repeat audits return in < 5 s and that
     Twitteraudit happily serves results "evaluated 7 months ago", so
-    the default is an unbounded TTL.
+    the default is an unbounded TTL.  Long batch runs can bound the
+    memory with ``max_entries``: the least-recently-*used* entry is
+    evicted first (a hit refreshes recency), and every eviction ticks
+    the ``result_cache_evictions_total`` counter.
     """
 
     def __init__(self, ttl: Optional[float] = None,
-                 name: str = "audit") -> None:
+                 name: str = "audit",
+                 max_entries: Optional[int] = None) -> None:
         if ttl is not None and ttl <= 0:
             raise ConfigurationError(f"ttl must be positive: {ttl!r}")
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1 or None: {max_entries!r}")
         self._ttl = ttl
-        self._entries: Dict[str, Tuple[AnalysisOutcome, float]] = {}
+        self._name = name
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[str, Tuple[AnalysisOutcome, float]]" = \
+            OrderedDict()
+        #: Entries dropped by the LRU bound since construction.
+        self.evictions = 0
         registry = get_observability().registry
+        self._registry = registry
         help_text = "result-cache lookups by outcome"
         self._hits = registry.counter(
             "cache_events_total", help=help_text, cache=name, event="hit")
@@ -74,6 +88,10 @@ class ResultCache:
             "cache_events_total", help=help_text, cache=name, event="miss")
         self._expirations = registry.counter(
             "cache_events_total", help=help_text, cache=name, event="expired")
+        # The eviction counter is created lazily on the first eviction
+        # so unbounded caches (the default) register no extra series
+        # and existing metric exports stay byte-identical.
+        self._evictions_counter = None
 
     def get(self, key: str, now: float) -> Optional[Tuple[AnalysisOutcome, float]]:
         """Return ``(outcome, computed_at)`` if cached and fresh."""
@@ -87,12 +105,29 @@ class ResultCache:
             del self._entries[normalized]
             self._expirations.inc()
             return None
+        self._entries.move_to_end(normalized)
         self._hits.inc()
         return entry
 
     def put(self, key: str, outcome: AnalysisOutcome, computed_at: float) -> None:
         """Store an analysis outcome computed at ``computed_at``."""
-        self._entries[key.lower()] = (outcome, computed_at)
+        normalized = key.lower()
+        self._entries[normalized] = (outcome, computed_at)
+        self._entries.move_to_end(normalized)
+        while (self._max_entries is not None
+               and len(self._entries) > self._max_entries):
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if self._evictions_counter is None:
+                self._evictions_counter = self._registry.counter(
+                    "result_cache_evictions_total",
+                    help="entries dropped by the LRU bound",
+                    cache=self._name)
+            self._evictions_counter.inc()
+
+    def size(self) -> int:
+        """Live entry count (same as ``len()``, named for monitors)."""
+        return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
         return key.lower() in self._entries
@@ -134,8 +169,10 @@ class CommercialAnalytic:
                  cache_serve_seconds: float = 2.5,
                  processing_seconds: float = 1.0,
                  cache_ttl: Optional[float] = None,
+                 cache_max_entries: Optional[int] = None,
                  faults: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = None,
+                 acquisition_cache=None,
                  seed: int = 99) -> None:
         self._clock = clock
         self._client = TwitterApiClient(
@@ -145,15 +182,18 @@ class CommercialAnalytic:
             request_latency=request_latency,
             faults=faults,
             retry=retry,
+            acquisition_cache=acquisition_cache,
         )
         self._crawler = Crawler(self._client)
-        self._cache = ResultCache(ttl=cache_ttl, name=self.name)
+        self._cache = ResultCache(ttl=cache_ttl, name=self.name,
+                                  max_entries=cache_max_entries)
         self._tracer = get_observability().tracer
         self._cache_serve_seconds = cache_serve_seconds
         self._processing_seconds = processing_seconds
         self._seed = seed
         self._audit_counter = 0
         self._last_completeness = 1.0
+        self._active_request: Optional[AuditRequest] = None
 
     @property
     def client(self) -> TwitterApiClient:
@@ -167,43 +207,43 @@ class CommercialAnalytic:
 
     # -- public API -----------------------------------------------------------
 
-    def audit(self, screen_name: str, *, force_refresh: bool = False) -> AuditReport:
+    def audit(self, request: Union[AuditRequest, str], *,
+              force_refresh: Optional[bool] = None) -> AuditReport:
         """Audit a target, serving from cache when possible.
 
-        The returned report's ``response_seconds`` is simulated wall
-        time as an end user would experience it, which is how Table II
-        was measured.
+        Accepts an :class:`~repro.audit.AuditRequest` (the unified
+        entry point) or, deprecated, a bare screen name.  The returned
+        report's ``response_seconds`` is simulated wall time as an end
+        user would experience it, which is how Table II was measured.
+        This blocking form simply drains :meth:`begin_audit`'s step
+        chain on the engine's own clock.
         """
+        request = coerce_request(request, engine_name=self.name,
+                                 force_refresh=force_refresh)
+        self._admit(request)
         with self._tracer.span("audit", self._clock, tool=self.name,
-                               target=screen_name) as span:
-            stopwatch = Stopwatch(self._clock)
-            cached = None if force_refresh else self._cache.get(
-                screen_name, self._clock.now())
-            if cached is not None:
-                outcome, computed_at = cached
-                self._clock.advance(self._cache_serve_seconds)
-                report = self._report(screen_name, outcome,
-                                      stopwatch.elapsed(), cached=True,
-                                      assessed_at=computed_at)
-            else:
-                self._client.reset_budgets()
-                outcome = self._fresh_outcome(screen_name)
-                self._clock.advance(self._processing_seconds)
-                computed_at = self._clock.now()
-                if outcome.completeness > 0.0:
-                    # A fully failed audit is never cached: the tool
-                    # retries from scratch on the next request instead
-                    # of serving an empty result forever.
-                    self._cache.put(screen_name, outcome, computed_at)
-                report = self._report(screen_name, outcome,
-                                      stopwatch.elapsed(), cached=False,
-                                      assessed_at=computed_at)
+                               target=request.target) as span:
+            report = drain_steps(self._audit_steps(request))
             span.set_attribute("cached", report.cached)
             span.set_attribute("fake_pct", report.fake_pct)
             span.set_attribute("genuine_pct", report.genuine_pct)
             if report.completeness < 1.0:
                 span.set_attribute("completeness", report.completeness)
             return report
+
+    def begin_audit(self, request: AuditRequest):
+        """Start a resumable audit: a generator over acquisition phases.
+
+        Each ``next()`` advances one phase (profile resolution, frame
+        paging, sample lookup, timelines, classification) and the
+        generator *returns* the finished :class:`AuditReport`.  No
+        ``audit`` span is opened here — a span held across interleaved
+        steps of many engines would corrupt the tracer's nesting; the
+        batch scheduler records per-request timing in its own report.
+        """
+        request = coerce_request(request, engine_name=self.name)
+        self._admit(request)
+        return self._audit_steps(request)
 
     def prewarm(self, screen_names: Sequence[str]) -> None:
         """Analyse targets ahead of user requests, populating the cache.
@@ -217,21 +257,61 @@ class CommercialAnalytic:
             if screen_name not in self._cache:
                 with self._tracer.span("audit.prewarm", self._clock,
                                        tool=self.name, target=screen_name):
-                    outcome = self._fresh_outcome(screen_name)
+                    outcome = drain_steps(self._fresh_outcome_steps(
+                        AuditRequest(target=screen_name, engine=self.name)))
                     if outcome.completeness > 0.0:
                         self._cache.put(screen_name, outcome,
                                         self._clock.now())
 
     # -- subclass hooks ---------------------------------------------------------
 
+    def _admit(self, request: AuditRequest) -> None:
+        """Admission hook run before any audit work (quota checks)."""
+
     def _analyze(self, screen_name: str) -> AnalysisOutcome:
         """Run a fresh analysis, charging all API costs to the clock."""
         raise NotImplementedError
 
-    # -- degradation-aware analysis wrapper -------------------------------------
+    def _analyze_steps(self, screen_name: str):
+        """Generator hook: the analysis split at acquisition phases.
 
-    def _fresh_outcome(self, screen_name: str) -> AnalysisOutcome:
-        """Run ``_analyze`` and attach completeness/fault accounting.
+        The bundled tools override this with ``yield from
+        self._fetch_head_sample(...)``; the default delegates to the
+        legacy one-shot :meth:`_analyze` so external subclasses that
+        never heard of resumable audits keep working unchanged.
+        """
+        return self._analyze(screen_name)
+        yield  # pragma: no cover - marks this function as a generator
+
+    # -- the resumable audit pipeline -------------------------------------------
+
+    def _audit_steps(self, request: AuditRequest):
+        """The audit state machine: cache check, acquisition, report."""
+        self._client.pin_observation(request.as_of)
+        stopwatch = Stopwatch(self._clock)
+        cached = None if request.force_refresh else self._cache.get(
+            request.target, self._clock.now())
+        if cached is not None:
+            outcome, computed_at = cached
+            self._clock.advance(self._cache_serve_seconds)
+            return self._report(request.target, outcome,
+                                stopwatch.elapsed(), cached=True,
+                                assessed_at=computed_at)
+        self._client.reset_budgets()
+        outcome = yield from self._fresh_outcome_steps(request)
+        self._clock.advance(self._processing_seconds)
+        computed_at = self._clock.now()
+        if outcome.completeness > 0.0:
+            # A fully failed audit is never cached: the tool retries
+            # from scratch on the next request instead of serving an
+            # empty result forever.
+            self._cache.put(request.target, outcome, computed_at)
+        return self._report(request.target, outcome,
+                            stopwatch.elapsed(), cached=False,
+                            assessed_at=computed_at)
+
+    def _fresh_outcome_steps(self, request: AuditRequest):
+        """Run ``_analyze_steps`` with completeness/fault accounting.
 
         An acquisition failure that survives the retry layer degrades to
         an empty outcome (``completeness == 0.0``) instead of raising —
@@ -240,8 +320,9 @@ class CommercialAnalytic:
         """
         faults_before = self._client.faults_seen
         self._last_completeness = 1.0
+        self._active_request = request
         try:
-            outcome = self._analyze(screen_name)
+            outcome = yield from self._analyze_steps(request.target)
             completeness = self._last_completeness
         except RetryableApiError as error:
             outcome = AnalysisOutcome(
@@ -253,6 +334,8 @@ class CommercialAnalytic:
                 details={"degraded": type(error).__name__},
             )
             completeness = 0.0
+        finally:
+            self._active_request = None
         return replace(
             outcome,
             completeness=completeness,
@@ -261,8 +344,27 @@ class CommercialAnalytic:
 
     # -- helpers ------------------------------------------------------------------
 
+    def _analysis_now(self) -> float:
+        """The instant classification rules evaluate ages against.
+
+        The client's pinned observation instant when a scheduler set
+        one (so batched and serial audits classify identically), the
+        live clock otherwise.
+        """
+        pinned = self._client.observed_at
+        return pinned if pinned is not None else self._clock.now()
+
     def _sampling_rng(self):
-        """A fresh, deterministic RNG per analysis run."""
+        """A fresh, deterministic RNG per analysis run.
+
+        An :class:`AuditRequest` carrying an explicit ``audit_index``
+        pins the stream (schedulers use this to replicate a serial
+        run's sampling exactly); otherwise the engine's own audit
+        counter advances.
+        """
+        request = self._active_request
+        if request is not None and request.audit_index is not None:
+            return make_rng(self._seed, self.name, request.audit_index)
         self._audit_counter += 1
         return make_rng(self._seed, self.name, self._audit_counter)
 
@@ -270,8 +372,7 @@ class CommercialAnalytic:
             self, screen_name: str, *,
             head: int, sample: int,
             with_timelines: bool = False,
-    ) -> Tuple[UserObject, List[UserObject],
-               Optional[List[List[Tweet]]]]:
+    ):
         """The shared acquisition pattern of all three tools.
 
         Fetch the target profile, pull up to ``head`` follower ids from
@@ -280,10 +381,17 @@ class CommercialAnalytic:
         timeline page each.  This is exactly the biased scheme of
         Section II-D: random *within* the head, but the head is the
         frame.
+
+        A generator: it yields between acquisition phases (so the batch
+        scheduler can interleave many audits across rate-limit windows)
+        and *returns* ``(target, users, timelines)`` — consume it with
+        ``yield from`` inside ``_analyze_steps``.
         """
         target = self._client.users_show(screen_name=screen_name)
+        yield
         head_ids = self._crawler.fetch_newest_follower_ids(
             screen_name, max_ids=head)
+        yield
         rng = self._sampling_rng()
         if sample < len(head_ids):
             sampled_ids = rng.sample(head_ids, sample)
@@ -302,6 +410,7 @@ class CommercialAnalytic:
         self._last_completeness = frame_part * sample_part
         timelines: Optional[List[List[Tweet]]] = None
         if with_timelines:
+            yield
             by_id = self._crawler.fetch_timelines(
                 [user.user_id for user in users], per_user=200)
             timelines = [by_id[user.user_id] for user in users]

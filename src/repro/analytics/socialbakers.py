@@ -54,8 +54,12 @@ class SocialbakersFakeFollowerCheck(CommercialAnalytic):
         """The published rule set driving classification."""
         return self._criteria
 
-    def audit(self, screen_name: str, *, force_refresh: bool = False):
-        """Audit with the free tier's ten-per-day usage quota enforced."""
+    def _admit(self, request) -> None:
+        """Enforce the free tier's ten-per-day usage quota.
+
+        Charged per admitted audit — batched, cached and coalesced
+        requests all count, exactly as a click on the hosted app did.
+        """
         day = int(self._clock.now() // DAY)
         if day != self._quota_day:
             self._quota_day = day
@@ -65,16 +69,16 @@ class SocialbakersFakeFollowerCheck(CommercialAnalytic):
                 f"Socialbakers free tier allows {self._daily_quota} "
                 f"checks per day")
         self._quota_used += 1
-        return super().audit(screen_name, force_refresh=force_refresh)
 
-    def _analyze(self, screen_name: str) -> AnalysisOutcome:
-        target, users, timelines = self._fetch_head_sample(
+    def _analyze_steps(self, screen_name: str):
+        """Newest-2000 frame with timelines, classified by the rules."""
+        target, users, timelines = yield from self._fetch_head_sample(
             screen_name,
             head=SB_SAMPLE,
             sample=SB_SAMPLE,
             with_timelines=True,
         )
-        now = self._clock.now()
+        now = self._analysis_now()
         counts = {"fake": 0, "inactive": 0, "good": 0}
         assert timelines is not None
         for user, timeline in zip(users, timelines):

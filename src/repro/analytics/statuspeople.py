@@ -108,14 +108,15 @@ class StatusPeopleFakers(CommercialAnalytic):
         """The active sampling configuration."""
         return self._config
 
-    def _analyze(self, screen_name: str) -> AnalysisOutcome:
-        target, users, __ = self._fetch_head_sample(
+    def _analyze_steps(self, screen_name: str):
+        """Head-of-list sample classified by the spam/inactivity rules."""
+        target, users, __ = yield from self._fetch_head_sample(
             screen_name,
             head=self._config.head,
             sample=self._config.sample,
             with_timelines=False,
         )
-        now = self._clock.now()
+        now = self._analysis_now()
         counts = {"fake": 0, "inactive": 0, "good": 0}
         for user in users:
             if is_spam(user):

@@ -99,14 +99,15 @@ class Twitteraudit(CommercialAnalytic):
         super().__init__(world, clock, **kwargs)
         self._fake_threshold = fake_threshold
 
-    def _analyze(self, screen_name: str) -> AnalysisOutcome:
-        target, users, __ = self._fetch_head_sample(
+    def _analyze_steps(self, screen_name: str):
+        """One newest-5000 page, scored on the three public criteria."""
+        target, users, __ = yield from self._fetch_head_sample(
             screen_name,
             head=TA_SAMPLE,
             sample=TA_SAMPLE,
             with_timelines=False,
         )
-        now = self._clock.now()
+        now = self._analysis_now()
         fake = 0
         histogram: Dict[int, int] = {points: 0 for points in range(6)}
         quality_histogram: Dict[int, int] = {decile: 0 for decile in range(10)}

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
-from ..audit import AuditReport
+from ..audit import AuditReport, AuditRequest
 from ..core.errors import (
     AuthorizationError,
     ConfigurationError,
@@ -116,14 +116,25 @@ class HostedCheckerApp:
         """Revoke a session (the user un-authorizes the app)."""
         self._sessions.pop(session.token, None)
 
-    def check(self, session: AppSession, target_handle: str) -> AuditReport:
-        """Run one fake-follower check as an authorized user."""
+    def check(self, session: AppSession,
+              target: Union[AuditRequest, str]) -> AuditReport:
+        """Run one fake-follower check as an authorized user.
+
+        ``target`` is a handle (the form field of the hosted apps) or a
+        full :class:`~repro.audit.AuditRequest`; either way the user's
+        daily quota is charged before the engine runs — exactly as the
+        hosted tools billed a click, whether or not the answer came
+        from a cache or a batch.
+        """
         if session.token not in self._sessions:
             raise AuthorizationError(
                 "session is not authorized (or has been revoked); "
                 "call authorize() first")
         self._charge_quota(session)
-        return self._engine.audit(target_handle)
+        if isinstance(target, str):
+            target = AuditRequest(target=target,
+                                  engine=getattr(self._engine, "name", None))
+        return self._engine.audit(target)
 
     def report_page(self, report: AuditReport) -> str:
         """Render the result the way the hosted tools presented it."""

@@ -61,6 +61,7 @@ class TwitterApiClient:
             policies=DEFAULT_POLICIES,
             faults: Optional[FaultPlan] = None,
             retry: Optional[RetryPolicy] = None,
+            acquisition_cache=None,
     ) -> None:
         if parallelism < 1:
             raise ConfigurationError(f"parallelism must be >= 1: {parallelism!r}")
@@ -97,6 +98,11 @@ class TwitterApiClient:
                        if retry_policy is not None else None)
         self._faults_seen = 0
         self._retries_total = 0
+        # Cross-client acquisition sharing and pinned observation are
+        # both scheduler features; with the defaults (no cache, no pin)
+        # every path below is byte-identical to the standalone client.
+        self._acq_cache = acquisition_cache
+        self._observe_at: Optional[float] = None
         obs.register_call_log(self._log)
 
     def reset_budgets(self) -> None:
@@ -117,6 +123,37 @@ class TwitterApiClient:
     def clock(self) -> SimClock:
         """The shared simulated clock."""
         return self._clock
+
+    @property
+    def acquisition_cache(self):
+        """The shared acquisition cache plugged in, or ``None``."""
+        return self._acq_cache
+
+    @property
+    def observed_at(self) -> Optional[float]:
+        """The pinned observation instant, or ``None`` (live clock)."""
+        return self._observe_at
+
+    def pin_observation(self, at: Optional[float]) -> None:
+        """Freeze (or, with ``None``, unfreeze) the world-read instant.
+
+        While pinned, every world query behind the endpoints — profile
+        resolution, follower totals and listings, timelines — sees the
+        graph as of ``at``, regardless of how far the clock advances
+        while requests wait out rate-limit windows.  The batch
+        scheduler pins all requests of one batch to its admission
+        epoch, which is what guarantees a batched audit returns the
+        same percentages as a serial one.
+        """
+        if at is not None and at < 0:
+            raise ConfigurationError(
+                f"observation instant must be >= 0: {at!r}")
+        self._observe_at = at
+
+    def _observed(self) -> float:
+        """The instant world reads use: the pin, or the live clock."""
+        return (self._observe_at if self._observe_at is not None
+                else self._clock.now())
 
     @property
     def call_log(self) -> CallLog:
@@ -326,13 +363,22 @@ class TwitterApiClient:
         if (screen_name is None) == (user_id is None):
             raise ConfigurationError(
                 "exactly one of screen_name/user_id must be given")
-        now = self._clock.now()
+        if self._acq_cache is not None:
+            hit = (self._acq_cache.get_profile_by_name(screen_name)
+                   if screen_name is not None
+                   else self._acq_cache.get_profile(user_id))
+            if hit is not None:
+                return hit
+        now = self._observed()
         if screen_name is not None:
             account = self._world.account_by_name(screen_name, now)
         else:
             account = self._world.account_by_id(user_id, now)
         self._execute("users/lookup", 1)
-        return UserObject.from_account(account)
+        user = UserObject.from_account(account)
+        if self._acq_cache is not None:
+            self._acq_cache.put_profile(user)
+        return user
 
     def users_lookup(self, user_ids: Sequence[int]) -> List[UserObject]:
         """``GET users/lookup`` — up to 100 profiles per request.
@@ -345,7 +391,9 @@ class TwitterApiClient:
             raise ConfigurationError(
                 f"users/lookup takes 1..{policy.elements_per_request} ids, "
                 f"got {len(user_ids)}")
-        now = self._execute("users/lookup", len(user_ids))
+        completed = self._execute("users/lookup", len(user_ids))
+        now = (self._observe_at if self._observe_at is not None
+               else completed)
         users: List[UserObject] = []
         for uid in user_ids:
             try:
@@ -353,12 +401,15 @@ class TwitterApiClient:
                     self._world.account_by_id(uid, now)))
             except UnknownAccountError:
                 continue
+        if self._acq_cache is not None:
+            for user in users:
+                self._acq_cache.put_profile(user)
         return users
 
     # -- follower / friend listings ---------------------------------------------
 
-    def _ids_page(self, resource: str, total: int, fetch, cursor: int,
-                  count: Optional[int]) -> IdsPage:
+    def _ids_page(self, resource: str, uid: int, total: int, fetch,
+                  cursor: int, count: Optional[int]) -> IdsPage:
         policy = self._limiter.policy(resource)
         page_size = policy.elements_per_request if count is None else count
         if not 1 <= page_size <= policy.elements_per_request:
@@ -370,7 +421,14 @@ class TwitterApiClient:
             offset = cursor
         else:
             raise InvalidCursorError(f"bad cursor: {cursor!r}")
-        now, fault = self._request(resource, 0, paged=True, cursor=cursor)
+        if self._acq_cache is not None:
+            hit = self._acq_cache.get_page(resource, uid, offset, page_size)
+            if hit is not None:
+                return hit
+        completed, fault = self._request(resource, 0, paged=True,
+                                         cursor=cursor)
+        now = (self._observe_at if self._observe_at is not None
+               else completed)
         # `offset` counts newest-first; chronological positions run the
         # other way.  Twitter returns followers newest-first — the fact
         # the paper establishes in Section IV-B.
@@ -388,8 +446,13 @@ class TwitterApiClient:
             ids = ids[:keep]
         next_cursor = stop_newest if stop_newest < total else 0
         previous_cursor = -start_newest if start_newest > 0 else 0
-        return IdsPage(ids=ids, next_cursor=next_cursor,
+        page = IdsPage(ids=ids, next_cursor=next_cursor,
                        previous_cursor=previous_cursor)
+        if self._acq_cache is not None and fault is None:
+            # Truncated pages are never shared: the fault is an event of
+            # this client's crawl, not a property of the listing.
+            self._acq_cache.put_page(resource, uid, offset, page_size, page)
+        return page
 
     def followers_ids(self, *, screen_name: Optional[str] = None,
                       user_id: Optional[int] = None,
@@ -397,10 +460,10 @@ class TwitterApiClient:
                       count: Optional[int] = None) -> IdsPage:
         """``GET followers/ids`` — one page of follower ids, newest first."""
         uid = self._resolve(screen_name, user_id)
-        now = self._clock.now()
+        now = self._observed()
         total = self._world.follower_count(uid, now)
         return self._ids_page(
-            "followers/ids", total,
+            "followers/ids", uid, total,
             lambda start, stop, at: self._world.follower_ids(uid, start, stop, at),
             cursor, count)
 
@@ -410,10 +473,10 @@ class TwitterApiClient:
                     count: Optional[int] = None) -> IdsPage:
         """``GET friends/ids`` — one page of followed-account ids, newest first."""
         uid = self._resolve(screen_name, user_id)
-        now = self._clock.now()
+        now = self._observed()
         total = self._world.friend_count(uid, now)
         return self._ids_page(
-            "friends/ids", total,
+            "friends/ids", uid, total,
             lambda start, stop, at: self._world.friend_ids(uid, start, stop, at),
             cursor, count)
 
@@ -423,7 +486,7 @@ class TwitterApiClient:
                 "exactly one of screen_name/user_id must be given")
         if user_id is not None:
             return user_id
-        return self._world.account_by_name(screen_name, self._clock.now()).user_id
+        return self._world.account_by_name(screen_name, self._observed()).user_id
 
     # -- timelines ---------------------------------------------------------------
 
@@ -439,5 +502,14 @@ class TwitterApiClient:
             raise ConfigurationError(
                 f"statuses/user_timeline count must be "
                 f"1..{policy.elements_per_request}")
-        now = self._execute("statuses/user_timeline", page)
-        return self._world.timeline(user_id, page, now)
+        if self._acq_cache is not None:
+            hit = self._acq_cache.get_timeline(user_id, page)
+            if hit is not None:
+                return list(hit)
+        completed, fault = self._request("statuses/user_timeline", page)
+        now = (self._observe_at if self._observe_at is not None
+               else completed)
+        timeline = self._world.timeline(user_id, page, now)
+        if self._acq_cache is not None and fault is None:
+            self._acq_cache.put_timeline(user_id, page, timeline)
+        return timeline

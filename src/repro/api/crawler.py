@@ -91,7 +91,17 @@ class Crawler:
         return ids
 
     def lookup_users(self, user_ids: Sequence[int]) -> List[UserObject]:
-        """Resolve profiles in ``users/lookup`` batches of 100."""
+        """Resolve profiles in ``users/lookup`` batches of 100.
+
+        When the client carries a shared acquisition cache, profiles
+        already fetched by *any* engine of the batch are served from it
+        and only the misses are spent against the rate limit; the
+        returned list always preserves the input id order (with
+        unresolvable ids omitted), exactly like the uncached path.
+        """
+        cache = self._client.acquisition_cache
+        if cache is not None:
+            return self._lookup_users_cached(user_ids, cache)
         batch_size = self._client.policy("users/lookup").elements_per_request
         with self._tracer.span("crawl.lookup", self._client.clock,
                                requested=len(user_ids)) as span:
@@ -107,6 +117,34 @@ class Crawler:
                     # keep resolving the rest of the sample.
                     span.set_attribute("degraded", True)
             span.set_attribute("resolved", len(users))
+        return users
+
+    def _lookup_users_cached(self, user_ids: Sequence[int],
+                             cache) -> List[UserObject]:
+        """Cache-aware variant: re-batch only the cache misses."""
+        batch_size = self._client.policy("users/lookup").elements_per_request
+        with self._tracer.span("crawl.lookup", self._client.clock,
+                               requested=len(user_ids)) as span:
+            resolved = {}
+            missing: List[int] = []
+            for uid in user_ids:
+                hit = cache.get_profile(uid)
+                if hit is not None:
+                    resolved[uid] = hit
+                else:
+                    missing.append(uid)
+            for start in range(0, len(missing), batch_size):
+                batch = missing[start:start + batch_size]
+                if not batch:
+                    continue
+                try:
+                    for user in self._client.users_lookup(batch):
+                        resolved[user.user_id] = user
+                except RetryableApiError:
+                    span.set_attribute("degraded", True)
+            users = [resolved[uid] for uid in user_ids if uid in resolved]
+            span.set_attribute("resolved", len(users))
+            span.set_attribute("cache_hits", len(user_ids) - len(missing))
         return users
 
     def fetch_timelines(self, user_ids: Sequence[int],

@@ -1,18 +1,46 @@
-"""Shared audit-report types.
+"""Shared audit types: the request, the report, the engine contract.
 
 Every fake-follower engine in this reproduction — the three commercial
 analytics and the Fake Project classifier — answers an audit request
 with the same shape the paper tabulates in Table III: the percentages
 of inactive, fake and genuine followers, plus the metadata the timing
 experiment (Table II) needs (response time, cache status, sample size).
+
+This module also defines the unified entry point every engine shares:
+
+* :class:`AuditRequest` — what to audit and how (priority, cache
+  bypass, pinned observation instant, deterministic sampling index);
+* :class:`Auditor` — the structural protocol all engines satisfy
+  (``audit`` for a blocking answer, ``begin_audit`` for resumable
+  acquisition steps the batch scheduler interleaves);
+* :func:`build_engines` — the one factory the experiments, the CLI and
+  ``repro.quick_audit`` use instead of hand-rolled engine dicts.
+
+The legacy string form ``engine.audit("handle")`` keeps working but
+emits a :class:`DeprecationWarning`; new code constructs an
+:class:`AuditRequest`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+try:  # pragma: no cover - Protocol is stdlib from 3.8 on
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object
+
+    def runtime_checkable(cls):
+        """Fallback no-op decorator when typing.Protocol is missing."""
+        return cls
 
 from .core.errors import ConfigurationError
+
+#: Canonical engine order, matching the paper's table columns.
+ENGINE_NAMES: Tuple[str, ...] = (
+    "fc", "twitteraudit", "statuspeople", "socialbakers")
 
 
 @dataclass(frozen=True)
@@ -83,3 +111,166 @@ class AuditReport:
         if self.inactive_pct is not None:
             result["inact"] = self.inactive_pct / 100.0
         return result
+
+
+@dataclass(frozen=True)
+class AuditRequest:
+    """One audit to perform: the target plus scheduling directives.
+
+    ``engine`` names the engine the request is meant for; ``None``
+    means "whichever engine it is handed to" (the batch scheduler fills
+    it in).  ``as_of`` pins the simulated observation instant: every
+    world read behind the audit sees the social graph frozen at that
+    time, which is what makes a batched run's percentages identical to
+    a serial run's regardless of when each acquisition step lands on
+    the clock.  ``audit_index`` overrides the engine's internal
+    per-audit sampling counter so a scheduler can reproduce the exact
+    RNG stream of a serial run; leave it ``None`` outside schedulers.
+    """
+
+    target: str
+    engine: Optional[str] = None
+    force_refresh: bool = False
+    priority: int = 0
+    as_of: Optional[float] = None
+    audit_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.target or not self.target.strip():
+            raise ConfigurationError("target must be a non-empty handle")
+        if self.audit_index is not None and self.audit_index < 1:
+            raise ConfigurationError(
+                f"audit_index must be >= 1: {self.audit_index!r}")
+
+    def bound_to(self, engine_name: str, **changes) -> "AuditRequest":
+        """A copy bound to one engine (optionally updating fields)."""
+        merged = dict(
+            target=self.target, engine=engine_name,
+            force_refresh=self.force_refresh, priority=self.priority,
+            as_of=self.as_of, audit_index=self.audit_index)
+        merged.update(changes)
+        return AuditRequest(**merged)
+
+
+@runtime_checkable
+class Auditor(Protocol):
+    """Structural contract every fake-follower engine satisfies.
+
+    Engines expose a blocking :meth:`audit` (one call, one report) and
+    a resumable :meth:`begin_audit` (a generator that yields between
+    acquisition phases and *returns* the report), which is what the
+    batch scheduler drives so many audits can interleave across
+    simulated rate-limit windows.
+    """
+
+    #: Engine identifier used in reports and scheduler lanes.
+    name: str
+    #: Whether the engine reports "inactive" as a separate class.
+    reports_inactive: bool
+
+    def audit(self, request: Union["AuditRequest", str], *,
+              force_refresh: Optional[bool] = None) -> AuditReport:
+        """Audit one target and return the finished report."""
+        ...  # pragma: no cover - protocol signature only
+
+    def begin_audit(self, request: "AuditRequest"):
+        """Start a resumable audit; a generator returning the report."""
+        ...  # pragma: no cover - protocol signature only
+
+
+def coerce_request(value: Union[AuditRequest, str], *, engine_name: str,
+                   force_refresh: Optional[bool] = None) -> AuditRequest:
+    """Normalize an ``audit()`` argument to a bound :class:`AuditRequest`.
+
+    The legacy string form is accepted with a :class:`DeprecationWarning`
+    (the ``force_refresh`` keyword applies only to that form); a request
+    addressed to a *different* engine is rejected loudly rather than
+    silently mislabelled.
+    """
+    if isinstance(value, AuditRequest):
+        if force_refresh is not None:
+            raise ConfigurationError(
+                "pass force_refresh inside the AuditRequest, not as a "
+                "keyword, when auditing by request")
+        if value.engine is not None and value.engine != engine_name:
+            raise ConfigurationError(
+                f"request addressed to engine {value.engine!r} was handed "
+                f"to {engine_name!r}")
+        if value.engine is None:
+            return value.bound_to(engine_name)
+        return value
+    if not isinstance(value, str):
+        raise ConfigurationError(
+            f"audit() takes an AuditRequest or a screen name: {value!r}")
+    warnings.warn(
+        "audit(\"name\") is deprecated; pass an AuditRequest instead "
+        "(repro.audit.AuditRequest)",
+        DeprecationWarning, stacklevel=3)
+    return AuditRequest(
+        target=value, engine=engine_name,
+        force_refresh=bool(force_refresh) if force_refresh is not None
+        else False)
+
+
+def drain_steps(steps) -> AuditReport:
+    """Run a ``begin_audit`` generator to completion, returning its report.
+
+    The blocking ``audit()`` entry point of every engine is exactly
+    this: the same resumable step chain the scheduler interleaves, run
+    back-to-back on the engine's own clock.
+    """
+    while True:
+        try:
+            next(steps)
+        except StopIteration as stop:
+            return stop.value
+
+
+def build_engines(world, clock, detector=None, seed: int = 5, *,
+                  faults=None, retry=None,
+                  engines: Optional[Sequence[str]] = None,
+                  acquisition_cache=None,
+                  sb_daily_quota: Optional[int] = None,
+                  sp_config=None) -> Dict[str, "Auditor"]:
+    """Build the paper's audit engines over one world and one clock.
+
+    The single factory behind every experiment, the CLI and
+    ``repro.quick_audit``.  ``engines`` selects a subset of
+    :data:`ENGINE_NAMES` (default: all four); ``faults``/``retry`` make
+    every engine's client crawl under the same injected API weather;
+    ``acquisition_cache`` plugs a shared :class:`repro.sched`
+    follower-page/profile cache into every client; ``sb_daily_quota``
+    overrides Socialbakers' free-tier quota (experiment runners lift it
+    to ``10**9`` because they do in one session what the authors spread
+    over days); ``sp_config`` selects a StatusPeople sampling
+    configuration.  Imports are deferred so ``repro.audit`` stays a
+    leaf module the engines themselves can import.
+    """
+    from .analytics.socialbakers import SocialbakersFakeFollowerCheck
+    from .analytics.statuspeople import StatusPeopleFakers
+    from .analytics.twitteraudit import Twitteraudit
+    from .fc.engine import FakeClassifierEngine
+
+    names = tuple(engines) if engines is not None else ENGINE_NAMES
+    unknown = set(names) - set(ENGINE_NAMES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown engines: {sorted(unknown)!r}; "
+            f"choose from {ENGINE_NAMES}")
+    common = dict(faults=faults, retry=retry, seed=seed)
+    if acquisition_cache is not None:
+        common["acquisition_cache"] = acquisition_cache
+    sb_kwargs = dict(common)
+    if sb_daily_quota is not None:
+        sb_kwargs["daily_quota"] = sb_daily_quota
+    sp_kwargs = dict(common)
+    if sp_config is not None:
+        sp_kwargs["config"] = sp_config
+    factories = {
+        "fc": lambda: FakeClassifierEngine(world, clock, detector, **common),
+        "twitteraudit": lambda: Twitteraudit(world, clock, **common),
+        "statuspeople": lambda: StatusPeopleFakers(world, clock, **sp_kwargs),
+        "socialbakers": lambda: SocialbakersFakeFollowerCheck(
+            world, clock, **sb_kwargs),
+    }
+    return {name: factories[name]() for name in names}

@@ -29,8 +29,11 @@ import pathlib
 import sys
 from typing import Optional, Sequence
 
+from .audit import ENGINE_NAMES, AuditRequest
 from .core.clock import SimClock
+from .core.errors import ConfigurationError
 from .core.timeutil import DAY, PAPER_EPOCH, isoformat
+from .sched import BatchAuditScheduler
 from .experiments import (
     ascii_bar_chart,
     average_accounts,
@@ -108,6 +111,13 @@ def _add_obs_flags(parser: argparse.ArgumentParser, *,
                              "(enables observability)")
 
 
+def _add_serial_flag(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--serial``: fall back to the legacy one-at-a-time loop."""
+    parser.add_argument("--serial", action="store_true",
+                        help="run audits one at a time (the paper's serial "
+                             "methodology) instead of the batch scheduler")
+
+
 def _add_fault_flags(parser: argparse.ArgumentParser, *,
                      suppress: bool = False) -> None:
     """Attach ``--faults`` / ``--fault-seed``; same placement rules as
@@ -150,8 +160,36 @@ def _build_parser() -> argparse.ArgumentParser:
     ordering.add_argument("--days", type=int, default=5,
                           help="daily snapshots to take (default: 5)")
 
-    sub.add_parser("table2", help="Table II: response times")
-    sub.add_parser("table3", help="Table III: analysis results")
+    table2 = sub.add_parser("table2", help="Table II: response times")
+    _add_serial_flag(table2)
+    table3 = sub.add_parser("table3", help="Table III: analysis results")
+    _add_serial_flag(table3)
+
+    batch = sub.add_parser(
+        "batch-audit",
+        help="audit many targets x many engines through the rate-limit-"
+             "aware scheduler (repro.sched)")
+    batch.add_argument("--targets", nargs="+", metavar="HANDLE",
+                       default=None,
+                       help="handles to audit (default: the Table III "
+                            "twenty-account testbed)")
+    batch.add_argument("--engines", nargs="+", metavar="ENGINE",
+                       choices=list(ENGINE_NAMES), default=None,
+                       help="engine lanes to run (default: all four)")
+    batch.add_argument("--slots", type=int, default=2, metavar="K",
+                       help="crawler instances per engine lane "
+                            "(default: 2)")
+    batch.add_argument("--max-followers", type=int, default=20_000,
+                       metavar="N",
+                       help="follower materialisation cap for the world "
+                            "(default: 20000)")
+    batch.add_argument("--compare-serial", action="store_true",
+                       help="also run the serial baseline and print the "
+                            "makespan speedup")
+    batch.add_argument("--json-out", metavar="FILE.json", default=None,
+                       help="write the deterministic batch report JSON")
+    _add_serial_flag(batch)
+
     sub.add_parser("acquisition", help="whole-base acquisition time model")
     sub.add_parser("burst", help="purchased-fakes head-bias demo (Sec II-D)")
     sub.add_parser("deepdive", help="Fakers vs Deep Dive comparison")
@@ -178,6 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="fault intensity multipliers; the first must "
                             "be 0 (baseline).  Default: 0 0.5 1 2")
+    _add_serial_flag(chaos)
 
     everything = sub.add_parser("all", help="run the full suite (E1-E8)")
     everything.add_argument("--days", type=int, default=5)
@@ -189,9 +228,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=[name for name in sub.choices
                                  if name != "run"],
                         help="the experiment to run")
+    _add_serial_flag(runner)
     # Knobs that normally live on individual subparsers, with their
     # defaults, so `repro run <experiment>` dispatches cleanly.
-    runner.set_defaults(days=5, trials=100, sample=1500, levels=None)
+    runner.set_defaults(days=5, trials=100, sample=1500, levels=None,
+                        targets=None, engines=None, slots=2,
+                        max_followers=20_000, compare_serial=False,
+                        json_out=None)
 
     for subparser in sub.choices.values():
         _add_obs_flags(subparser, suppress=True)
@@ -243,6 +286,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _mode(args) -> str:
+    """The experiment execution mode selected on the command line."""
+    return "serial" if getattr(args, "serial", False) else "batch"
+
+
+def _run_batch_audit(args, seed: int) -> str:
+    """The ``batch-audit`` subcommand: schedule a testbed batch."""
+    from .experiments.testbed import PAPER_ACCOUNTS, PAPER_ACCOUNTS_BY_HANDLE
+    handles = args.targets or [a.handle for a in PAPER_ACCOUNTS]
+    unknown = [h for h in handles if h not in PAPER_ACCOUNTS_BY_HANDLE]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown testbed handles: {unknown!r}; choose from "
+            f"{sorted(PAPER_ACCOUNTS_BY_HANDLE)}")
+    accounts = [PAPER_ACCOUNTS_BY_HANDLE[h] for h in handles]
+    tiers = tuple(sorted({a.tier for a in accounts}))
+    engines = tuple(args.engines) if args.engines else None
+    faults = _fault_plan(args)
+
+    def run_once(serial: bool):
+        world = build_paper_world(seed, SimClock().now(), tiers=tiers,
+                                  max_followers=args.max_followers)
+        clock = SimClock(world.ref_time)
+        scheduler = BatchAuditScheduler(
+            world, clock, engines=engines, lane_slots=args.slots,
+            seed=seed, faults=faults, serial=serial)
+        scheduler.submit_batch([AuditRequest(target=h) for h in handles])
+        return scheduler.run()
+
+    batch = run_once(serial=args.serial)
+    lines = [batch.render()]
+    if args.compare_serial and not args.serial:
+        baseline = run_once(serial=True)
+        speedup = (baseline.makespan_seconds / batch.makespan_seconds
+                   if batch.makespan_seconds else float("inf"))
+        lines.append("")
+        lines.append(
+            f"serial baseline makespan: {baseline.makespan_seconds:.0f} s "
+            f"-> scheduled makespan: {batch.makespan_seconds:.0f} s "
+            f"({speedup:.2f}x speedup)")
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(batch.to_json() + "\n",
+                                               encoding="utf-8")
+        lines.append(f"batch report written to {args.json_out}")
+    return "\n".join(lines)
+
+
 def _dispatch(args, seed: int) -> str:
     """Run the selected subcommand and return its rendered report."""
     if args.command == "run":
@@ -258,9 +348,12 @@ def _dispatch(args, seed: int) -> str:
             world, handles, days=args.days)
     elif args.command == "table2":
         __, rendered = run_response_time_experiment(
-            seed=seed, faults=_fault_plan(args))
+            seed=seed, faults=_fault_plan(args), mode=_mode(args))
     elif args.command == "table3":
-        rows, rendered = run_table3(seed=seed, faults=_fault_plan(args))
+        rows, rendered = run_table3(seed=seed, faults=_fault_plan(args),
+                                    mode=_mode(args))
+    elif args.command == "batch-audit":
+        rendered = _run_batch_audit(args, seed)
     elif args.command == "chaos":
         scenario = getattr(args, "faults", None) or "bursty"
         kwargs = {}
@@ -268,7 +361,7 @@ def _dispatch(args, seed: int) -> str:
             kwargs["levels"] = tuple(args.levels)
         __, rendered = run_chaos_experiment(
             seed=seed, scenario=scenario,
-            fault_seed=args.fault_seed, **kwargs)
+            fault_seed=args.fault_seed, mode=_mode(args), **kwargs)
     elif args.command == "acquisition":
         __, __, rendered = run_acquisition_experiment()
     elif args.command == "burst":

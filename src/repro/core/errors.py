@@ -150,6 +150,16 @@ class QuotaExceededError(AnalyticsError):
     """
 
 
+class SchedulerSaturatedError(AnalyticsError):
+    """Raised when the batch audit scheduler refuses further admissions.
+
+    Signals backpressure: the pending queue hit its ``max_pending``
+    bound, or the projected batch makespan would exceed the configured
+    budget.  Callers should drain the current batch (``run()``) before
+    submitting more work.
+    """
+
+
 class TrainingError(ReproError):
     """Raised when a classifier cannot be trained (e.g. degenerate data)."""
 

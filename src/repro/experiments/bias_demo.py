@@ -25,10 +25,9 @@ from ..analytics.statuspeople import (
     DEEP_DIVE_CONFIG,
     DEFAULT_CONFIG,
     FakersConfig,
-    StatusPeopleFakers,
 )
+from ..audit import AuditRequest, build_engines
 from ..core.clock import SimClock
-from ..fc.engine import FakeClassifierEngine
 from ..fc.training import TrainedDetector
 from ..stats.bias import BiasReport, purchased_burst_rates
 from ..twitter.generator import add_simple_target, build_world
@@ -78,14 +77,18 @@ def run_purchased_burst_demo(
         tilt=0.0,
     )
     clock = SimClock(world.ref_time)
-    sp_newest1k = StatusPeopleFakers(
-        world, clock, seed=seed,
-        config=FakersConfig("newest-1k", head=1000, sample=1000))
-    newest1k_report = sp_newest1k.audit("cleanstar")
-    sp_default = StatusPeopleFakers(world, clock, seed=seed)
-    default_report = sp_default.audit("cleanstar")
-    fc = FakeClassifierEngine(world, clock, detector, seed=seed)
-    fc_report = fc.audit("cleanstar")
+    request = AuditRequest(target="cleanstar")
+    sp_newest1k = build_engines(
+        world, clock, seed=seed, engines=("statuspeople",),
+        sp_config=FakersConfig("newest-1k", head=1000, sample=1000),
+    )["statuspeople"]
+    newest1k_report = sp_newest1k.audit(request)
+    sp_default = build_engines(
+        world, clock, seed=seed, engines=("statuspeople",))["statuspeople"]
+    default_report = sp_default.audit(request)
+    fc = build_engines(world, clock, detector, seed,
+                       engines=("fc",))["fc"]
+    fc_report = fc.audit(request)
 
     result = BurstDemoResult(
         closed_form_1k_head=closed_1k,
@@ -156,10 +159,15 @@ def run_deepdive_comparison(
         fake_burst_fraction=0.6, tilt=0.5, verified=True)
     clock = SimClock(world.ref_time)
 
-    fakers = StatusPeopleFakers(world, clock, config=DEFAULT_CONFIG, seed=seed)
-    deep = StatusPeopleFakers(world, clock, config=DEEP_DIVE_CONFIG, seed=seed)
-    fakers_report = fakers.audit("megastar")
-    deep_report = deep.audit("megastar")
+    request = AuditRequest(target="megastar")
+    fakers = build_engines(
+        world, clock, seed=seed, engines=("statuspeople",),
+        sp_config=DEFAULT_CONFIG)["statuspeople"]
+    deep = build_engines(
+        world, clock, seed=seed, engines=("statuspeople",),
+        sp_config=DEEP_DIVE_CONFIG)["statuspeople"]
+    fakers_report = fakers.audit(request)
+    deep_report = deep.audit(request)
 
     # SP's "fake" criteria catch the fake personas and part of the
     # dormant ones; the fair truth reference for its fake column is the

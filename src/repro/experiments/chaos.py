@@ -23,12 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..audit import AuditReport
+from ..audit import AuditReport, AuditRequest
 from ..core.clock import SimClock
 from ..core.errors import ConfigurationError
 from ..faults.plan import FaultPlan, SCENARIOS, named_plan
 from ..fc.engine import default_detector
 from ..fc.training import TrainedDetector
+from ..sched import BatchAuditScheduler
 from .report import TextTable
 from .response_time import ENGINE_ORDER, build_engines
 from .testbed import LOW, PaperAccount, accounts_in_tiers, build_paper_world
@@ -97,13 +98,23 @@ def run_chaos_experiment(
         accounts: Optional[Sequence[PaperAccount]] = None,
         max_followers: Optional[int] = CHAOS_MAX_FOLLOWERS,
         detector: Optional[TrainedDetector] = None,
+        mode: str = "batch",
+        lane_slots: int = 2,
 ) -> Tuple[ChaosResult, str]:
     """Sweep the testbed through increasing fault intensity.
 
     Each level rebuilds the world and all four engines from the same
     seeds, so level-to-level differences are attributable to the fault
-    plan alone (plus the retries it provokes).
+    plan alone (plus the retries it provokes).  ``mode="batch"`` (the
+    default) runs each level's testbed through the
+    :class:`~repro.sched.BatchAuditScheduler`; drift is always
+    measured against the same-mode fault-free baseline, so the sweep
+    stays internally consistent either way.  ``mode="serial"`` replays
+    the legacy loop.
     """
+    if mode not in ("batch", "serial"):
+        raise ConfigurationError(
+            f"mode must be 'batch' or 'serial': {mode!r}")
     if scenario not in SCENARIOS:
         raise ConfigurationError(
             f"unknown fault scenario {scenario!r}; "
@@ -130,16 +141,33 @@ def run_chaos_experiment(
         world = build_paper_world(
             seed, SimClock().now(), tiers=tiers, max_followers=max_followers)
         clock = SimClock(world.ref_time)
-        engines = build_engines(world, clock, detector, seed=seed,
-                                faults=plan)
         reports: Dict[str, Dict[str, AuditReport]] = {}
-        for account in accounts:
-            reports[account.handle] = {
-                tool: engines[tool].audit(account.handle)
-                for tool in ENGINE_ORDER
-            }
-        retries = {tool: engines[tool].client.retries_total
-                   for tool in ENGINE_ORDER}
+        if mode == "serial":
+            engines = build_engines(world, clock, detector, seed=seed,
+                                    faults=plan)
+            for account in accounts:
+                reports[account.handle] = {
+                    tool: engines[tool].audit(
+                        AuditRequest(target=account.handle, engine=tool))
+                    for tool in ENGINE_ORDER
+                }
+            retries = {tool: engines[tool].client.retries_total
+                       for tool in ENGINE_ORDER}
+        else:
+            scheduler = BatchAuditScheduler(
+                world, clock, seed=seed, detector=detector, faults=plan,
+                lane_slots=lane_slots)
+            scheduler.submit_batch(
+                [AuditRequest(target=account.handle)
+                 for account in accounts])
+            batch = scheduler.run()
+            for account in accounts:
+                reports[account.handle] = batch.reports_for(account.handle)
+            retries = {
+                tool: sum(
+                    scheduler.engine(tool, slot).client.retries_total
+                    for slot in range(lane_slots))
+                for tool in ENGINE_ORDER}
         swept.append(ChaosLevel(factor=factor, reports=reports,
                                 retries=retries))
 

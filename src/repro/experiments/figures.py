@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..analytics.twitteraudit import Twitteraudit
-from ..audit import AuditReport
+from ..audit import AuditReport, AuditRequest
 from ..core.clock import SimClock
 from ..core.errors import ConfigurationError
 from ..twitter.generator import add_simple_target, build_world
@@ -90,5 +90,5 @@ def run_ta_charts(*, seed: int = 42,
         add_simple_target(world, handle, 30_000, 0.35, 0.20, 0.45)
     clock = SimClock(getattr(world, "ref_time", SimClock().now()))
     tool = Twitteraudit(world, clock, seed=seed)
-    report = tool.audit(handle)
+    report = tool.audit(AuditRequest(target=handle))
     return report, render_ta_charts(report)

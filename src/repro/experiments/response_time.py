@@ -22,17 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analytics import (
-    SocialbakersFakeFollowerCheck,
-    StatusPeopleFakers,
-    Twitteraudit,
-)
-from ..audit import AuditReport
+from ..audit import AuditReport, AuditRequest
+from ..audit import build_engines as _build_engines
 from ..core.clock import SimClock
+from ..core.errors import ConfigurationError
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
-from ..fc.engine import FakeClassifierEngine
 from ..fc.training import TrainedDetector
+from ..sched import BatchAuditScheduler
 from ..twitter.population import SyntheticWorld
 from .report import TextTable
 from .testbed import (
@@ -73,18 +70,14 @@ def build_engines(world: SyntheticWorld, clock: SimClock,
     authors spread their audits over days; the runner does them in one
     session).  ``faults``/``retry`` make every engine's client crawl
     under the same injected API weather (see ``repro.faults``).
+
+    A thin delegate to :func:`repro.audit.build_engines` (the unified
+    factory), kept for its historical import site and its
+    experiment-runner defaults.
     """
-    return {
-        "fc": FakeClassifierEngine(world, clock, detector, seed=seed,
-                                   faults=faults, retry=retry),
-        "twitteraudit": Twitteraudit(world, clock, seed=seed,
-                                     faults=faults, retry=retry),
-        "statuspeople": StatusPeopleFakers(world, clock, seed=seed,
-                                           faults=faults, retry=retry),
-        "socialbakers": SocialbakersFakeFollowerCheck(
-            world, clock, daily_quota=10**9, seed=seed,
-            faults=faults, retry=retry),
-    }
+    return _build_engines(world, clock, detector, seed,
+                          faults=faults, retry=retry,
+                          sb_daily_quota=10**9)
 
 
 def run_response_time_experiment(
@@ -94,36 +87,65 @@ def run_response_time_experiment(
         detector: Optional[TrainedDetector] = None,
         prewarm: bool = True,
         faults: Optional[FaultPlan] = None,
+        mode: str = "batch",
 ) -> Tuple[List[ResponseTimeRow], str]:
-    """Measure Table II: first-analysis latency of all four engines."""
+    """Measure Table II: first-analysis latency of all four engines.
+
+    ``mode="batch"`` (the default) drives the audits through the
+    :class:`~repro.sched.BatchAuditScheduler` with one slot per lane
+    and **no** shared acquisition cache: each engine's lane runs its
+    audits back to back on its own clock, so every measured latency is
+    exactly the serial measurement (the paper timed each tool
+    independently anyway), while the four lanes overlap in simulated
+    time.  ``mode="serial"`` replays the legacy one-shared-clock loop.
+    """
+    if mode not in ("batch", "serial"):
+        raise ConfigurationError(
+            f"mode must be 'batch' or 'serial': {mode!r}")
     if accounts is None:
         accounts = average_accounts()
     world = build_paper_world(seed, SimClock().now(), tiers=(AVERAGE,))
     clock = SimClock(world.ref_time)
-    engines = build_engines(world, clock, detector, seed=seed, faults=faults)
-
-    if prewarm:
-        handles = {account.handle for account in accounts}
-        for tool, precached_handles in PRECACHED.items():
-            engine = engines[tool]
-            engine.prewarm([h for h in precached_handles if h in handles])
 
     rows: List[ResponseTimeRow] = []
-    for account in accounts:
-        seconds: Dict[str, float] = {}
-        cached: Dict[str, bool] = {}
-        followers_used = 0
-        for tool in ENGINE_ORDER:
-            report: AuditReport = engines[tool].audit(account.handle)
-            seconds[tool] = report.response_seconds
-            cached[tool] = report.cached
-            followers_used = report.followers_count
-        rows.append(ResponseTimeRow(
-            account=account,
-            followers_used=followers_used,
-            seconds=seconds,
-            cached=cached,
-        ))
+    if mode == "serial":
+        engines = build_engines(world, clock, detector, seed=seed,
+                                faults=faults)
+        _prewarm(engines.__getitem__, accounts, prewarm)
+        for account in accounts:
+            seconds: Dict[str, float] = {}
+            cached: Dict[str, bool] = {}
+            followers_used = 0
+            for tool in ENGINE_ORDER:
+                report: AuditReport = engines[tool].audit(
+                    AuditRequest(target=account.handle, engine=tool))
+                seconds[tool] = report.response_seconds
+                cached[tool] = report.cached
+                followers_used = report.followers_count
+            rows.append(ResponseTimeRow(
+                account=account,
+                followers_used=followers_used,
+                seconds=seconds,
+                cached=cached,
+            ))
+    else:
+        scheduler = BatchAuditScheduler(
+            world, clock, seed=seed, detector=detector, faults=faults,
+            lane_slots=1, shared_cache=False)
+        _prewarm(scheduler.engine, accounts, prewarm)
+        scheduler.submit_batch(
+            [AuditRequest(target=account.handle) for account in accounts])
+        batch = scheduler.run()
+        for account in accounts:
+            reports = batch.reports_for(account.handle)
+            rows.append(ResponseTimeRow(
+                account=account,
+                followers_used=max(
+                    (r.followers_count for r in reports.values()), default=0),
+                seconds={tool: reports[tool].response_seconds
+                         for tool in ENGINE_ORDER},
+                cached={tool: reports[tool].cached for tool in ENGINE_ORDER},
+            ))
 
     table = TextTable(
         ["Twitter profile", "followers", "FC", "TA", "SP", "SB",
@@ -142,6 +164,17 @@ def run_response_time_experiment(
             "/".join(str(int(x)) for x in paper) if paper else "-",
         )
     return rows, table.render()
+
+
+def _prewarm(engine_for, accounts: Sequence[PaperAccount],
+             enabled: bool) -> None:
+    """Warm each tool's silently pre-cached handles before measuring."""
+    if not enabled:
+        return
+    handles = {account.handle for account in accounts}
+    for tool, precached_handles in PRECACHED.items():
+        engine_for(tool).prewarm(
+            [h for h in precached_handles if h in handles])
 
 
 def _cell(row: ResponseTimeRow, tool: str) -> str:

@@ -19,11 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from ..analytics.socialbakers import SocialbakersFakeFollowerCheck
-from ..analytics.statuspeople import StatusPeopleFakers
+from ..audit import AuditRequest, build_engines
 from ..core.clock import SimClock
 from ..core.errors import ConfigurationError
-from ..fc.engine import FakeClassifierEngine
 from ..fc.training import TrainedDetector
 from ..stats.bias import gradient_head_bias
 from ..twitter.generator import add_simple_target, build_world
@@ -75,13 +73,14 @@ def run_tilt_sensitivity(
         add_simple_target(world, "tiltcase", followers,
                           inactive, fake, genuine, tilt=tilt, pieces=8)
         clock = SimClock(world.ref_time)
-        fc = FakeClassifierEngine(world, clock, detector, seed=seed)
-        sp = StatusPeopleFakers(world, clock, seed=seed)
-        sb = SocialbakersFakeFollowerCheck(
-            world, clock, daily_quota=10**9, seed=seed)
-        fc_report = fc.audit("tiltcase")
-        sp_report = sp.audit("tiltcase")
-        sb_report = sb.audit("tiltcase")
+        engines = build_engines(
+            world, clock, detector, seed,
+            engines=("fc", "statuspeople", "socialbakers"),
+            sb_daily_quota=10**9)
+        request = AuditRequest(target="tiltcase")
+        fc_report = engines["fc"].audit(request)
+        sp_report = engines["statuspeople"].audit(request)
+        sb_report = engines["socialbakers"].audit(request)
         rows.append(TiltSensitivityRow(
             tilt=tilt,
             fc_inactive=fc_report.inactive_pct or 0.0,

@@ -15,11 +15,11 @@ By contrast to the surveyed commercial tools, the FC engine:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ..api.client import TwitterApiClient
 from ..api.crawler import Crawler
-from ..audit import AuditReport
+from ..audit import AuditReport, AuditRequest, coerce_request, drain_steps
 from ..core.clock import SimClock, Stopwatch
 from ..core.errors import ConfigurationError, RetryableApiError
 from ..core.rng import make_rng
@@ -65,6 +65,7 @@ class FakeClassifierEngine:
                  processing_seconds: float = 2.0,
                  faults: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = None,
+                 acquisition_cache=None,
                  seed: int = 0) -> None:
         if sample_size < 1:
             raise ConfigurationError(f"sample_size must be >= 1: {sample_size!r}")
@@ -75,6 +76,7 @@ class FakeClassifierEngine:
             request_latency=request_latency,
             faults=faults,
             retry=retry,
+            acquisition_cache=acquisition_cache,
         )
         self._crawler = Crawler(self._client)
         self._tracer = get_observability().tracer
@@ -99,23 +101,41 @@ class FakeClassifierEngine:
         """The fixed uniform sample size (9604 by default)."""
         return self._sample_size
 
-    def audit(self, screen_name: str) -> AuditReport:
+    def audit(self, request: Union[AuditRequest, str], *,
+              force_refresh: Optional[bool] = None) -> AuditReport:
         """Audit a target account.  Never served from cache.
 
         The whole follower id list is paged in first (this, plus the 97
         profile lookups for the 9604-strong sample, is why FC's response
         time is "always greater than 180 seconds", Table II), then the
         uniform sample is classified three ways.
+
+        ``force_refresh`` is accepted for interface parity with the
+        commercial engines but has no effect: FC keeps no result cache,
+        so every audit is already fresh.
         """
+        request = coerce_request(request, engine_name=self.name,
+                                 force_refresh=force_refresh)
         with self._tracer.span("audit", self._clock, tool=self.name,
-                               target=screen_name) as span:
-            report = self._audit(screen_name)
+                               target=request.target) as span:
+            report = drain_steps(self._audit_steps(request))
             span.set_attribute("cached", False)
             span.set_attribute("fake_pct", report.fake_pct)
             span.set_attribute("genuine_pct", report.genuine_pct)
             if report.completeness < 1.0:
                 span.set_attribute("completeness", report.completeness)
             return report
+
+    def begin_audit(self, request: Union[AuditRequest, str]):
+        """Start an audit and return its resumable step generator.
+
+        Each ``next()`` runs one acquisition phase; the generator's
+        ``StopIteration`` value is the finished :class:`AuditReport`.
+        No ``audit`` span is opened here — a span held open across
+        interleaved steps of many audits would corrupt trace nesting.
+        """
+        request = coerce_request(request, engine_name=self.name)
+        return self._audit_steps(request)
 
     def _degraded_report(self, screen_name: str, stopwatch: Stopwatch,
                          errors_seen: int, followers_count: int,
@@ -137,9 +157,16 @@ class FakeClassifierEngine:
             details={"degraded": reason},
         )
 
-    def _audit(self, screen_name: str) -> AuditReport:
+    def _audit_steps(self, request: AuditRequest):
+        """The audit pipeline as a generator of acquisition phases."""
+        screen_name = request.target
+        self._client.pin_observation(request.as_of)
         self._client.reset_budgets()
-        self._audit_counter += 1
+        if request.audit_index is not None:
+            audit_index = request.audit_index
+        else:
+            self._audit_counter += 1
+            audit_index = self._audit_counter
         stopwatch = Stopwatch(self._clock)
         faults_before = self._client.faults_seen
 
@@ -150,6 +177,7 @@ class FakeClassifierEngine:
                 screen_name, stopwatch,
                 self._client.faults_seen - faults_before,
                 followers_count=0, reason=type(error).__name__)
+        yield
         follower_ids = self._crawler.fetch_all_follower_ids(screen_name)
         population = len(follower_ids)
         if population == 0:
@@ -163,9 +191,10 @@ class FakeClassifierEngine:
                     reason="empty follower crawl")
             raise ConfigurationError(
                 f"{screen_name!r} has no followers to audit")
+        yield
 
         n = min(self._sample_size, population)
-        rng = make_rng(self._seed, "fc-sample", self._audit_counter)
+        rng = make_rng(self._seed, "fc-sample", audit_index)
         if n < population:
             indices = rng.sample(range(population), n)
             sampled_ids = [follower_ids[i] for i in sorted(indices)]
@@ -176,6 +205,7 @@ class FakeClassifierEngine:
         timelines = None
         timeline_part = 1.0
         if self._detector.needs_timeline:
+            yield
             by_id = self._crawler.fetch_timelines(
                 [user.user_id for user in users], per_user=200)
             timelines = [by_id[user.user_id] for user in users]
@@ -183,7 +213,8 @@ class FakeClassifierEngine:
                 timeline_part = (
                     1.0 - self._crawler.last_timeline_shortfall / len(users))
 
-        now = self._clock.now()
+        pinned = self._client.observed_at
+        now = pinned if pinned is not None else self._clock.now()
         active_users = []
         active_timelines = []
         inactive = 0

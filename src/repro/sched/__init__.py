@@ -1,0 +1,32 @@
+"""Rate-limit-aware batch audit scheduling (``repro.sched``).
+
+The serial methodology of the paper — one engine, one target, one
+fresh rate-limit window at a time — is faithful but slow when driving
+a whole testbed.  This package schedules many audits across the four
+engines' independent credential pools on the simulated clock:
+
+* :class:`~repro.sched.scheduler.BatchAuditScheduler` — the
+  deterministic event-loop scheduler (lanes, slots, coalescing,
+  observation pinning, backpressure);
+* :class:`~repro.sched.cache.AcquisitionCache` — the cross-engine
+  follower-page/profile/timeline cache batched audits share;
+* :class:`~repro.sched.report.BatchReport` /
+  :class:`~repro.sched.report.BatchItem` — per-request scheduling
+  history and the whole-batch makespan accounting.
+
+See ``docs/scheduler.md`` for the design rationale and the guarantees
+(determinism, serial-equality of percentages) the test suite pins.
+"""
+
+from .cache import AcquisitionCache
+from .report import BatchItem, BatchReport, LaneSummary
+from .scheduler import BatchAuditScheduler, estimate_audit_seconds
+
+__all__ = [
+    "AcquisitionCache",
+    "BatchAuditScheduler",
+    "BatchItem",
+    "BatchReport",
+    "LaneSummary",
+    "estimate_audit_seconds",
+]

@@ -1,0 +1,143 @@
+"""Cross-engine acquisition cache for batched audits.
+
+When the batch scheduler audits one target with several engines, every
+engine re-fetches largely the same raw material: the target's profile,
+the newest pages of its follower id list, sampled follower profiles
+and (for the timeline-hungry tools) sampled timelines.  Sharing those
+acquisitions across clients is what a real multi-tool operator would
+do — and it is free of observable-behaviour changes because the
+scheduler pins every audit of a batch to one observation instant
+(:attr:`repro.audit.AuditRequest.as_of`), so a cached read returns
+byte-identical data to a fresh one.
+
+The cache is deliberately dumb: exact-key lookups, no TTL, no bound.
+It lives for one batch (the scheduler clears it at every ``run()``,
+because a new batch pins a new observation epoch and entries from the
+previous epoch would be stale).  Cache hits cost the client *nothing*
+— no request, no rate-limit tokens, no simulated latency — which is
+exactly the point: shared acquisition is how the scheduler beats the
+serial baseline's makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..api.endpoints import IdsPage, UserObject
+from ..obs.runtime import get_observability
+
+
+class AcquisitionCache:
+    """Shared raw-acquisition store keyed the way the API pages data.
+
+    Three stores, mirroring the three acquisition shapes of
+    :class:`repro.api.client.TwitterApiClient`:
+
+    * **profiles** — by user id, with a secondary index by lowercased
+      screen name (``users/show`` resolves either way);
+    * **id pages** — by ``(resource, user_id, offset, page_size)``,
+      exactly the tuple a paged ``followers/ids`` request names;
+    * **timelines** — by ``(user_id, count)``.
+
+    All values are immutable (frozen dataclasses, tuples), so handing
+    the same object to several engines is safe.  Metric series
+    (``acq_cache_events_total``) are created lazily on first use so
+    runs that never touch a scheduler export byte-identical metrics.
+    """
+
+    def __init__(self, name: str = "acquisition") -> None:
+        self._name = name
+        self._profiles: Dict[int, UserObject] = {}
+        self._by_name: Dict[str, int] = {}
+        self._pages: Dict[Tuple[str, int, int, int], IdsPage] = {}
+        self._timelines: Dict[Tuple[int, int], Tuple] = {}
+        #: Lookup hits / misses since construction (all stores pooled).
+        self.hits = 0
+        self.misses = 0
+        self._registry = get_observability().registry
+        self._hit_counter = None
+        self._miss_counter = None
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _hit(self) -> None:
+        self.hits += 1
+        if self._hit_counter is None:
+            self._hit_counter = self._registry.counter(
+                "acq_cache_events_total",
+                help="shared acquisition-cache lookups by outcome",
+                cache=self._name, event="hit")
+        self._hit_counter.inc()
+
+    def _miss(self) -> None:
+        self.misses += 1
+        if self._miss_counter is None:
+            self._miss_counter = self._registry.counter(
+                "acq_cache_events_total",
+                help="shared acquisition-cache lookups by outcome",
+                cache=self._name, event="miss")
+        self._miss_counter.inc()
+
+    # -- profiles -------------------------------------------------------------
+
+    def get_profile(self, user_id: int) -> Optional[UserObject]:
+        """The cached profile for ``user_id``, or ``None``."""
+        user = self._profiles.get(user_id)
+        self._hit() if user is not None else self._miss()
+        return user
+
+    def get_profile_by_name(self, screen_name: str) -> Optional[UserObject]:
+        """The cached profile for ``screen_name`` (case-insensitive)."""
+        uid = self._by_name.get(screen_name.lower())
+        user = self._profiles.get(uid) if uid is not None else None
+        self._hit() if user is not None else self._miss()
+        return user
+
+    def put_profile(self, user: UserObject) -> None:
+        """Store one resolved profile under both of its keys."""
+        self._profiles[user.user_id] = user
+        self._by_name[user.screen_name.lower()] = user.user_id
+
+    # -- follower / friend id pages -------------------------------------------
+
+    def get_page(self, resource: str, user_id: int, offset: int,
+                 page_size: int) -> Optional[IdsPage]:
+        """The cached ids page for this exact request shape, or ``None``."""
+        page = self._pages.get((resource, user_id, offset, page_size))
+        self._hit() if page is not None else self._miss()
+        return page
+
+    def put_page(self, resource: str, user_id: int, offset: int,
+                 page_size: int, page: IdsPage) -> None:
+        """Store one *complete* ids page (truncated pages are not shared)."""
+        self._pages[(resource, user_id, offset, page_size)] = page
+
+    # -- timelines ------------------------------------------------------------
+
+    def get_timeline(self, user_id: int, count: int):
+        """The cached timeline for ``(user_id, count)``, or ``None``."""
+        timeline = self._timelines.get((user_id, count))
+        self._hit() if timeline is not None else self._miss()
+        return timeline
+
+    def put_timeline(self, user_id: int, count: int, timeline) -> None:
+        """Store one fetched timeline (kept as an immutable tuple)."""
+        self._timelines[(user_id, count)] = tuple(timeline)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (a new batch pins a new observation epoch)."""
+        self._profiles.clear()
+        self._by_name.clear()
+        self._pages.clear()
+        self._timelines.clear()
+
+    def size(self) -> int:
+        """Total live entries across all three stores."""
+        return len(self._profiles) + len(self._pages) + len(self._timelines)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counts, for batch-report telemetry."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": self.size()}

@@ -1,0 +1,187 @@
+"""Batch-run accounting: per-request items and the whole-batch report.
+
+The scheduler's answer to "what happened" is deliberately richer than
+a list of :class:`~repro.audit.AuditReport`\\ s: each submitted request
+becomes a :class:`BatchItem` carrying its scheduling history (lane,
+slot, start/finish instants, coalesced duplicates, errors), and the
+batch as a whole becomes a :class:`BatchReport` whose headline number
+is the **makespan** — the simulated wall time from admission epoch to
+the last lane falling idle, the quantity the throughput benchmark
+compares against the serial baseline.
+
+Everything here serialises deterministically: ``to_json()`` emits
+sorted keys and only simulated instants, so a fixed seed yields a
+byte-identical document (and :meth:`BatchReport.digest` a stable
+fingerprint) run after run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..audit import AuditReport, AuditRequest
+
+
+@dataclass
+class BatchItem:
+    """One admitted audit request and everything that became of it.
+
+    ``seq`` is the admission sequence number (0-based, batch-wide);
+    ``coalesced`` counts *additional* submissions folded into this item
+    by duplicate-request coalescing.  Exactly one of ``report`` /
+    ``error`` is set once the batch ran; both are ``None`` while the
+    item is still pending.
+    """
+
+    request: AuditRequest
+    seq: int
+    lane: str
+    coalesced: int = 0
+    audit_index: Optional[int] = None
+    slot: Optional[int] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    report: Optional[AuditReport] = None
+    error: Optional[str] = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the item has an outcome (a report or an error)."""
+        return self.report is not None or self.error is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready view of the item (deterministic field set)."""
+        report = None
+        if self.report is not None:
+            report = {
+                "tool": self.report.tool,
+                "target": self.report.target,
+                "followers_count": self.report.followers_count,
+                "sample_size": self.report.sample_size,
+                "fake_pct": self.report.fake_pct,
+                "genuine_pct": self.report.genuine_pct,
+                "inactive_pct": self.report.inactive_pct,
+                "response_seconds": round(self.report.response_seconds, 6),
+                "cached": self.report.cached,
+                "completeness": self.report.completeness,
+                "errors_seen": self.report.errors_seen,
+            }
+        return {
+            "seq": self.seq,
+            "target": self.request.target,
+            "lane": self.lane,
+            "priority": self.request.priority,
+            "force_refresh": self.request.force_refresh,
+            "coalesced": self.coalesced,
+            "audit_index": self.audit_index,
+            "slot": self.slot,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "report": report,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class LaneSummary:
+    """Per-engine-lane aggregates of one batch run."""
+
+    lane: str
+    slots: int
+    items: int
+    errors: int
+    busy_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready view of the lane summary."""
+        return {
+            "lane": self.lane,
+            "slots": self.slots,
+            "items": self.items,
+            "errors": self.errors,
+            "busy_seconds": round(self.busy_seconds, 6),
+        }
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one ``BatchAuditScheduler.run()``.
+
+    ``makespan_seconds`` is simulated wall time from the admission
+    epoch to the last slot finishing; ``serial`` records which
+    execution mode produced it.  ``items`` are in admission order.
+    """
+
+    epoch: float
+    makespan_seconds: float
+    serial: bool
+    items: Tuple[BatchItem, ...]
+    lanes: Tuple[LaneSummary, ...]
+    coalesced_hits: int = 0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> List[BatchItem]:
+        """Items that produced a report."""
+        return [item for item in self.items if item.report is not None]
+
+    @property
+    def failed(self) -> List[BatchItem]:
+        """Items that ended in an error."""
+        return [item for item in self.items if item.error is not None]
+
+    def reports_for(self, target: str) -> Dict[str, AuditReport]:
+        """Completed reports for one target, keyed by engine lane."""
+        wanted = target.lower()
+        return {item.lane: item.report for item in self.items
+                if item.report is not None
+                and item.request.target.lower() == wanted}
+
+    def to_json(self) -> str:
+        """Deterministic JSON document of the whole batch."""
+        payload = {
+            "epoch": self.epoch,
+            "makespan_seconds": round(self.makespan_seconds, 6),
+            "serial": self.serial,
+            "coalesced_hits": self.coalesced_hits,
+            "cache_stats": dict(sorted(self.cache_stats.items())),
+            "lanes": [lane.to_dict() for lane in self.lanes],
+            "items": [item.to_dict() for item in self.items],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    def digest(self) -> str:
+        """SHA-256 fingerprint of :meth:`to_json` (determinism checks)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def render(self) -> str:
+        """Human-readable batch summary table."""
+        lines = [
+            f"Batch of {len(self.items)} audits "
+            f"({'serial' if self.serial else 'scheduled'}) — "
+            f"makespan {self.makespan_seconds:.0f} s, "
+            f"{self.coalesced_hits} coalesced",
+            f"{'target':<16} {'lane':<13} {'slot':>4} {'secs':>8} "
+            f"{'fake%':>6} {'good%':>6} {'inact%':>6}  outcome",
+        ]
+        for item in self.items:
+            if item.report is not None:
+                r = item.report
+                inact = "-" if r.inactive_pct is None else f"{r.inactive_pct:.1f}"
+                outcome = "cached" if r.cached else "fresh"
+                if r.completeness < 1.0:
+                    outcome += f" ({r.completeness:.0%} complete)"
+                lines.append(
+                    f"{item.request.target:<16} {item.lane:<13} "
+                    f"{item.slot if item.slot is not None else '-':>4} "
+                    f"{r.response_seconds:>8.1f} {r.fake_pct:>6.1f} "
+                    f"{r.genuine_pct:>6.1f} {inact:>6}  {outcome}")
+            else:
+                lines.append(
+                    f"{item.request.target:<16} {item.lane:<13} "
+                    f"{'-':>4} {'-':>8} {'-':>6} {'-':>6} {'-':>6}  "
+                    f"error: {item.error}")
+        return "\n".join(lines)

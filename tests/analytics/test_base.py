@@ -42,6 +42,54 @@ class TestResultCache:
             ResultCache(ttl=0.0)
 
 
+class TestResultCacheLRU:
+    def test_bound_evicts_oldest_entry_first(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", outcome(), 0.0)
+        cache.put("b", outcome(), 1.0)
+        cache.put("c", outcome(), 2.0)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", outcome(), 0.0)
+        cache.put("b", outcome(), 1.0)
+        cache.get("a", 2.0)  # a becomes most recently used
+        cache.put("c", outcome(), 3.0)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_overwrite_does_not_evict(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", outcome(), 0.0)
+        cache.put("b", outcome(), 1.0)
+        cache.put("a", outcome(), 2.0)  # same key, refreshed
+        assert cache.size() == 2
+        assert cache.evictions == 0
+
+    def test_size_tracks_live_entries(self):
+        cache = ResultCache(max_entries=3)
+        assert cache.size() == 0
+        for i, key in enumerate("abc"):
+            cache.put(key, outcome(), float(i))
+        assert cache.size() == len(cache) == 3
+        cache.put("d", outcome(), 4.0)
+        assert cache.size() == 3
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = ResultCache()
+        for i in range(100):
+            cache.put(f"user{i}", outcome(), float(i))
+        assert cache.size() == 100
+        assert cache.evictions == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)
+
+
 class TestPercentages:
     def test_sums_to_exactly_100(self):
         pct = percentages({"a": 1, "b": 1, "c": 1}, 3)

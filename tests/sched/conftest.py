@@ -1,0 +1,31 @@
+"""Fixtures for the batch-scheduler suite.
+
+Determinism and serial-vs-batch equality tests must compare *fresh*
+universes, so the central fixture is a world **builder**, not a world:
+each call returns a brand-new three-target world built from the same
+seed (worlds materialise lazily and audits advance their reader state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PAPER_EPOCH
+from repro.twitter import add_simple_target, build_world
+
+#: The three audit targets every scheduler test works against.
+TARGETS = ("alpha", "bravo", "charlie")
+
+
+@pytest.fixture(scope="session")
+def batch_world():
+    """A factory for identical small multi-target worlds."""
+
+    def build():
+        world = build_world(seed=23, ref_time=PAPER_EPOCH)
+        add_simple_target(world, "alpha", 9_000, 0.35, 0.15, 0.50)
+        add_simple_target(world, "bravo", 6_000, 0.25, 0.30, 0.45)
+        add_simple_target(world, "charlie", 4_000, 0.50, 0.10, 0.40)
+        return world
+
+    return build

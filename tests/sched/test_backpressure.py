@@ -1,0 +1,85 @@
+"""Admission control: bounded queues and the advisory makespan budget."""
+
+import pytest
+
+from repro.core import ConfigurationError, PAPER_EPOCH, SimClock
+from repro.core.errors import SchedulerSaturatedError
+from repro.sched import BatchAuditScheduler, estimate_audit_seconds
+
+
+class TestMaxPending:
+    def test_excess_submission_rejected(self, batch_world):
+        scheduler = BatchAuditScheduler(
+            batch_world(), SimClock(PAPER_EPOCH), engines=("statuspeople",),
+            max_pending=2)
+        scheduler.submit("alpha")
+        scheduler.submit("bravo")
+        with pytest.raises(SchedulerSaturatedError):
+            scheduler.submit("charlie")
+
+    def test_coalesced_duplicates_bypass_the_bound(self, batch_world):
+        scheduler = BatchAuditScheduler(
+            batch_world(), SimClock(PAPER_EPOCH), engines=("statuspeople",),
+            max_pending=1)
+        scheduler.submit("alpha")
+        (item,) = scheduler.submit("alpha")  # no new work — no rejection
+        assert item.coalesced == 1
+
+    def test_running_the_batch_frees_the_queue(self, batch_world):
+        scheduler = BatchAuditScheduler(
+            batch_world(), SimClock(PAPER_EPOCH), engines=("statuspeople",),
+            max_pending=1)
+        scheduler.submit("alpha")
+        scheduler.run()
+        scheduler.submit("bravo")  # accepted again
+        assert scheduler.pending_count() == 1
+
+    def test_invalid_bound_rejected(self, batch_world):
+        with pytest.raises(ConfigurationError):
+            BatchAuditScheduler(batch_world(), SimClock(PAPER_EPOCH),
+                                max_pending=0)
+
+
+class TestMakespanBudget:
+    def test_over_budget_submission_rejected(self, batch_world):
+        scheduler = BatchAuditScheduler(
+            batch_world(), SimClock(PAPER_EPOCH), engines=("statuspeople",),
+            lane_slots=1, makespan_budget=30.0)
+        scheduler.submit("alpha")
+        with pytest.raises(SchedulerSaturatedError):
+            scheduler.submit("bravo")
+
+    def test_generous_budget_admits_everything(self, batch_world):
+        scheduler = BatchAuditScheduler(
+            batch_world(), SimClock(PAPER_EPOCH), engines=("statuspeople",),
+            makespan_budget=10_000.0)
+        scheduler.submit("alpha")
+        scheduler.submit("bravo")
+        assert scheduler.pending_count() == 2
+
+    def test_invalid_budget_rejected(self, batch_world):
+        with pytest.raises(ConfigurationError):
+            BatchAuditScheduler(batch_world(), SimClock(PAPER_EPOCH),
+                                makespan_budget=0.0)
+
+
+class TestEstimate:
+    def test_fc_costs_most_for_a_large_account(self):
+        estimates = {engine: estimate_audit_seconds(engine, 100_000)
+                     for engine in ("fc", "twitteraudit", "statuspeople",
+                                    "socialbakers")}
+        assert max(estimates, key=estimates.get) == "fc"
+
+    def test_monotone_in_followers_for_fc(self):
+        assert (estimate_audit_seconds("fc", 500_000)
+                > estimate_audit_seconds("fc", 5_000) > 0.0)
+
+    def test_frames_cap_the_commercial_tools(self):
+        # Twitteraudit only ever reads the newest 5000: beyond the
+        # frame, more followers cost nothing.
+        assert (estimate_audit_seconds("twitteraudit", 1_000_000)
+                == estimate_audit_seconds("twitteraudit", 10_000))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_audit_seconds("klout", 1000)

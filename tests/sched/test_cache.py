@@ -1,0 +1,71 @@
+"""Unit tests for the shared acquisition cache."""
+
+from repro.api.endpoints import IdsPage
+from repro.sched import AcquisitionCache
+
+
+def make_user(uid=7, name="Alice"):
+    """A minimal profile object with the two keys the cache indexes."""
+
+    class _User:
+        user_id = uid
+        screen_name = name
+
+    return _User()
+
+
+class TestProfiles:
+    def test_miss_then_hit_by_id(self):
+        cache = AcquisitionCache()
+        assert cache.get_profile(7) is None
+        user = make_user()
+        cache.put_profile(user)
+        assert cache.get_profile(7) is user
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lookup_by_name_is_case_insensitive(self):
+        cache = AcquisitionCache()
+        user = make_user(name="Alice")
+        cache.put_profile(user)
+        assert cache.get_profile_by_name("ALICE") is user
+        assert cache.get_profile_by_name("nobody") is None
+
+
+class TestPages:
+    def test_exact_key_lookup(self):
+        cache = AcquisitionCache()
+        page = IdsPage(ids=(1, 2, 3), next_cursor=0, previous_cursor=0)
+        cache.put_page("followers/ids", 7, 0, 5000, page)
+        assert cache.get_page("followers/ids", 7, 0, 5000) is page
+        # Any key component differing is a distinct acquisition.
+        assert cache.get_page("followers/ids", 7, 5000, 5000) is None
+        assert cache.get_page("friends/ids", 7, 0, 5000) is None
+
+
+class TestTimelines:
+    def test_timeline_stored_as_immutable_tuple(self):
+        cache = AcquisitionCache()
+        cache.put_timeline(7, 200, ["t1", "t2"])
+        stored = cache.get_timeline(7, 200)
+        assert stored == ("t1", "t2")
+        assert isinstance(stored, tuple)
+        assert cache.get_timeline(7, 100) is None
+
+
+class TestLifecycle:
+    def test_size_counts_all_stores(self):
+        cache = AcquisitionCache()
+        cache.put_profile(make_user())
+        cache.put_page("followers/ids", 7, 0, 5000,
+                       IdsPage(ids=(1,), next_cursor=0, previous_cursor=0))
+        cache.put_timeline(7, 200, [])
+        assert cache.size() == 3
+
+    def test_clear_drops_entries_but_keeps_stats(self):
+        cache = AcquisitionCache()
+        cache.put_profile(make_user())
+        cache.get_profile(7)
+        cache.clear()
+        assert cache.size() == 0
+        assert cache.get_profile(7) is None
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 0}

@@ -1,0 +1,60 @@
+"""Duplicate-request coalescing in the batch scheduler."""
+
+from repro.audit import AuditRequest
+from repro.core import PAPER_EPOCH, SimClock
+from repro.sched import BatchAuditScheduler
+
+
+def make_scheduler(batch_world, **kwargs):
+    kwargs.setdefault("engines", ("statuspeople",))
+    return BatchAuditScheduler(batch_world(), SimClock(PAPER_EPOCH), **kwargs)
+
+
+class TestCoalescing:
+    def test_duplicate_submission_folds_into_pending_item(self, batch_world):
+        scheduler = make_scheduler(batch_world)
+        (first,) = scheduler.submit("alpha")
+        (second,) = scheduler.submit("alpha")
+        assert second is first
+        assert first.coalesced == 1
+        assert scheduler.pending_count() == 1
+
+    def test_target_matching_is_case_insensitive(self, batch_world):
+        scheduler = make_scheduler(batch_world)
+        (first,) = scheduler.submit("alpha")
+        (second,) = scheduler.submit("ALPHA")
+        assert second is first
+
+    def test_force_refresh_variants_do_not_coalesce(self, batch_world):
+        scheduler = make_scheduler(batch_world)
+        (plain,) = scheduler.submit(AuditRequest(target="alpha"))
+        (refresh,) = scheduler.submit(
+            AuditRequest(target="alpha", force_refresh=True))
+        assert refresh is not plain
+        assert scheduler.pending_count() == 2
+
+    def test_lanes_coalesce_independently(self, batch_world):
+        scheduler = make_scheduler(
+            batch_world, engines=("statuspeople", "socialbakers"))
+        scheduler.submit(AuditRequest(target="alpha", engine="statuspeople"))
+        items = scheduler.submit(AuditRequest(target="alpha"))
+        assert [item.coalesced for item in items] == [1, 0]
+        assert scheduler.pending_count() == 2
+
+    def test_report_counts_coalesced_hits(self, batch_world):
+        scheduler = make_scheduler(batch_world)
+        scheduler.submit("alpha")
+        scheduler.submit("alpha")
+        scheduler.submit("alpha")
+        report = scheduler.run()
+        assert report.coalesced_hits == 2
+        assert len(report.items) == 1
+        assert report.items[0].coalesced == 2
+
+    def test_resubmission_after_run_is_fresh_work(self, batch_world):
+        scheduler = make_scheduler(batch_world)
+        (first,) = scheduler.submit("alpha")
+        scheduler.run()
+        (second,) = scheduler.submit("alpha")
+        assert second is not first
+        assert second.coalesced == 0

@@ -1,0 +1,100 @@
+"""The unified audit request API and its deprecation path."""
+
+import warnings
+
+import pytest
+
+from repro.analytics import StatusPeopleFakers
+from repro.audit import AuditRequest, Auditor, coerce_request
+from repro.core import ConfigurationError, PAPER_EPOCH, SimClock
+from repro.fc import FakeClassifierEngine
+
+
+class TestAuditRequest:
+    def test_empty_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AuditRequest(target="  ")
+
+    def test_invalid_audit_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AuditRequest(target="x", audit_index=0)
+
+    def test_bound_to_binds_and_overrides(self):
+        request = AuditRequest(target="x", priority=2)
+        bound = request.bound_to("fc", as_of=123.0)
+        assert bound.engine == "fc"
+        assert bound.priority == 2
+        assert bound.as_of == 123.0
+        assert request.engine is None  # original untouched
+
+
+class TestCoerceRequest:
+    def test_string_form_warns_and_binds(self):
+        with pytest.warns(DeprecationWarning, match="AuditRequest"):
+            request = coerce_request("alice", engine_name="fc")
+        assert request == AuditRequest(target="alice", engine="fc")
+
+    def test_request_form_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            request = coerce_request(AuditRequest(target="alice"),
+                                     engine_name="fc")
+        assert request.engine == "fc"
+
+    def test_mismatched_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coerce_request(AuditRequest(target="alice", engine="fc"),
+                           engine_name="statuspeople")
+
+    def test_force_refresh_keyword_only_for_strings(self):
+        with pytest.raises(ConfigurationError):
+            coerce_request(AuditRequest(target="alice"), engine_name="fc",
+                           force_refresh=True)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coerce_request(42, engine_name="fc")
+
+
+class TestEngineEntryPoints:
+    @pytest.fixture
+    def tool(self, small_world):
+        return StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=1)
+
+    def test_legacy_string_audit_warns_but_works(self, tool):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            report = tool.audit("smalltown")
+        assert report.target == "smalltown"
+        assert report.tool == "statuspeople"
+
+    def test_request_audit_does_not_warn(self, tool):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            report = tool.audit(AuditRequest(target="smalltown"))
+        assert report.target == "smalltown"
+
+    def test_string_and_request_forms_agree(self, small_world):
+        by_string = StatusPeopleFakers(
+            small_world, SimClock(PAPER_EPOCH), seed=1)
+        by_request = StatusPeopleFakers(
+            small_world, SimClock(PAPER_EPOCH), seed=1)
+        with pytest.warns(DeprecationWarning):
+            a = by_string.audit("smalltown")
+        b = by_request.audit(AuditRequest(target="smalltown"))
+        assert (a.fake_pct, a.genuine_pct, a.inactive_pct) == \
+            (b.fake_pct, b.genuine_pct, b.inactive_pct)
+
+    def test_fc_accepts_force_refresh_keyword(self, small_world, detector):
+        fc = FakeClassifierEngine(
+            small_world, SimClock(PAPER_EPOCH), detector, seed=1)
+        with pytest.warns(DeprecationWarning):
+            report = fc.audit("smalltown", force_refresh=True)
+        assert report.tool == "fc"
+        assert not report.cached  # FC keeps no result cache anyway
+
+    def test_engines_satisfy_the_auditor_protocol(self, small_world):
+        tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=1)
+        assert isinstance(tool, Auditor)
+        steps = tool.begin_audit(AuditRequest(target="smalltown"))
+        assert hasattr(steps, "__next__")  # resumable generator
+        steps.close()

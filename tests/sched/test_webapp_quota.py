@@ -1,0 +1,71 @@
+"""HostedCheckerApp daily quotas meeting the batch scheduler.
+
+The hosted apps bill a *click*, not an analysis: a check served from a
+result cache that a batch run already filled still charges the user's
+daily allowance.  These tests pin that interaction down.
+"""
+
+import pytest
+
+from repro.analytics import HostedCheckerApp
+from repro.audit import AuditRequest
+from repro.core import DAY, PAPER_EPOCH, QuotaExceededError, SimClock
+from repro.sched import BatchAuditScheduler
+
+
+@pytest.fixture
+def scheduler(batch_world):
+    return BatchAuditScheduler(
+        batch_world(), SimClock(PAPER_EPOCH), engines=("statuspeople",),
+        lane_slots=1)
+
+
+class TestBatchedAuditsBehindTheApp:
+    def test_batch_prefills_the_cache_the_app_serves_from(self, scheduler):
+        scheduler.submit("alpha")
+        scheduler.run()
+        app = HostedCheckerApp(scheduler.engine("statuspeople"),
+                               daily_checks_per_user=10)
+        session = app.authorize("curious_user")
+        report = app.check(session, AuditRequest(target="alpha"))
+        assert report.cached  # the batch already did the analysis
+
+    def test_cached_answers_still_charge_the_daily_quota(self, scheduler):
+        scheduler.submit("alpha")
+        scheduler.run()
+        app = HostedCheckerApp(scheduler.engine("statuspeople"),
+                               daily_checks_per_user=2)
+        session = app.authorize("curious_user")
+        app.check(session, AuditRequest(target="alpha"))
+        app.check(session, AuditRequest(target="alpha"))
+        with pytest.raises(QuotaExceededError):
+            app.check(session, AuditRequest(target="alpha"))
+
+    def test_scheduler_runs_do_not_consume_app_quotas(self, scheduler):
+        app = HostedCheckerApp(scheduler.engine("statuspeople"),
+                               daily_checks_per_user=1)
+        session = app.authorize("curious_user")
+        scheduler.submit_batch(["alpha", "bravo", "charlie"])
+        report = scheduler.run()
+        assert len(report.completed) == 3
+        # The batch went through the engine, not the app: the user's
+        # single daily check is still available.
+        app.check(session, AuditRequest(target="alpha"))
+
+    def test_quota_resets_on_the_slot_clock_day(self, scheduler):
+        scheduler.submit("alpha")
+        scheduler.run()
+        engine = scheduler.engine("statuspeople")
+        app = HostedCheckerApp(engine, daily_checks_per_user=1)
+        session = app.authorize("curious_user")
+        app.check(session, AuditRequest(target="alpha"))
+        with pytest.raises(QuotaExceededError):
+            app.check(session, AuditRequest(target="alpha"))
+        engine.client.clock.advance(DAY)
+        app.check(session, AuditRequest(target="alpha"))  # fresh day
+
+    def test_string_target_still_accepted_by_the_app(self, scheduler):
+        app = HostedCheckerApp(scheduler.engine("statuspeople"))
+        session = app.authorize("curious_user")
+        report = app.check(session, "alpha")
+        assert report.target == "alpha"
