@@ -293,13 +293,17 @@ class CommercialAnalytic:
             request.target, self._clock.now())
         if cached is not None:
             outcome, computed_at = cached
-            self._clock.advance(self._cache_serve_seconds)
+            with self._tracer.span("audit.cache_serve", self._clock,
+                                   tool=self.name, target=request.target):
+                self._clock.advance(self._cache_serve_seconds)
             return self._report(request.target, outcome,
                                 stopwatch.elapsed(), cached=True,
                                 assessed_at=computed_at)
         self._client.reset_budgets()
         outcome = yield from self._fresh_outcome_steps(request)
-        self._clock.advance(self._processing_seconds)
+        with self._tracer.span("audit.classify", self._clock,
+                               tool=self.name, target=request.target):
+            self._clock.advance(self._processing_seconds)
         computed_at = self._clock.now()
         if outcome.completeness > 0.0:
             # A fully failed audit is never cached: the tool retries

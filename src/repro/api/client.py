@@ -102,6 +102,9 @@ class TwitterApiClient:
         # both scheduler features; with the defaults (no cache, no pin)
         # every path below is byte-identical to the standalone client.
         self._acq_cache = acquisition_cache
+        # Hit counters materialise on the first hit only, so runs
+        # without a shared cache register no extra metric series.
+        self._acq_hit_counters = {}
         self._observe_at: Optional[float] = None
         obs.register_call_log(self._log)
 
@@ -368,6 +371,7 @@ class TwitterApiClient:
                    if screen_name is not None
                    else self._acq_cache.get_profile(user_id))
             if hit is not None:
+                self._acq_hit("users/lookup")
                 return hit
         now = self._observed()
         if screen_name is not None:
@@ -424,6 +428,7 @@ class TwitterApiClient:
         if self._acq_cache is not None:
             hit = self._acq_cache.get_page(resource, uid, offset, page_size)
             if hit is not None:
+                self._acq_hit(resource)
                 return hit
         completed, fault = self._request(resource, 0, paged=True,
                                          cursor=cursor)
@@ -480,6 +485,16 @@ class TwitterApiClient:
             lambda start, stop, at: self._world.friend_ids(uid, start, stop, at),
             cursor, count)
 
+    def _acq_hit(self, resource: str) -> None:
+        counter = self._acq_hit_counters.get(resource)
+        if counter is None:
+            counter = self._registry.counter(
+                "acq_cache_hits_total",
+                help="API requests answered by the shared acquisition cache",
+                resource=resource)
+            self._acq_hit_counters[resource] = counter
+        counter.inc()
+
     def _resolve(self, screen_name: Optional[str], user_id: Optional[int]) -> int:
         if (screen_name is None) == (user_id is None):
             raise ConfigurationError(
@@ -505,6 +520,7 @@ class TwitterApiClient:
         if self._acq_cache is not None:
             hit = self._acq_cache.get_timeline(user_id, page)
             if hit is not None:
+                self._acq_hit("statuses/user_timeline")
                 return list(hit)
         completed, fault = self._request("statuses/user_timeline", page)
         now = (self._observe_at if self._observe_at is not None

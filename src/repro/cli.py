@@ -222,11 +222,52 @@ def _build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--days", type=int, default=5)
     everything.add_argument("--trials", type=int, default=100)
 
+    perf = sub.add_parser(
+        "perf",
+        help="record or diff the canonical perf baseline "
+             "(BENCH_perf.json); 'diff' exits non-zero on a regression")
+    perf.add_argument("action", choices=("record", "diff"),
+                      help="record: run the workload and write the "
+                           "baseline; diff: compare against one")
+    perf.add_argument("baseline", nargs="?", default=None,
+                      metavar="BASELINE.json",
+                      help="baseline artifact to diff against "
+                           "(required by 'diff')")
+    perf.add_argument("--out", metavar="FILE.json",
+                      default="BENCH_perf.json",
+                      help="where 'record' writes the artifact "
+                           "(default: BENCH_perf.json)")
+    perf.add_argument("--current", metavar="FILE.json", default=None,
+                      help="diff this pre-recorded artifact instead of "
+                           "re-running the baseline's workload")
+    perf.add_argument("--targets", nargs="+", metavar="HANDLE", default=None,
+                      help="testbed handles to audit (default: all twenty)")
+    perf.add_argument("--slots", type=int, default=2, metavar="K",
+                      help="crawler instances per engine lane (default: 2)")
+    perf.add_argument("--max-followers", type=int, default=20_000,
+                      metavar="N",
+                      help="follower materialisation cap (default: 20000)")
+    perf.add_argument("--timeline", action="store_true",
+                      help="also print the ASCII lane timeline")
+    perf.add_argument("--makespan-tol-pct", type=float, default=5.0,
+                      metavar="PCT",
+                      help="allowed makespan drift (default: 5%%)")
+    perf.add_argument("--phase-tol-pct", type=float, default=10.0,
+                      metavar="PCT",
+                      help="allowed per-phase drift (default: 10%%)")
+    perf.add_argument("--counter-tol-pct", type=float, default=10.0,
+                      metavar="PCT",
+                      help="allowed counter drift (default: 10%%)")
+    perf.add_argument("--ratio-tol", type=float, default=0.05,
+                      metavar="X",
+                      help="allowed absolute hit-ratio drift "
+                           "(default: 0.05)")
+
     runner = sub.add_parser(
         "run", help="run one experiment by name (e.g. 'repro run chaos')")
     runner.add_argument("experiment",
                         choices=[name for name in sub.choices
-                                 if name != "run"],
+                                 if name not in ("run", "perf")],
                         help="the experiment to run")
     _add_serial_flag(runner)
     # Knobs that normally live on individual subparsers, with their
@@ -263,8 +304,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     obs = None
     if args.trace_out or args.metrics_out:
         obs = activate()
+    exit_code = 0
     try:
         rendered = _dispatch(args, seed)
+        if isinstance(rendered, tuple):
+            rendered, exit_code = rendered
         print(rendered)
         if obs is not None:
             if args.command == "all":
@@ -283,7 +327,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if obs is not None:
             deactivate()
-    return 0
+    return exit_code
 
 
 def _mode(args) -> str:
@@ -333,8 +377,68 @@ def _run_batch_audit(args, seed: int) -> str:
     return "\n".join(lines)
 
 
-def _dispatch(args, seed: int) -> str:
-    """Run the selected subcommand and return its rendered report."""
+def _run_perf(args, seed: int):
+    """The ``perf`` subcommand; returns ``(rendered, exit_code)``.
+
+    ``record`` runs the canonical workload and writes the byte-stable
+    baseline; ``diff`` re-runs the workload the baseline recorded (or
+    loads ``--current``) and exits 1 on any tolerance breach.
+    """
+    from .experiments.perf import default_workload, run_perf_workload
+    from .obs import (
+        PerfTolerances,
+        diff_perf,
+        load_perf_json,
+        render_critical_path,
+        render_lane_timeline,
+        render_perf_diff,
+        render_phase_attribution,
+        write_perf_json,
+    )
+    if args.action == "record":
+        workload = default_workload(
+            seed=seed, targets=args.targets, lane_slots=args.slots,
+            max_followers=args.max_followers)
+        doc, obs, __ = run_perf_workload(workload)
+        write_perf_json(doc, args.out)
+        lines = [render_phase_attribution(obs.tracer)]
+        if args.timeline:
+            lines.extend(["", render_lane_timeline(obs.tracer)])
+        lines.extend(["", render_critical_path(obs.tracer), "",
+                      f"perf baseline written to {args.out} "
+                      f"(makespan {doc['makespan_seconds']:.0f}s, "
+                      f"{doc['audits']} audits)"])
+        return "\n".join(lines), 0
+    if args.baseline is None:
+        raise ConfigurationError(
+            "perf diff needs a baseline: repro perf diff BASELINE.json")
+    baseline = load_perf_json(args.baseline)
+    if args.current:
+        current = load_perf_json(args.current)
+    else:
+        workload = baseline.get("workload")
+        if not isinstance(workload, dict):
+            raise ConfigurationError(
+                f"baseline {args.baseline!r} has no workload section; "
+                f"re-record it or pass --current")
+        current, __, __ = run_perf_workload(workload)
+    tolerances = PerfTolerances(
+        makespan_pct=args.makespan_tol_pct,
+        phase_pct=args.phase_tol_pct,
+        counter_pct=args.counter_tol_pct,
+        ratio_abs=args.ratio_tol)
+    breaches, compared = diff_perf(baseline, current, tolerances)
+    rendered = render_perf_diff(breaches, compared, args.baseline)
+    return rendered, (1 if breaches else 0)
+
+
+def _dispatch(args, seed: int):
+    """Run the selected subcommand and return its rendered report.
+
+    Most subcommands return the rendered string; ``perf`` returns a
+    ``(rendered, exit_code)`` tuple so regressions can fail the
+    process.
+    """
     if args.command == "run":
         # Alias form: `repro run <experiment>` == `repro <experiment>`.
         args.command = args.experiment
@@ -354,6 +458,8 @@ def _dispatch(args, seed: int) -> str:
                                     mode=_mode(args))
     elif args.command == "batch-audit":
         rendered = _run_batch_audit(args, seed)
+    elif args.command == "perf":
+        return _run_perf(args, seed)
     elif args.command == "chaos":
         scenario = getattr(args, "faults", None) or "bursty"
         kwargs = {}

@@ -29,6 +29,8 @@ from ..core.errors import ConfigurationError
 from ..faults.plan import FaultPlan, SCENARIOS, named_plan
 from ..fc.engine import default_detector
 from ..fc.training import TrainedDetector
+from ..obs.analysis import render_phase_attribution
+from ..obs.runtime import get_observability
 from ..sched import BatchAuditScheduler
 from .report import TextTable
 from .response_time import ENGINE_ORDER, build_engines
@@ -126,6 +128,8 @@ def run_chaos_experiment(
             "the first chaos level must be 0.0 (the fault-free baseline)")
     if accounts is None:
         accounts = accounts_in_tiers(LOW)
+    obs = get_observability()
+    trace_mark = len(obs.tracer)
     tiers = tuple(sorted({account.tier for account in accounts}))
     base_plan = named_plan(scenario, seed=fault_seed)
     if detector is None:
@@ -173,7 +177,11 @@ def run_chaos_experiment(
 
     result = ChaosResult(scenario=scenario, fault_seed=fault_seed,
                          levels=swept)
-    return result, render_chaos(result)
+    rendered = render_chaos(result)
+    if obs.enabled:
+        rendered += "\n\n" + render_phase_attribution(
+            obs.tracer.spans()[trace_mark:])
+    return result, rendered
 
 
 def render_chaos(result: ChaosResult) -> str:

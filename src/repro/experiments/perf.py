@@ -1,0 +1,81 @@
+"""The canonical perf workload behind ``repro perf record`` / ``diff``.
+
+One fixed, fully-parameterised batch run over the paper's testbed: all
+twenty accounts fanned out to the four engines through the
+:class:`~repro.sched.BatchAuditScheduler`, executed under a private
+observability context, and condensed into the canonical
+``BENCH_perf.json`` document by :func:`repro.obs.perf.collect_perf`.
+
+The workload parameters are recorded *inside* the artifact, so a later
+``repro perf diff`` re-runs exactly the workload its baseline measured
+— different parameters can never masquerade as a regression (or hide
+one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..audit import AuditRequest
+from ..core.clock import SimClock
+from ..core.errors import ConfigurationError
+from ..obs.perf import collect_perf
+from ..obs.runtime import Observability, observed
+from ..sched import BatchAuditScheduler
+from .testbed import PAPER_ACCOUNTS, PAPER_ACCOUNTS_BY_HANDLE, build_paper_world
+
+#: Follower ceiling of the default perf workload.  Small enough for a
+#: CI gate measured in seconds, large enough that every engine pages,
+#: samples and classifies real work.
+PERF_MAX_FOLLOWERS = 20_000
+
+
+def default_workload(*, seed: int = 42,
+                     targets: Optional[Sequence[str]] = None,
+                     lane_slots: int = 2,
+                     max_followers: int = PERF_MAX_FOLLOWERS
+                     ) -> Dict[str, object]:
+    """The workload descriptor recorded into ``BENCH_perf.json``."""
+    if targets is None:
+        targets = [account.handle for account in PAPER_ACCOUNTS]
+    by_handle = {handle.lower(): account
+                 for handle, account in PAPER_ACCOUNTS_BY_HANDLE.items()}
+    unknown = [t for t in targets if t.lower() not in by_handle]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown testbed handles: {sorted(unknown)!r}")
+    return {
+        "seed": int(seed),
+        "targets": list(targets),
+        "lane_slots": int(lane_slots),
+        "max_followers": int(max_followers),
+    }
+
+
+def run_perf_workload(workload: Dict[str, object]
+                      ) -> Tuple[Dict[str, object], Observability, object]:
+    """Execute one workload and return ``(perf_doc, obs, batch_report)``.
+
+    Runs under its own :class:`~repro.obs.runtime.Observability`
+    (nesting restores whatever context the caller had), so a recording
+    never mixes spans with an outer ``--trace-out`` run.
+    """
+    seed = int(workload["seed"])  # type: ignore[arg-type]
+    targets = list(workload["targets"])  # type: ignore[call-overload]
+    lane_slots = int(workload["lane_slots"])  # type: ignore[arg-type]
+    max_followers = int(workload["max_followers"])  # type: ignore[arg-type]
+    by_handle = {handle.lower(): account
+                 for handle, account in PAPER_ACCOUNTS_BY_HANDLE.items()}
+    accounts = [by_handle[target.lower()] for target in targets]
+    tiers = tuple(sorted({account.tier for account in accounts}))
+    with observed() as obs:
+        world = build_paper_world(seed, SimClock().now(), tiers=tiers,
+                                  max_followers=max_followers)
+        clock = SimClock(world.ref_time)
+        scheduler = BatchAuditScheduler(world, clock, seed=seed,
+                                        lane_slots=lane_slots)
+        scheduler.submit_batch(
+            [AuditRequest(target=account.handle) for account in accounts])
+        batch = scheduler.run()
+    doc = collect_perf(obs, batch, workload)
+    return doc, obs, batch

@@ -29,6 +29,8 @@ from ..core.errors import ConfigurationError
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
 from ..fc.training import TrainedDetector
+from ..obs.analysis import render_phase_attribution
+from ..obs.runtime import get_observability
 from ..sched import BatchAuditScheduler
 from ..twitter.population import SyntheticWorld
 from .report import TextTable
@@ -104,6 +106,8 @@ def run_response_time_experiment(
             f"mode must be 'batch' or 'serial': {mode!r}")
     if accounts is None:
         accounts = average_accounts()
+    obs = get_observability()
+    trace_mark = len(obs.tracer)
     world = build_paper_world(seed, SimClock().now(), tiers=(AVERAGE,))
     clock = SimClock(world.ref_time)
 
@@ -163,7 +167,13 @@ def run_response_time_experiment(
             _cell(row, "socialbakers"),
             "/".join(str(int(x)) for x in paper) if paper else "-",
         )
-    return rows, table.render()
+    rendered = table.render()
+    if obs.enabled:
+        # Where the seconds went: decompose this experiment's spans
+        # (only the ones recorded since we started) per engine phase.
+        rendered += "\n\n" + render_phase_attribution(
+            obs.tracer.spans()[trace_mark:])
+    return rows, rendered
 
 
 def _prewarm(engine_for, accounts: Sequence[PaperAccount],

@@ -24,6 +24,8 @@ from ..core.clock import SimClock
 from ..core.errors import ConfigurationError
 from ..faults.plan import FaultPlan
 from ..fc.training import TrainedDetector
+from ..obs.analysis import render_phase_attribution
+from ..obs.runtime import get_observability
 from ..sched import BatchAuditScheduler
 from ..twitter.account import Label
 from .report import TextTable, pct
@@ -107,6 +109,8 @@ def run_table3(
             f"mode must be 'batch' or 'serial': {mode!r}")
     if accounts is None:
         accounts = list(PAPER_ACCOUNTS)
+    obs = get_observability()
+    trace_mark = len(obs.tracer)
     tiers = tuple(sorted({account.tier for account in accounts}))
     world = build_paper_world(
         seed, SimClock().now(), tiers=tiers, max_followers=max_followers)
@@ -144,7 +148,11 @@ def run_table3(
             rows.append(_truth_row(world, account, followers_used, reports,
                                    epoch, truth_sample, seed))
 
-    return rows, render_table3(rows)
+    rendered = render_table3(rows)
+    if obs.enabled:
+        rendered += "\n\n" + render_phase_attribution(
+            obs.tracer.spans()[trace_mark:])
+    return rows, rendered
 
 
 def _truth_row(world, account: PaperAccount, followers_used: int,

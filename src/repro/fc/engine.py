@@ -234,7 +234,9 @@ class FakeClassifierEngine:
         fake = int(verdicts.sum()) if len(active_users) else 0
         genuine = len(active_users) - fake
 
-        self._clock.advance(self._processing_seconds)
+        with self._tracer.span("audit.classify", self._clock,
+                               tool=self.name, target=screen_name):
+            self._clock.advance(self._processing_seconds)
         total = max(1, len(users))
         fake_pct = round(100.0 * fake / total, 1)
         inactive_pct = round(100.0 * inactive / total, 1)

@@ -9,14 +9,37 @@ histograms), a span tracer timed by the simulated clock, and exporters
 flags) switches a real context in.  See ``docs/observability.md``.
 """
 
+from .analysis import (
+    AuditAttribution,
+    PHASES,
+    attribute_all,
+    critical_path,
+    lane_timeline,
+    phase_totals,
+    render_critical_path,
+    render_lane_timeline,
+    render_phase_attribution,
+)
 from .exporters import (
     console_summary,
+    iter_trace_jsonl,
     prometheus_text,
     span_to_dict,
     stats_line,
     trace_to_jsonl,
     write_metrics_prom,
     write_trace_jsonl,
+)
+from .perf import (
+    PERF_SCHEMA,
+    PerfBreach,
+    PerfTolerances,
+    collect_perf,
+    diff_perf,
+    load_perf_json,
+    render_perf_diff,
+    render_perf_json,
+    write_perf_json,
 )
 from .metrics import (
     Counter,
@@ -41,7 +64,26 @@ from .runtime import (
 from .trace import NULL_SPAN, NULL_TRACER, NullSpan, NullTracer, Span, Tracer
 
 __all__ = [
+    "AuditAttribution",
     "Counter",
+    "PERF_SCHEMA",
+    "PHASES",
+    "PerfBreach",
+    "PerfTolerances",
+    "attribute_all",
+    "collect_perf",
+    "critical_path",
+    "diff_perf",
+    "iter_trace_jsonl",
+    "lane_timeline",
+    "load_perf_json",
+    "phase_totals",
+    "render_critical_path",
+    "render_lane_timeline",
+    "render_perf_diff",
+    "render_perf_json",
+    "render_phase_attribution",
+    "write_perf_json",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",

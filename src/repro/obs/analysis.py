@@ -1,0 +1,399 @@
+"""Trace-driven performance analysis: where does simulated time go?
+
+PR 1 records spans and metrics; PR 3 makes batch runs fast.  This
+module closes the loop — it consumes :class:`~repro.obs.trace.Tracer`
+spans and answers the question the ROADMAP's north star presumes an
+answer to ("every PR makes a hot path measurably faster" — *which*
+path?):
+
+* **Phase attribution** decomposes each audit's simulated duration
+  into the acquisition phases of Section II — target resolution,
+  follower-frame paging, sampled profile lookups, timeline fetches,
+  classification, cache serves — per engine.  It is a simulated-time
+  decomposition of Table II.
+* **Lane timelines** lay a batch run's ``sched.slot.step`` spans out
+  per lane/slot (JSON and an ASCII Gantt), making window-utilization
+  gaps visible.
+* **Critical-path extraction** names the lane/slot chain whose last
+  finish *is* the batch makespan — the segment sequence a perf PR must
+  shorten for the batch to get faster.
+
+Everything here is a pure function of recorded spans: deterministic
+for a fixed seed, byte-stable when rendered, and therefore usable as
+regression fixtures (see :mod:`repro.obs.perf`).
+
+Attribution sums are exact by construction: every phase bucket is the
+summed duration of *direct* children of one audit (or of one audit's
+scheduled step group), and the ``other`` bucket is defined as the
+parent total minus the mapped children — so per-audit phases always
+add up to the audit's total simulated duration (within float error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.errors import ConfigurationError
+from .trace import Span
+
+#: Span name → attribution phase.  ``api.request`` only reaches an
+#: audit *directly* for the initial profile resolution (every other
+#: request nests inside a ``crawl.*`` phase span), so at this level it
+#: unambiguously means "resolve the target".
+PHASE_BY_SPAN: Mapping[str, str] = {
+    "api.request": "resolve",
+    "crawl.followers": "frame",
+    "crawl.lookup": "sample_lookup",
+    "crawl.timelines": "timelines",
+    "audit.classify": "classify",
+    "audit.cache_serve": "cache_serve",
+}
+
+#: Canonical phase order, ``other`` (unattributed remainder) last.
+PHASES: Tuple[str, ...] = (
+    "resolve", "frame", "sample_lookup", "timelines",
+    "classify", "cache_serve", "other")
+
+
+@dataclass(frozen=True)
+class AuditAttribution:
+    """One audit's simulated duration, decomposed into phases.
+
+    ``source`` records which trace shape produced it: ``"audit"`` for
+    a blocking-mode audit span, ``"sched"`` for a scheduled audit
+    reassembled from its ``sched.slot.step`` group.  The phase values
+    always sum to ``total`` (the ``other`` bucket absorbs whatever no
+    child span claims — queue gaps inside a step, report assembly).
+    """
+
+    tool: str
+    target: str
+    start: float
+    end: float
+    total: float
+    cached: bool
+    source: str
+    phases: Dict[str, float] = field(default_factory=dict)
+
+
+def _spans_of(source) -> Tuple[Span, ...]:
+    """Accept a tracer, an observability context, or a span sequence."""
+    tracer = getattr(source, "tracer", source)
+    spans = getattr(tracer, "spans", None)
+    if callable(spans):
+        return tuple(spans())
+    return tuple(source)
+
+
+def _child_index(spans: Sequence[Span]) -> Dict[int, List[Span]]:
+    children: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    return children
+
+
+def _phase_buckets(kids: Iterable[Span]) -> Tuple[Dict[str, float], float]:
+    phases = {phase: 0.0 for phase in PHASES}
+    mapped = 0.0
+    for kid in kids:
+        phase = PHASE_BY_SPAN.get(kid.name)
+        if phase is None:
+            continue
+        phases[phase] += kid.duration
+        mapped += kid.duration
+    return phases, mapped
+
+
+def attribute_all(source) -> Tuple[AuditAttribution, ...]:
+    """Decompose every audit in a trace into per-phase durations.
+
+    Handles both trace shapes the repo produces:
+
+    * blocking audits (serial experiments, the scheduler's serial
+      baseline) open an ``audit`` span whose direct children are the
+      phase spans;
+    * scheduled audits never open an ``audit`` span (one held across
+      interleaved steps would corrupt the tracer's nesting stack), so
+      their ``sched.slot.step`` spans — contiguous on the slot's own
+      clock — are grouped by ``(lane, seq)`` and their children pooled.
+      Step groups that *do* contain an ``audit`` child (serial-mode
+      scheduler runs wrap blocking audits) are skipped: those audits
+      are already counted by the first shape.
+    """
+    spans = _spans_of(source)
+    children = _child_index(spans)
+    out: List[AuditAttribution] = []
+    for span in spans:
+        if span.name != "audit":
+            continue
+        kids = children.get(span.span_id, [])
+        phases, mapped = _phase_buckets(kids)
+        phases["other"] = max(0.0, span.duration - mapped)
+        out.append(AuditAttribution(
+            tool=str(span.attributes.get("tool", "?")),
+            target=str(span.attributes.get("target", "?")),
+            start=span.start,
+            end=span.end if span.end is not None else span.start,
+            total=span.duration,
+            cached=bool(span.attributes.get("cached", False)),
+            source="audit",
+            phases=phases))
+    groups: Dict[Tuple[str, int], List[Span]] = {}
+    for span in spans:
+        if span.name != "sched.slot.step":
+            continue
+        key = (str(span.attributes.get("lane", "?")),
+               int(span.attributes.get("seq", -1)))  # type: ignore[arg-type]
+        groups.setdefault(key, []).append(span)
+    for (lane, __), steps in groups.items():
+        kids = [kid for step in steps
+                for kid in children.get(step.span_id, [])]
+        if any(kid.name == "audit" for kid in kids):
+            continue
+        phases, mapped = _phase_buckets(kids)
+        total = sum(step.duration for step in steps)
+        phases["other"] = max(0.0, total - mapped)
+        out.append(AuditAttribution(
+            tool=lane,
+            target=str(steps[0].attributes.get("target", "?")),
+            start=min(step.start for step in steps),
+            end=max(step.end if step.end is not None else step.start
+                    for step in steps),
+            total=total,
+            cached=any(kid.name == "audit.cache_serve" for kid in kids),
+            source="sched",
+            phases=phases))
+    out.sort(key=lambda a: (a.start, a.tool, a.target))
+    return tuple(out)
+
+
+def phase_totals(attributions: Sequence[AuditAttribution]
+                 ) -> Dict[str, Dict[str, float]]:
+    """Per-engine phase totals, keyed and iterated in sorted order."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for attribution in attributions:
+        bucket = totals.setdefault(
+            attribution.tool, {phase: 0.0 for phase in PHASES})
+        for phase, seconds in attribution.phases.items():
+            bucket[phase] += seconds
+    return {tool: totals[tool] for tool in sorted(totals)}
+
+
+def render_phase_attribution(source_or_attributions) -> str:
+    """ASCII table of per-engine phase totals (simulated seconds)."""
+    if (source_or_attributions
+            and isinstance(source_or_attributions, (list, tuple))
+            and isinstance(source_or_attributions[0], AuditAttribution)):
+        attributions: Sequence[AuditAttribution] = source_or_attributions
+    else:
+        attributions = attribute_all(source_or_attributions)
+    totals = phase_totals(attributions)
+    headers = ("engine", "audits", "total s") + PHASES
+    rows: List[Tuple[str, ...]] = []
+    for tool, buckets in totals.items():
+        count = sum(1 for a in attributions if a.tool == tool)
+        total = sum(a.total for a in attributions if a.tool == tool)
+        rows.append((tool, str(count), f"{total:.1f}")
+                    + tuple(f"{buckets[phase]:.1f}" for phase in PHASES))
+    lines = ["phase attribution (simulated seconds)"]
+    if not rows:
+        lines.append("(no audits recorded)")
+        return "\n".join(lines)
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Tuple[str, ...]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    lines.append(fmt(headers))
+    lines.append(fmt(tuple("-" * width for width in widths)))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Lane timelines (Gantt) and the critical path
+# ---------------------------------------------------------------------------
+
+def lane_timeline(source) -> Dict[str, object]:
+    """A JSON-able Gantt of one batch run's lanes, slots and segments.
+
+    Built from ``sched.lane`` spans (lane extents), ``sched.slot.step``
+    spans grouped into per-audit segments, and ``sched.coalesce``
+    markers.  Returns an empty-lane document when the trace holds no
+    scheduler spans (e.g. a purely serial run).
+    """
+    spans = _spans_of(source)
+    lane_spans = [span for span in spans if span.name == "sched.lane"]
+    epoch = min((span.start for span in lane_spans), default=0.0)
+    end = max((span.end if span.end is not None else span.start
+               for span in lane_spans), default=0.0)
+    segments: Dict[Tuple[str, int, int], Dict[str, object]] = {}
+    for span in spans:
+        if span.name != "sched.slot.step":
+            continue
+        lane = str(span.attributes.get("lane", "?"))
+        slot = int(span.attributes.get("slot", 0))  # type: ignore[arg-type]
+        seq = int(span.attributes.get("seq", -1))  # type: ignore[arg-type]
+        span_end = span.end if span.end is not None else span.start
+        segment = segments.get((lane, slot, seq))
+        if segment is None:
+            segments[(lane, slot, seq)] = {
+                "seq": seq,
+                "target": str(span.attributes.get("target", "?")),
+                "start": span.start,
+                "end": span_end,
+                "steps": 1,
+            }
+        else:
+            segment["start"] = min(segment["start"], span.start)  # type: ignore[type-var]
+            segment["end"] = max(segment["end"], span_end)  # type: ignore[type-var]
+            segment["steps"] = int(segment["steps"]) + 1
+    lanes: List[Dict[str, object]] = []
+    for lane_span in sorted(lane_spans, key=lambda s: str(s.attributes.get("lane"))):
+        lane = str(lane_span.attributes.get("lane", "?"))
+        slot_ids = sorted({slot for (name, slot, __) in segments
+                           if name == lane})
+        slots = []
+        for slot in slot_ids:
+            slot_segments = sorted(
+                (dict(segment) for (name, seg_slot, __), segment
+                 in segments.items()
+                 if name == lane and seg_slot == slot),
+                key=lambda segment: (segment["start"], segment["seq"]))
+            busy = sum(float(segment["end"]) - float(segment["start"])
+                       for segment in slot_segments)
+            slots.append({"slot": slot, "segments": slot_segments,
+                          "busy_seconds": busy})
+        lanes.append({
+            "lane": lane,
+            "start": lane_span.start,
+            "end": lane_span.end if lane_span.end is not None
+            else lane_span.start,
+            "items": lane_span.attributes.get("items", 0),
+            "errors": lane_span.attributes.get("errors", 0),
+            "slots": slots,
+        })
+    coalesced = [
+        {"lane": str(span.attributes.get("lane", "?")),
+         "target": str(span.attributes.get("target", "?")),
+         "seq": span.attributes.get("seq"),
+         "at": span.start}
+        for span in spans if span.name == "sched.coalesce"
+    ]
+    return {
+        "epoch": epoch,
+        "end": end,
+        "makespan_seconds": max(0.0, end - epoch),
+        "lanes": lanes,
+        "coalesced": coalesced,
+    }
+
+
+def render_lane_timeline(timeline: Union[Dict[str, object], object],
+                         width: int = 60) -> str:
+    """ASCII Gantt of a :func:`lane_timeline` document.
+
+    One row per lane/slot; segments alternate ``#`` and ``=`` so
+    back-to-back audits stay distinguishable; idle simulated time shows
+    as ``.``.  Deterministic for a fixed trace, so the rendering is
+    golden-testable.
+    """
+    if not isinstance(timeline, dict):
+        timeline = lane_timeline(timeline)
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10: {width!r}")
+    epoch = float(timeline["epoch"])  # type: ignore[arg-type]
+    makespan = float(timeline["makespan_seconds"])  # type: ignore[arg-type]
+    lanes = timeline["lanes"]
+    header = (f"lane timeline  epoch={epoch:.0f}  "
+              f"makespan={makespan:.0f}s")
+    if not lanes:
+        return header + "\n(no scheduler lanes recorded)"
+    scale = makespan / width if makespan > 0 else 1.0
+    header += f"  (1 col = {scale:.0f}s)"
+    labels = [f"{lane['lane']}/{slot['slot']}"
+              for lane in lanes for slot in lane["slots"]]  # type: ignore[index]
+    label_width = max(len(label) for label in labels) if labels else 0
+    lines = [header]
+    for lane in lanes:  # type: ignore[assignment]
+        for slot in lane["slots"]:  # type: ignore[index]
+            cells = ["."] * width
+            for index, segment in enumerate(slot["segments"]):
+                left = int((float(segment["start"]) - epoch) / scale) \
+                    if makespan > 0 else 0
+                right = int((float(segment["end"]) - epoch) / scale) \
+                    if makespan > 0 else 0
+                left = min(left, width - 1)
+                right = min(max(right, left + 1), width)
+                mark = "#" if index % 2 == 0 else "="
+                for column in range(left, right):
+                    cells[column] = mark
+            label = f"{lane['lane']}/{slot['slot']}"
+            busy = float(slot["busy_seconds"])
+            lines.append(
+                f"{label.ljust(label_width)} |{''.join(cells)}| "
+                f"{len(slot['segments'])} audits, {busy:.0f}s busy")
+    if timeline["coalesced"]:
+        lines.append(f"coalesced: {len(timeline['coalesced'])} "  # type: ignore[arg-type]
+                     f"duplicate submissions folded")
+    return "\n".join(lines)
+
+
+def critical_path(source) -> Dict[str, object]:
+    """The lane/slot chain whose last finish equals the batch makespan.
+
+    Returns a document naming the critical lane and slot, the ordered
+    segments executed on it, and how much of the makespan that slot
+    spent idle (gaps a better schedule could reclaim).  Empty when the
+    trace holds no scheduler spans.
+    """
+    timeline = lane_timeline(source)
+    best: Optional[Tuple[float, str, Dict[str, object]]] = None
+    for lane in timeline["lanes"]:  # type: ignore[union-attr]
+        for slot in lane["slots"]:  # type: ignore[index]
+            slot_end = max(
+                (float(segment["end"]) for segment in slot["segments"]),
+                default=float(timeline["epoch"]))  # type: ignore[arg-type]
+            if best is None or slot_end > best[0]:
+                best = (slot_end, str(lane["lane"]), slot)
+    if best is None:
+        return {"lane": None, "slot": None,
+                "makespan_seconds": 0.0, "segments": [],
+                "busy_seconds": 0.0, "idle_seconds": 0.0}
+    slot_end, lane_name, slot = best
+    epoch = float(timeline["epoch"])  # type: ignore[arg-type]
+    busy = float(slot["busy_seconds"])
+    return {
+        "lane": lane_name,
+        "slot": slot["slot"],
+        "makespan_seconds": slot_end - epoch,
+        "segments": slot["segments"],
+        "busy_seconds": busy,
+        "idle_seconds": max(0.0, slot_end - epoch - busy),
+    }
+
+
+def render_critical_path(path: Union[Dict[str, object], object]) -> str:
+    """Human-readable listing of :func:`critical_path`."""
+    if not isinstance(path, dict):
+        path = critical_path(path)
+    if path["lane"] is None:
+        return "critical path: (no scheduler lanes recorded)"
+    lines = [
+        f"critical path: lane {path['lane']} slot {path['slot']} — "
+        f"{float(path['makespan_seconds']):.0f}s makespan, "  # type: ignore[arg-type]
+        f"{float(path['busy_seconds']):.0f}s busy, "  # type: ignore[arg-type]
+        f"{float(path['idle_seconds']):.0f}s idle"  # type: ignore[arg-type]
+    ]
+    for segment in path["segments"]:  # type: ignore[union-attr]
+        duration = float(segment["end"]) - float(segment["start"])
+        lines.append(
+            f"  seq {segment['seq']:>3}  @{segment['target']:<20} "
+            f"{duration:>8.0f}s  ({int(segment['steps'])} steps)")
+    return "\n".join(lines)

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
+from ..core.errors import ConfigurationError
 from .metrics import Counter, Gauge, Histogram
 from .trace import Span
 
@@ -59,20 +60,32 @@ def span_to_dict(span: Span) -> Dict[str, object]:
     }
 
 
+def iter_trace_jsonl(tracer) -> Iterator[str]:
+    """Yield the JSONL trace dump one ``\\n``-terminated line at a time.
+
+    The incremental form: consumers (file writers, sockets) stream spans
+    without the exporter ever materialising the whole document.
+    """
+    for span in tracer.spans():
+        yield json.dumps(span_to_dict(span), sort_keys=True,
+                         separators=(",", ":"), default=str) + "\n"
+
+
 def trace_to_jsonl(tracer) -> str:
     """Render every recorded span as one JSON object per line."""
-    lines = [
-        json.dumps(span_to_dict(span), sort_keys=True,
-                   separators=(",", ":"), default=str)
-        for span in tracer.spans()
-    ]
-    return "\n".join(lines) + ("\n" if lines else "")
+    return "".join(iter_trace_jsonl(tracer))
 
 
 def write_trace_jsonl(tracer, path) -> "pathlib.Path":
-    """Write the JSONL trace dump to ``path`` and return it."""
+    """Stream the JSONL trace dump to ``path`` and return it.
+
+    Spans are written line by line as they are serialised — a long
+    run's trace never exists in memory as one string.
+    """
     target = pathlib.Path(path)
-    target.write_text(trace_to_jsonl(tracer), encoding="utf-8")
+    with target.open("w", encoding="utf-8") as handle:
+        for line in iter_trace_jsonl(tracer):
+            handle.write(line)
     return target
 
 
@@ -102,8 +115,15 @@ def prometheus_text(obs) -> str:
                     f"{name}{_labels_text(labels)} {_num(instrument.value)}")
             elif isinstance(instrument, Histogram):
                 edges = [_num(edge) for edge in instrument.buckets] + ["+Inf"]
-                for edge, cumulative in zip(
-                        edges, instrument.cumulative_counts()):
+                cumulative_counts = instrument.cumulative_counts()
+                if len(cumulative_counts) != len(edges) \
+                        or cumulative_counts[-1] != instrument.count:
+                    raise ConfigurationError(
+                        f"histogram {name!r}{_labels_text(labels)} lost "
+                        f"observations: +Inf cumulative "
+                        f"{cumulative_counts[-1] if cumulative_counts else 0}"
+                        f" != count {instrument.count}")
+                for edge, cumulative in zip(edges, cumulative_counts):
                     out.append(
                         f"{name}_bucket"
                         f"{_labels_text(labels, (('le', edge),))} "
@@ -200,15 +220,54 @@ def console_summary(obs) -> str:
     return "\n".join(parts)
 
 
+def _family_total(obs, name: str) -> float:
+    """Sum one metric family across all its label sets (0.0 if absent).
+
+    Histograms contribute their ``sum``; counters and gauges their
+    ``value`` — the natural "total" of each instrument kind.
+    """
+    total = 0.0
+    for series_name, _kind, _labels, instrument in obs.registry.series():
+        if series_name != name:
+            continue
+        if isinstance(instrument, Histogram):
+            total += instrument.sum
+        else:
+            total += instrument.value  # type: ignore[union-attr]
+    return total
+
+
+def _has_family(obs, name: str) -> bool:
+    return any(family == name for family, _kind, _help in
+               obs.registry.families())
+
+
 def stats_line(obs) -> str:
-    """The one-line ``repro stats`` digest printed after a run."""
+    """The one-line ``repro stats`` digest printed after a run.
+
+    The scheduler and fault segments appear only when their metric
+    families exist, so runs that never touched `repro.sched` or
+    `repro.faults` keep the original (golden-tested) line verbatim.
+    """
     spans = obs.tracer.spans()
     summary = obs.call_log_summary()
     calls = int(sum(stats["calls"] for stats in summary.values()))
     items = int(sum(stats["items"] for stats in summary.values()))
     waited = sum(stats["waited"] for stats in summary.values())
-    return (f"repro stats: {len(spans)} spans "
+    line = (f"repro stats: {len(spans)} spans "
             f"({len(obs.tracer.span_names())} names), "
             f"{obs.registry.series_count()} metric series, "
             f"{calls} API calls, {items} items, "
             f"{waited:.0f}s rate-limit wait")
+    if _has_family(obs, "sched_requests_total"):
+        executed = int(_family_total(obs, "sched_requests_total"))
+        coalesced = int(_family_total(obs, "sched_coalesced_hits_total"))
+        line += f", {executed} sched audits ({coalesced} coalesced)"
+    if _has_family(obs, "faults_injected_total") \
+            or _has_family(obs, "api_retries_total"):
+        faults = int(_family_total(obs, "faults_injected_total"))
+        retries = int(_family_total(obs, "api_retries_total"))
+        backoff = _family_total(obs, "api_backoff_wait_seconds")
+        line += (f", {faults} faults injected, {retries} retries "
+                 f"({backoff:.0f}s backoff)")
+    return line

@@ -142,6 +142,30 @@ class Histogram:
             out.append(running)
         return tuple(out)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by bucket interpolation.
+
+        The ``histogram_quantile`` estimate: find the bucket the rank
+        falls into and interpolate linearly inside it (the first bucket
+        interpolates from zero).  Ranks landing in the ``+Inf`` bucket
+        clamp to the highest finite edge — the estimate cannot exceed
+        what the buckets can resolve.  Returns 0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1]: {q!r}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for edge, count in zip(self.buckets, self._counts[:-1]):
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                return lower + (edge - lower) * fraction
+            cumulative += count
+            lower = edge
+        return self.buckets[-1]
+
 
 class _Family:
     """All instruments sharing one metric name (one per label set)."""
@@ -303,6 +327,10 @@ class NullHistogram:
     def cumulative_counts(self) -> Tuple[int, ...]:
         """Always empty."""
         return ()
+
+    def quantile(self, q: float) -> float:
+        """Always zero."""
+        return 0.0
 
 
 NULL_COUNTER = NullCounter()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.clock import SimClock
+from ..core.errors import ConfigurationError
 from ..core.ids import IdGenerator
 from ..core.timeutil import PAPER_EPOCH
 
@@ -122,6 +123,29 @@ class Tracer:
         self._stack.append(span)
         return _SpanContext(self, span, at)
 
+    def record(self, name: str, start: float, end: float, *,
+               parent_id: Optional[int] = None,
+               **attributes: object) -> Span:
+        """Append an already-finished span with explicit timestamps.
+
+        For work whose extent is only known after the fact — the batch
+        scheduler records one ``sched.lane`` span per lane *after* a
+        run, spanning admission epoch to the lane's last finish, and a
+        zero-duration ``sched.coalesce`` marker per folded duplicate.
+        Recorded spans never join the active nesting stack; they are
+        appended in recording order, which may trail the start order of
+        context-manager spans.
+        """
+        if end < start:
+            raise ConfigurationError(
+                f"span {name!r} must not end before it starts: "
+                f"{start!r} > {end!r}")
+        span = Span(self._ids.next_id(start), parent_id, name, start,
+                    dict(attributes))
+        span.end = end
+        self._spans.append(span)
+        return span
+
     def _finish(self, span: Span, end: float) -> None:
         span.end = end
         # Close any abandoned inner spans too (exception unwound past them).
@@ -186,6 +210,12 @@ class NullTracer:
     def span(self, name: str, clock: Optional[SimClock] = None,
              **attributes: object) -> NullSpan:
         """The shared no-op span."""
+        return NULL_SPAN
+
+    def record(self, name: str, start: float, end: float, *,
+               parent_id: Optional[int] = None,
+               **attributes: object) -> NullSpan:
+        """Discard the recording."""
         return NULL_SPAN
 
     def spans(self) -> Tuple[Span, ...]:

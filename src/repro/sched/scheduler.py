@@ -257,8 +257,9 @@ class BatchAuditScheduler:
         self._seq = 0
         self._coalesced_hits = 0
         self._coalesce_map: Dict[Tuple[str, str, bool], BatchItem] = {}
-        registry = get_observability().registry
-        self._registry = registry
+        obs = get_observability()
+        self._registry = obs.registry
+        self._tracer = obs.tracer
         self._queue_gauge = None
         self._requests_counters: Dict[str, object] = {}
         self._coalesced_counter = None
@@ -328,6 +329,12 @@ class BatchAuditScheduler:
                 existing.coalesced += 1
                 self._coalesced_hits += 1
                 self._coalesced_metric()
+                now = self._clock.now()
+                # Zero-duration marker: the fold costs no simulated time,
+                # but the timeline should show the duplicate arriving.
+                self._tracer.record("sched.coalesce", now, now,
+                                    lane=lane.name, target=bound.target,
+                                    seq=existing.seq)
                 items.append(existing)
                 continue
             self._check_admission(lane, bound)
@@ -423,10 +430,21 @@ class BatchAuditScheduler:
             lane_items = [item for item in run_items if item.lane == name]
             busy = sum((item.finished_at or 0.0) - (item.started_at or 0.0)
                        for item in lane_items if item.started_at is not None)
+            errors = sum(
+                1 for item in lane_items if item.error is not None)
             lanes.append(LaneSummary(
                 lane=name, slots=len(lane.slots), items=len(lane_items),
-                errors=sum(1 for item in lane_items if item.error is not None),
-                busy_seconds=busy))
+                errors=errors, busy_seconds=busy))
+            if lane_items:
+                # A lane's extent is only known once the batch is done, so
+                # it is recorded post hoc: admission epoch to last finish.
+                lane_end = max(
+                    (item.finished_at for item in lane_items
+                     if item.finished_at is not None), default=epoch)
+                self._tracer.record(
+                    "sched.lane", epoch, lane_end, lane=name,
+                    slots=len(lane.slots), items=len(lane_items),
+                    errors=errors, busy_seconds=busy)
         return BatchReport(
             epoch=epoch,
             makespan_seconds=makespan,
@@ -463,10 +481,14 @@ class BatchAuditScheduler:
                 item = lane.queue.popleft()
                 item.slot = slot.index
                 item.started_at = slot.clock.now()
-                try:
-                    item.report = slot.engine.audit(item.request)
-                except _ITEM_ERRORS as error:
-                    item.error = f"{type(error).__name__}: {error}"
+                with self._tracer.span(
+                        "sched.slot.step", slot.clock, lane=name,
+                        slot=slot.index, seq=item.seq,
+                        target=item.request.target):
+                    try:
+                        item.report = slot.engine.audit(item.request)
+                    except _ITEM_ERRORS as error:
+                        item.error = f"{type(error).__name__}: {error}"
                 item.finished_at = slot.clock.now()
                 self._count_request(name)
                 self._forget(item)
@@ -486,26 +508,38 @@ class BatchAuditScheduler:
             __, lane_idx, slot_idx = heapq.heappop(heap)
             lane = lanes[lane_idx]
             slot = lane.slots[slot_idx]
-            if slot.item is None:
+            starting = slot.item is None
+            if starting:
                 if not lane.queue:
                     continue
                 item = lane.queue.popleft()
                 item.slot = slot.index
                 item.started_at = slot.clock.now()
+            else:
+                item = slot.item
+            # One span per event-loop step, opened and closed within this
+            # iteration: a span held open across steps of *other* slots
+            # would corrupt the tracer's single nesting stack, so the
+            # whole-audit extent lives on the BatchItem, not on a span.
+            with self._tracer.span(
+                    "sched.slot.step", slot.clock, lane=lane.name,
+                    slot=slot.index, seq=item.seq,
+                    target=item.request.target):
+                if starting:
+                    try:
+                        slot.steps = slot.engine.begin_audit(item.request)
+                        slot.item = item
+                    except _ITEM_ERRORS as error:
+                        self._finish(lane, slot, item, error=error)
+                        heapq.heappush(
+                            heap, (slot.clock.now(), lane_idx, slot.index))
+                        continue
                 try:
-                    slot.steps = slot.engine.begin_audit(item.request)
-                    slot.item = item
+                    next(slot.steps)
+                except StopIteration as stop:
+                    self._finish(lane, slot, item, report=stop.value)
                 except _ITEM_ERRORS as error:
                     self._finish(lane, slot, item, error=error)
-                    heapq.heappush(
-                        heap, (slot.clock.now(), lane_idx, slot.index))
-                    continue
-            try:
-                next(slot.steps)
-            except StopIteration as stop:
-                self._finish(lane, slot, slot.item, report=stop.value)
-            except _ITEM_ERRORS as error:
-                self._finish(lane, slot, slot.item, error=error)
             if slot.item is not None or lane.queue:
                 heapq.heappush(heap, (slot.clock.now(), lane_idx, slot.index))
         makespan = max(

@@ -1,0 +1,291 @@
+"""Analysis tests: phase attribution, lane timelines, critical path.
+
+Two hand-built traces cover the two shapes :func:`attribute_all`
+understands (blocking ``audit`` spans and scheduled ``sched.slot.step``
+groups); an end-to-end scheduler run checks the acceptance invariant —
+every engine's phases sum to each audit's total simulated duration.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.audit import AuditRequest
+from repro.core import PAPER_EPOCH, SimClock
+from repro.core.errors import ConfigurationError
+from repro.obs import (
+    PHASES,
+    Tracer,
+    attribute_all,
+    critical_path,
+    lane_timeline,
+    observed,
+    phase_totals,
+    render_critical_path,
+    render_lane_timeline,
+    render_phase_attribution,
+)
+from repro.sched import BatchAuditScheduler
+from repro.twitter import add_simple_target, build_world
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+ENGINE_ORDER = ("fc", "twitteraudit", "statuspeople", "socialbakers")
+
+
+def build_audit_trace() -> Tracer:
+    """Blocking-mode shape: audit spans with nested phase children."""
+    clock = SimClock(PAPER_EPOCH)
+    tracer = Tracer(clock)
+    with tracer.span("audit", clock, tool="fc", target="alpha",
+                     cached=False):
+        with tracer.span("api.request", clock):
+            clock.advance(2.0)
+        with tracer.span("crawl.followers", clock):
+            clock.advance(5.0)
+        with tracer.span("audit.classify", clock, tool="fc"):
+            clock.advance(1.5)
+        clock.advance(0.5)  # report assembly: nobody's child
+    with tracer.span("audit", clock, tool="twitteraudit", target="alpha",
+                     cached=True):
+        with tracer.span("audit.cache_serve", clock):
+            clock.advance(3.0)
+    return tracer
+
+
+def build_sched_trace() -> Tracer:
+    """Scheduled shape: step groups, lane summaries, a coalesce marker.
+
+    The fc lane runs @alpha in two *interleaved* steps (10 s + 15 s
+    with a 5 s wait between them) and @charlie in one; the twitteraudit
+    lane serves @bravo from cache.  All spans are recorded post hoc,
+    exactly as the scheduler does.
+    """
+    tracer = Tracer(SimClock(PAPER_EPOCH))
+    t0 = PAPER_EPOCH
+    step = tracer.record("sched.slot.step", t0, t0 + 10.0,
+                         lane="fc", slot=0, seq=0, target="alpha")
+    tracer.record("crawl.followers", t0, t0 + 8.0,
+                  parent_id=step.span_id, target="alpha")
+    step = tracer.record("sched.slot.step", t0 + 15.0, t0 + 30.0,
+                         lane="fc", slot=0, seq=0, target="alpha")
+    tracer.record("audit.classify", t0 + 15.0, t0 + 27.0,
+                  parent_id=step.span_id, tool="fc")
+    step = tracer.record("sched.slot.step", t0 + 40.0, t0 + 60.0,
+                         lane="fc", slot=0, seq=2, target="charlie")
+    tracer.record("crawl.followers", t0 + 40.0, t0 + 58.0,
+                  parent_id=step.span_id, target="charlie")
+    step = tracer.record("sched.slot.step", t0, t0 + 20.0,
+                         lane="twitteraudit", slot=0, seq=1, target="bravo")
+    tracer.record("audit.cache_serve", t0, t0 + 20.0,
+                  parent_id=step.span_id)
+    tracer.record("sched.lane", t0, t0 + 60.0, lane="fc",
+                  slots=1, items=2, errors=0, busy_seconds=45.0)
+    tracer.record("sched.lane", t0, t0 + 20.0, lane="twitteraudit",
+                  slots=1, items=1, errors=0, busy_seconds=20.0)
+    tracer.record("sched.coalesce", t0 + 5.0, t0 + 5.0,
+                  lane="twitteraudit", target="bravo", seq=1)
+    return tracer
+
+
+class TestPhaseAttribution:
+    def test_blocking_audit_decomposes_by_phase(self):
+        first, second = attribute_all(build_audit_trace())
+        assert first.tool == "fc"
+        assert first.source == "audit"
+        assert not first.cached
+        assert first.total == pytest.approx(9.0)
+        assert first.phases["resolve"] == pytest.approx(2.0)
+        assert first.phases["frame"] == pytest.approx(5.0)
+        assert first.phases["classify"] == pytest.approx(1.5)
+        assert first.phases["other"] == pytest.approx(0.5)
+        assert second.cached
+        assert second.phases["cache_serve"] == pytest.approx(3.0)
+        assert second.phases["other"] == pytest.approx(0.0)
+
+    def test_sched_groups_merge_interleaved_steps(self):
+        by_key = {(a.tool, a.target): a
+                  for a in attribute_all(build_sched_trace())}
+        alpha = by_key[("fc", "alpha")]
+        assert alpha.source == "sched"
+        # Two steps of 10 s and 15 s; the 5 s wait between them is not
+        # audit time, so it never enters the total.
+        assert alpha.total == pytest.approx(25.0)
+        assert alpha.phases["frame"] == pytest.approx(8.0)
+        assert alpha.phases["classify"] == pytest.approx(12.0)
+        assert alpha.phases["other"] == pytest.approx(5.0)
+        bravo = by_key[("twitteraudit", "bravo")]
+        assert bravo.cached
+        assert bravo.phases["cache_serve"] == pytest.approx(20.0)
+
+    def test_phases_always_sum_to_total(self):
+        for tracer in (build_audit_trace(), build_sched_trace()):
+            for attribution in attribute_all(tracer):
+                assert sum(attribution.phases.values()) == pytest.approx(
+                    attribution.total, abs=1e-9)
+                assert set(attribution.phases) == set(PHASES)
+
+    def test_serial_mode_steps_are_not_double_counted(self):
+        # A step group wrapping a blocking audit (the scheduler's
+        # serial baseline) must yield exactly one attribution.
+        tracer = Tracer(SimClock(PAPER_EPOCH))
+        step = tracer.record("sched.slot.step", PAPER_EPOCH,
+                             PAPER_EPOCH + 5.0,
+                             lane="fc", slot=0, seq=0, target="alpha")
+        tracer.record("audit", PAPER_EPOCH, PAPER_EPOCH + 5.0,
+                      parent_id=step.span_id, tool="fc", target="alpha")
+        attributions = attribute_all(tracer)
+        assert len(attributions) == 1
+        assert attributions[0].source == "audit"
+
+    def test_accepts_tracer_obs_or_span_sequence(self):
+        tracer = build_audit_trace()
+
+        class FakeObs:
+            pass
+
+        obs = FakeObs()
+        obs.tracer = tracer
+        assert attribute_all(tracer) == attribute_all(obs)
+        assert attribute_all(tracer) == attribute_all(tracer.spans())
+
+    def test_phase_totals_iterate_in_sorted_tool_order(self):
+        totals = phase_totals(attribute_all(build_sched_trace()))
+        assert list(totals) == ["fc", "twitteraudit"]
+        assert totals["fc"]["frame"] == pytest.approx(26.0)
+
+    def test_render_lists_every_engine(self):
+        rendered = render_phase_attribution(build_sched_trace())
+        assert rendered.startswith("phase attribution (simulated seconds)")
+        assert "fc" in rendered and "twitteraudit" in rendered
+        for phase in PHASES:
+            assert phase in rendered
+
+    def test_render_accepts_prebuilt_attributions(self):
+        attributions = attribute_all(build_audit_trace())
+        assert render_phase_attribution(attributions) == \
+            render_phase_attribution(build_audit_trace())
+
+    def test_render_empty_trace(self):
+        rendered = render_phase_attribution(Tracer(SimClock(PAPER_EPOCH)))
+        assert "(no audits recorded)" in rendered
+
+
+class TestLaneTimeline:
+    def test_document_shape(self):
+        timeline = lane_timeline(build_sched_trace())
+        assert timeline["epoch"] == PAPER_EPOCH
+        assert timeline["makespan_seconds"] == pytest.approx(60.0)
+        assert [lane["lane"] for lane in timeline["lanes"]] == \
+            ["fc", "twitteraudit"]
+        fc_slot = timeline["lanes"][0]["slots"][0]
+        # The two interleaved @alpha steps merge into one segment
+        # spanning first start to last end.
+        assert [seg["seq"] for seg in fc_slot["segments"]] == [0, 2]
+        assert fc_slot["segments"][0]["steps"] == 2
+        assert fc_slot["segments"][0]["end"] == PAPER_EPOCH + 30.0
+        assert fc_slot["busy_seconds"] == pytest.approx(50.0)
+        assert len(timeline["coalesced"]) == 1
+        assert timeline["coalesced"][0]["target"] == "bravo"
+
+    def test_empty_trace_yields_empty_document(self):
+        timeline = lane_timeline(Tracer(SimClock(PAPER_EPOCH)))
+        assert timeline["lanes"] == []
+        assert timeline["makespan_seconds"] == 0.0
+        rendered = render_lane_timeline(timeline)
+        assert "(no scheduler lanes recorded)" in rendered
+
+    def test_render_matches_golden(self):
+        rendered = render_lane_timeline(build_sched_trace(), width=60)
+        assert rendered + "\n" == \
+            (GOLDEN / "lane_timeline.txt").read_text(encoding="utf-8")
+
+    def test_render_is_deterministic(self):
+        assert render_lane_timeline(build_sched_trace()) == \
+            render_lane_timeline(build_sched_trace())
+
+    def test_render_rejects_unusable_width(self):
+        with pytest.raises(ConfigurationError):
+            render_lane_timeline(build_sched_trace(), width=5)
+
+
+class TestCriticalPath:
+    def test_names_the_slot_that_finishes_last(self):
+        path = critical_path(build_sched_trace())
+        assert path["lane"] == "fc"
+        assert path["slot"] == 0
+        assert path["makespan_seconds"] == pytest.approx(60.0)
+        assert path["busy_seconds"] == pytest.approx(50.0)
+        assert path["idle_seconds"] == pytest.approx(10.0)
+        assert [seg["seq"] for seg in path["segments"]] == [0, 2]
+
+    def test_render_lists_segments(self):
+        rendered = render_critical_path(build_sched_trace())
+        assert rendered.startswith("critical path: lane fc slot 0")
+        assert "@alpha" in rendered and "@charlie" in rendered
+        assert "(2 steps)" in rendered
+
+    def test_empty_trace(self):
+        path = critical_path(Tracer(SimClock(PAPER_EPOCH)))
+        assert path["lane"] is None
+        assert render_critical_path(path) == \
+            "critical path: (no scheduler lanes recorded)"
+
+
+def small_world():
+    world = build_world(seed=23, ref_time=PAPER_EPOCH)
+    add_simple_target(world, "alpha", 9_000, 0.35, 0.15, 0.50)
+    add_simple_target(world, "bravo", 6_000, 0.25, 0.30, 0.45)
+    add_simple_target(world, "charlie", 4_000, 0.50, 0.10, 0.40)
+    return world
+
+
+class TestSchedulerIntegration:
+    """The acceptance invariant, on a real batch run's trace."""
+
+    @pytest.fixture(scope="class")
+    def observed_batch(self):
+        with observed() as obs:
+            world = small_world()
+            clock = SimClock(world.ref_time)
+            scheduler = BatchAuditScheduler(world, clock, seed=7,
+                                            lane_slots=2)
+            scheduler.submit_batch(
+                [AuditRequest(target=target)
+                 for target in ("alpha", "bravo", "charlie")])
+            batch = scheduler.run()
+        return obs, batch
+
+    def test_every_engine_attributed(self, observed_batch):
+        obs, batch = observed_batch
+        attributions = attribute_all(obs.tracer)
+        assert {a.tool for a in attributions} == set(ENGINE_ORDER)
+        assert len(attributions) == len(batch.items)
+
+    def test_phases_sum_to_each_audits_total(self, observed_batch):
+        obs, batch = observed_batch
+        for attribution in attribute_all(obs.tracer):
+            assert sum(attribution.phases.values()) == pytest.approx(
+                attribution.total, abs=1e-6), attribution
+
+    def test_totals_match_the_schedulers_own_timings(self, observed_batch):
+        obs, batch = observed_batch
+        items = {(item.lane, item.request.target): item
+                 for item in batch.items}
+        for attribution in attribute_all(obs.tracer):
+            item = items[(attribution.tool, attribution.target)]
+            assert attribution.total == pytest.approx(
+                item.finished_at - item.started_at, abs=1e-6)
+
+    def test_timeline_covers_all_lanes_and_critical_path_is_makespan(
+            self, observed_batch):
+        obs, batch = observed_batch
+        timeline = lane_timeline(obs.tracer)
+        assert sorted(lane["lane"] for lane in timeline["lanes"]) == \
+            sorted(ENGINE_ORDER)
+        assert timeline["makespan_seconds"] == pytest.approx(
+            batch.makespan_seconds, abs=1e-6)
+        path = critical_path(obs.tracer)
+        assert path["makespan_seconds"] == pytest.approx(
+            batch.makespan_seconds, abs=1e-6)
+        assert path["lane"] in ENGINE_ORDER

@@ -13,6 +13,7 @@ from repro.core import PAPER_EPOCH, SimClock
 from repro.obs import (
     Observability,
     console_summary,
+    iter_trace_jsonl,
     prometheus_text,
     stats_line,
     trace_to_jsonl,
@@ -126,6 +127,36 @@ class TestWriters:
         prom_path = write_metrics_prom(obs, tmp_path / "m.prom")
         assert trace_path.stat().st_size > 0
         assert prom_path.stat().st_size > 0
+
+
+class TestStreaming:
+    def test_iter_yields_one_terminated_line_per_span(self):
+        obs = build_scenario()
+        lines = list(iter_trace_jsonl(obs.tracer))
+        assert len(lines) == 3
+        assert all(line.endswith("\n") for line in lines)
+        assert "".join(lines) == trace_to_jsonl(obs.tracer)
+
+    def test_write_streams_the_same_bytes(self, tmp_path):
+        obs = build_scenario()
+        path = write_trace_jsonl(obs.tracer, tmp_path / "t.jsonl")
+        assert path.read_text(encoding="utf-8") == trace_to_jsonl(obs.tracer)
+
+
+class TestStatsLineExtensions:
+    def test_sched_segment_appears_with_the_family(self):
+        obs = build_scenario()
+        assert "sched audits" not in stats_line(obs)
+        obs.registry.counter("sched_requests_total", lane="fc").inc(12.0)
+        obs.registry.counter("sched_coalesced_hits_total").inc(2.0)
+        assert "12 sched audits (2 coalesced)" in stats_line(obs)
+
+    def test_fault_segment_appears_with_either_family(self):
+        obs = build_scenario()
+        assert "faults injected" not in stats_line(obs)
+        obs.registry.counter("api_retries_total", resource="x").inc(3.0)
+        line = stats_line(obs)
+        assert "0 faults injected, 3 retries (0s backoff)" in line
 
 
 class TestConsoleSummary:

@@ -64,6 +64,36 @@ class TestHistogramBucketEdges:
             registry.histogram("h", buckets=(3.0, 4.0))
 
 
+class TestHistogramQuantile:
+    def test_interpolates_inside_the_rank_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(10.0, 20.0, 40.0))
+        for value in (5.0, 15.0, 15.0, 35.0):
+            hist.observe(value)
+        # rank 2 of 4 lands at the end of the (10, 20] bucket's first
+        # observation: 10 + (2 - 1) / 2 * 10 = 15.
+        assert hist.quantile(0.5) == pytest.approx(15.0)
+        # The first bucket interpolates from zero.
+        assert hist.quantile(0.25) == pytest.approx(10.0)
+        assert hist.quantile(1.0) == pytest.approx(40.0)
+
+    def test_overflow_ranks_clamp_to_the_last_finite_edge(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)  # +Inf bucket only
+        assert hist.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_histogram_estimates_zero(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        assert hist.quantile(0.5) == 0.0
+
+    def test_rejects_out_of_range_quantiles(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+    def test_null_histogram_estimates_zero(self):
+        assert NULL_HISTOGRAM.quantile(0.5) == 0.0
+
+
 class TestRegistry:
     def test_same_labels_share_one_instrument(self):
         registry = MetricsRegistry()
