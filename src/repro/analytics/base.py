@@ -27,6 +27,7 @@ from ..core.errors import ConfigurationError, RetryableApiError
 from ..core.rng import make_rng
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
+from ..obs.metrics import CacheInfo
 from ..obs.runtime import get_observability
 from ..twitter.population import World
 from ..twitter.tweet import Tweet
@@ -77,10 +78,18 @@ class ResultCache:
         self._max_entries = max_entries
         self._entries: "OrderedDict[str, Tuple[AnalysisOutcome, float]]" = \
             OrderedDict()
+        #: Plain-int lookup tallies (the metric counters below are
+        #: shared no-op singletons when observability is off, so
+        #: ``cache_info()`` keeps its own counts).
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0
         #: Entries dropped by the LRU bound since construction.
         self.evictions = 0
-        registry = get_observability().registry
+        obs = get_observability()
+        registry = obs.registry
         self._registry = registry
+        obs.register_cache(self)
         help_text = "result-cache lookups by outcome"
         self._hits = registry.counter(
             "cache_events_total", help=help_text, cache=name, event="hit")
@@ -98,14 +107,17 @@ class ResultCache:
         normalized = key.lower()
         entry = self._entries.get(normalized)
         if entry is None:
+            self.misses += 1
             self._misses.inc()
             return None
         __, computed_at = entry
         if self._ttl is not None and now - computed_at > self._ttl:
             del self._entries[normalized]
+            self.expired += 1
             self._expirations.inc()
             return None
         self._entries.move_to_end(normalized)
+        self.hits += 1
         self._hits.inc()
         return entry
 
@@ -128,6 +140,18 @@ class ResultCache:
     def size(self) -> int:
         """Live entry count (same as ``len()``, named for monitors)."""
         return len(self._entries)
+
+    def cache_info(self) -> CacheInfo:
+        """The uniform snapshot shape shared with the other caches.
+
+        An expired lookup counts as a miss here — the caller did not
+        get an answer — even though the metric series keeps hit /
+        miss / expired as three separate outcomes.
+        """
+        return CacheInfo(name=self._name, hits=self.hits,
+                         misses=self.misses + self.expired,
+                         evictions=self.evictions,
+                         size=len(self._entries))
 
     def __contains__(self, key: str) -> bool:
         return key.lower() in self._entries

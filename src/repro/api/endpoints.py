@@ -139,14 +139,51 @@ class ApiCall:
 
 
 class CallLog:
-    """Accumulating record of a client's API usage."""
+    """Accumulating record of a client's API usage.
+
+    Aggregates are maintained incrementally at :meth:`record` time, so
+    every query below is O(1) or O(resources) instead of re-scanning
+    the whole call list — the scans used to dominate ``repro stats``
+    on large batch runs, where the stats line asks several aggregate
+    questions of every registered log.  Floats accumulate in record
+    order, exactly the order the old per-query scans summed them in,
+    so every reported value is byte-identical.
+    """
 
     def __init__(self) -> None:
         self._calls: list[ApiCall] = []
+        # Per-resource summary()-shaped aggregates (ok calls only,
+        # failures counted separately — see summary()'s contract).
+        self._by_resource: Dict[str, Dict[str, float]] = {}
+        # Per-resource tallies over ALL attempts, failures included
+        # (the contract of count / failures / total_items).
+        self._attempts: Dict[str, int] = {}
+        self._failed: Dict[str, int] = {}
+        self._items: Dict[str, int] = {}
+        self._total_failures = 0
+        self._total_items = 0
+        self._total_waited = 0.0
 
     def record(self, call: ApiCall) -> None:
         """Append one completed call to the log."""
         self._calls.append(call)
+        resource = call.resource
+        self._attempts[resource] = self._attempts.get(resource, 0) + 1
+        self._items[resource] = self._items.get(resource, 0) + call.items
+        self._total_items += call.items
+        self._total_waited += call.waited
+        stats = self._by_resource.setdefault(resource, {
+            "calls": 0, "items": 0, "waited": 0.0, "total_latency": 0.0,
+            "failures": 0})
+        if not call.ok:
+            self._failed[resource] = self._failed.get(resource, 0) + 1
+            self._total_failures += 1
+            stats["failures"] += 1
+            return
+        stats["calls"] += 1
+        stats["items"] += call.items
+        stats["waited"] += call.waited
+        stats["total_latency"] += call.latency
 
     def calls(self, resource: Optional[str] = None) -> Sequence[ApiCall]:
         """Logged calls, optionally filtered by resource."""
@@ -156,19 +193,25 @@ class CallLog:
 
     def count(self, resource: Optional[str] = None) -> int:
         """Number of logged calls, optionally filtered by resource."""
-        return len(self.calls(resource))
+        if resource is None:
+            return len(self._calls)
+        return self._attempts.get(resource, 0)
 
     def failures(self, resource: Optional[str] = None) -> int:
         """Number of logged failed attempts, optionally by resource."""
-        return sum(1 for call in self.calls(resource) if not call.ok)
+        if resource is None:
+            return self._total_failures
+        return self._failed.get(resource, 0)
 
     def total_items(self, resource: Optional[str] = None) -> int:
         """Total elements returned, optionally filtered by resource."""
-        return sum(call.items for call in self.calls(resource))
+        if resource is None:
+            return self._total_items
+        return self._items.get(resource, 0)
 
     def total_waited(self) -> float:
         """Total seconds spent waiting on rate limits."""
-        return sum(call.waited for call in self._calls)
+        return self._total_waited
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """Per-resource aggregates of the whole log.
@@ -182,21 +225,16 @@ class CallLog:
         so per-resource latency averages (``total_latency / calls``)
         describe successful requests only.
         """
-        aggregates: Dict[str, Dict[str, float]] = {}
-        for call in self._calls:
-            stats = aggregates.setdefault(call.resource, {
-                "calls": 0, "items": 0, "waited": 0.0, "total_latency": 0.0,
-                "failures": 0})
-            if not call.ok:
-                stats["failures"] += 1
-                continue
-            stats["calls"] += 1
-            stats["items"] += call.items
-            stats["waited"] += call.waited
-            stats["total_latency"] += call.latency
-        return {resource: aggregates[resource]
-                for resource in sorted(aggregates)}
+        return {resource: dict(self._by_resource[resource])
+                for resource in sorted(self._by_resource)}
 
     def clear(self) -> None:
         """Drop every logged call."""
         self._calls.clear()
+        self._by_resource.clear()
+        self._attempts.clear()
+        self._failed.clear()
+        self._items.clear()
+        self._total_failures = 0
+        self._total_items = 0
+        self._total_waited = 0.0

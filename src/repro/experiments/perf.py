@@ -19,7 +19,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..audit import AuditRequest
 from ..core.clock import SimClock
 from ..core.errors import ConfigurationError
-from ..obs.perf import collect_perf
+from ..obs.perf import collect_perf, measure_wallclock
 from ..obs.runtime import Observability, observed
 from ..sched import BatchAuditScheduler
 from .testbed import PAPER_ACCOUNTS, PAPER_ACCOUNTS_BY_HANDLE, build_paper_world
@@ -28,6 +28,14 @@ from .testbed import PAPER_ACCOUNTS, PAPER_ACCOUNTS_BY_HANDLE, build_paper_world
 #: CI gate measured in seconds, large enough that every engine pages,
 #: samples and classifies real work.
 PERF_MAX_FOLLOWERS = 20_000
+
+#: Shape of the opt-in wallclock measurement (``--wallclock``): rows
+#: classified per timing and timings per median.  Module constants,
+#: *not* workload fields — the workload section must stay identical
+#: whether or not wallclock was recorded, or ``perf diff`` would
+#: refuse to compare the documents.
+WALLCLOCK_ROWS = 2_000
+WALLCLOCK_REPEATS = 3
 
 
 def default_workload(*, seed: int = 42,
@@ -52,13 +60,60 @@ def default_workload(*, seed: int = 42,
     }
 
 
-def run_perf_workload(workload: Dict[str, object]
+def measure_fc_wallclock(*, rows: int = WALLCLOCK_ROWS,
+                         repeats: int = WALLCLOCK_REPEATS,
+                         seed: int = 0) -> Dict[str, object]:
+    """Real-time FC classification timings, scalar vs columnar.
+
+    Classifies the same ``rows``-strong generated population through
+    the scalar :class:`~repro.fc.training.TrainedDetector` path and
+    the columnar :class:`~repro.fc.columnar.BatchClassifier`, each
+    timed as the median of ``repeats`` monotonic runs.  These are the
+    only non-deterministic numbers a perf document can carry — see
+    the ``wallclock`` measurement class in :mod:`repro.obs.perf`.
+    """
+    from ..fc.columnar import batch_classifier
+    from ..fc.dataset import build_gold_standard
+    from ..fc.engine import default_detector
+
+    detector = default_detector(seed)
+    population = build_gold_standard(
+        n_fake=rows - rows // 2, n_genuine=rows // 2, seed=seed + 101,
+        timeline_depth=1)
+    users = population.users()
+    timelines = population.timelines() if detector.needs_timeline else None
+    now = population.now
+    scalar_seconds = measure_wallclock(
+        lambda: detector.predict(users, timelines, now), repeats)
+    doc: Dict[str, object] = {
+        "fc_rows": int(rows),
+        "repeats": int(repeats),
+        "fc_scalar_seconds": round(scalar_seconds, 6),
+    }
+    classifier = batch_classifier(detector)
+    if classifier is not None:
+        batch_seconds = round(measure_wallclock(
+            lambda: classifier.predict(users, timelines, now), repeats), 6)
+        doc["fc_batch_seconds"] = batch_seconds
+        # Derived from the *stored* (rounded) values so the document is
+        # self-consistent for any reader recomputing the ratio.
+        doc["fc_batch_speedup"] = round(
+            doc["fc_scalar_seconds"] / batch_seconds, 6) \
+            if batch_seconds else 0.0
+    return doc
+
+
+def run_perf_workload(workload: Dict[str, object], *,
+                      wallclock: bool = False
                       ) -> Tuple[Dict[str, object], Observability, object]:
     """Execute one workload and return ``(perf_doc, obs, batch_report)``.
 
     Runs under its own :class:`~repro.obs.runtime.Observability`
     (nesting restores whatever context the caller had), so a recording
-    never mixes spans with an outer ``--trace-out`` run.
+    never mixes spans with an outer ``--trace-out`` run.  With
+    ``wallclock=True`` the document gains the opt-in real-time FC
+    section from :func:`measure_fc_wallclock`; everything else in the
+    document is unaffected.
     """
     seed = int(workload["seed"])  # type: ignore[arg-type]
     targets = list(workload["targets"])  # type: ignore[call-overload]
@@ -77,5 +132,6 @@ def run_perf_workload(workload: Dict[str, object]
         scheduler.submit_batch(
             [AuditRequest(target=account.handle) for account in accounts])
         batch = scheduler.run()
-    doc = collect_perf(obs, batch, workload)
+    measured = measure_fc_wallclock(seed=seed) if wallclock else None
+    doc = collect_perf(obs, batch, workload, wallclock=measured)
     return doc, obs, batch

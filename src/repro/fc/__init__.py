@@ -1,5 +1,14 @@
 """The Fake Project classifier: features, learners, baselines, engine."""
 
+from .columnar import (
+    BatchClassifier,
+    FeatureCache,
+    FlatForest,
+    FlatTree,
+    batch_classifier,
+    extract_feature_matrix,
+    numpy_available,
+)
 from .cost import (
     CandidateCost,
     CrawlCost,
@@ -54,6 +63,7 @@ from .tree import DecisionTree
 
 __all__ = [
     "BASELINE_RULESETS",
+    "BatchClassifier",
     "CLASS_A",
     "CLASS_B",
     "CamisaniCalzolariRules",
@@ -67,7 +77,10 @@ __all__ = [
     "FEATURES_BY_NAME",
     "FakeClassifierEngine",
     "Feature",
+    "FeatureCache",
     "FeatureSet",
+    "FlatForest",
+    "FlatTree",
     "FULL_FEATURE_SET",
     "GoldExample",
     "GoldStandard",
@@ -82,6 +95,7 @@ __all__ = [
     "TrainedDetector",
     "TrainingReport",
     "affordable_features",
+    "batch_classifier",
     "build_gold_standard",
     "compare_approaches",
     "confusion",
@@ -89,7 +103,9 @@ __all__ = [
     "default_detector",
     "evaluate_detector",
     "evaluate_ruleset",
+    "extract_feature_matrix",
     "feature_crawl_cost",
+    "numpy_available",
     "optimize_detector",
     "rank_by_cost",
     "select_under_budget",

@@ -66,9 +66,13 @@ class FakeClassifierEngine:
                  faults: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = None,
                  acquisition_cache=None,
+                 batch: Union[bool, str] = "auto",
                  seed: int = 0) -> None:
         if sample_size < 1:
             raise ConfigurationError(f"sample_size must be >= 1: {sample_size!r}")
+        if batch not in (True, False, "auto"):
+            raise ConfigurationError(
+                f"batch must be True, False or 'auto': {batch!r}")
         self._clock = clock
         self._client = TwitterApiClient(
             world, clock,
@@ -85,6 +89,10 @@ class FakeClassifierEngine:
         self._processing_seconds = processing_seconds
         self._seed = seed
         self._audit_counter = 0
+        self._acquisition_cache = acquisition_cache
+        self._batch_mode = batch
+        self._batch_classifier = None
+        self._batch_resolved = False
 
     @property
     def client(self) -> TwitterApiClient:
@@ -100,6 +108,34 @@ class FakeClassifierEngine:
     def sample_size(self) -> int:
         """The fixed uniform sample size (9604 by default)."""
         return self._sample_size
+
+    def _batch(self):
+        """The columnar classifier, or ``None`` for the scalar path.
+
+        Resolved lazily on the first classification so a NumPy-less
+        host (or ``batch=False``) costs nothing.  ``batch=True`` and
+        ``batch="auto"`` both fall back silently to the scalar path
+        when the columnar module cannot run — the verdicts are
+        identical either way, only the wall clock differs.
+        """
+        if not self._batch_resolved:
+            self._batch_resolved = True
+            if self._batch_mode is not False:
+                from .columnar import FeatureCache, batch_classifier
+                classifier = batch_classifier(
+                    self._detector, clock=self._clock)
+                if classifier is not None:
+                    acq = self._acquisition_cache
+                    if acq is not None and hasattr(acq, "feature_cache"):
+                        classifier.use_cache(acq.feature_cache(FeatureCache))
+                    else:
+                        classifier.use_cache(FeatureCache())
+                    self._batch_classifier = classifier
+        return self._batch_classifier
+
+    def batch_active(self) -> bool:
+        """Whether classifications run on the columnar fast path."""
+        return self._batch() is not None
 
     def audit(self, request: Union[AuditRequest, str], *,
               force_refresh: Optional[bool] = None) -> AuditReport:
@@ -226,7 +262,10 @@ class FakeClassifierEngine:
                 active_users.append(user)
                 if timelines is not None:
                     active_timelines.append(timelines[index])
-        verdicts = self._detector.predict(
+        classifier = self._batch()
+        predict = (classifier.predict if classifier is not None
+                   else self._detector.predict)
+        verdicts = predict(
             active_users,
             active_timelines if timelines is not None else None,
             now,

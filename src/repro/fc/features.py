@@ -18,6 +18,7 @@ class-B one would need ~9700 — hours instead of minutes.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import Counter
 from dataclasses import dataclass
@@ -260,6 +261,17 @@ class FeatureSet:
     def needs_timeline(self) -> bool:
         """Whether any feature is cost class B."""
         return any(f.cost_class == CLASS_B for f in self._features)
+
+    def fingerprint(self) -> str:
+        """Stable id of this ordered selection (feature-cache keying).
+
+        Two feature sets share a fingerprint iff they extract the same
+        features in the same order — exactly when their vectors are
+        interchangeable, which is what lets
+        :class:`repro.fc.columnar.FeatureCache` key rows by it.
+        """
+        joined = "|".join(self.names).encode("utf-8")
+        return hashlib.sha256(joined).hexdigest()[:16]
 
     def extract(self, user: UserObject, timeline: Optional[Sequence[Tweet]],
                 now: float) -> np.ndarray:

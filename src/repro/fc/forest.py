@@ -65,6 +65,11 @@ class RandomForest:
         """The fitted member trees."""
         return list(self._trees)
 
+    @property
+    def n_features(self) -> int:
+        """Design-matrix width the forest was fitted on (0 if unfitted)."""
+        return self._n_features
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Mean positive-class probability across trees."""
         if not self._trees:

@@ -10,7 +10,7 @@ given their seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -190,6 +190,48 @@ class DecisionTree:
             [self._descend(row).probability for row in X], dtype=np.float64)
 
     # -- introspection --------------------------------------------------------
+
+    @property
+    def n_features(self) -> int:
+        """Design-matrix width the tree was fitted on (0 if unfitted)."""
+        return self._n_features
+
+    def flatten(self) -> Dict[str, List]:
+        """The fitted tree as parallel node lists, in preorder.
+
+        ``feature`` holds ``-1`` at leaves; ``left``/``right`` are node
+        indices into the same lists (``-1`` at leaves).  This is the
+        shape the columnar fast path (:mod:`repro.fc.columnar`)
+        evaluates with masked array descent instead of per-row
+        recursion — the flattened values are exactly the fitted node
+        fields, so both traversals take identical branches.
+        """
+        if self._root is None:
+            raise TrainingError("tree is not fitted")
+        feature: List[int] = []
+        threshold: List[float] = []
+        probability: List[float] = []
+        prediction: List[int] = []
+        left: List[int] = []
+        right: List[int] = []
+
+        def add(node: _Node) -> int:
+            index = len(feature)
+            feature.append(-1 if node.feature is None else int(node.feature))
+            threshold.append(float(node.threshold))
+            probability.append(float(node.probability))
+            prediction.append(int(node.prediction))
+            left.append(-1)
+            right.append(-1)
+            if node.feature is not None:
+                left[index] = add(node.left)
+                right[index] = add(node.right)
+            return index
+
+        add(self._root)
+        return {"feature": feature, "threshold": threshold,
+                "probability": probability, "prediction": prediction,
+                "left": left, "right": right}
 
     def depth(self) -> int:
         """Actual depth of the fitted tree."""

@@ -37,11 +37,13 @@ from .perf import (
     collect_perf,
     diff_perf,
     load_perf_json,
+    measure_wallclock,
     render_perf_diff,
     render_perf_json,
     write_perf_json,
 )
 from .metrics import (
+    CacheInfo,
     Counter,
     Gauge,
     Histogram,
@@ -65,6 +67,7 @@ from .trace import NULL_SPAN, NULL_TRACER, NullSpan, NullTracer, Span, Tracer
 
 __all__ = [
     "AuditAttribution",
+    "CacheInfo",
     "Counter",
     "PERF_SCHEMA",
     "PHASES",
@@ -77,6 +80,7 @@ __all__ = [
     "iter_trace_jsonl",
     "lane_timeline",
     "load_perf_json",
+    "measure_wallclock",
     "phase_totals",
     "render_critical_path",
     "render_lane_timeline",

@@ -215,6 +215,16 @@ def console_summary(obs) -> str:
         parts.extend(_table(
             ("API resource", "calls", "items", "waited s", "latency s"),
             api_rows))
+    infos = obs.cache_info() if hasattr(obs, "cache_info") else []
+    if infos:
+        cache_rows = [
+            (info.name, str(info.hits), str(info.misses),
+             str(info.evictions), str(info.size))
+            for info in infos
+        ]
+        parts.append("")
+        parts.extend(_table(
+            ("cache", "hits", "misses", "evicted", "size"), cache_rows))
     parts.append("")
     parts.append(stats_line(obs))
     return "\n".join(parts)
@@ -245,9 +255,10 @@ def _has_family(obs, name: str) -> bool:
 def stats_line(obs) -> str:
     """The one-line ``repro stats`` digest printed after a run.
 
-    The scheduler and fault segments appear only when their metric
-    families exist, so runs that never touched `repro.sched` or
-    `repro.faults` keep the original (golden-tested) line verbatim.
+    The scheduler, fault and cache segments appear only when their
+    metric families (or registered caches) exist, so runs that never
+    touched `repro.sched`, `repro.faults` or a cache keep the original
+    (golden-tested) line verbatim.
     """
     spans = obs.tracer.spans()
     summary = obs.call_log_summary()
@@ -270,4 +281,11 @@ def stats_line(obs) -> str:
         backoff = _family_total(obs, "api_backoff_wait_seconds")
         line += (f", {faults} faults injected, {retries} retries "
                  f"({backoff:.0f}s backoff)")
+    infos = obs.cache_info() if hasattr(obs, "cache_info") else []
+    if infos:
+        hits = sum(info.hits for info in infos)
+        lookups = hits + sum(info.misses for info in infos)
+        evicted = sum(info.evictions for info in infos)
+        line += (f", {len(infos)} caches ({hits}/{lookups} hits, "
+                 f"{evicted} evicted)")
     return line

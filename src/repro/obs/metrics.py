@@ -21,9 +21,27 @@ Design constraints, in order:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
 from ..core.errors import ConfigurationError
+
+
+class CacheInfo(NamedTuple):
+    """Uniform cache snapshot (hits/misses/evictions/size).
+
+    Every cache in the reproduction — the analytics
+    :class:`~repro.analytics.base.ResultCache`, the scheduler's
+    :class:`~repro.sched.cache.AcquisitionCache`, the columnar
+    :class:`~repro.fc.columnar.FeatureCache` — reports through this one
+    shape, so ``repro stats`` can aggregate them without knowing which
+    kind it is looking at.
+    """
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    size: int
 
 #: Canonical label form: ``(("resource", "users/lookup"), ...)`` sorted
 #: by key.

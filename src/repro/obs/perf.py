@@ -18,16 +18,39 @@ from __future__ import annotations
 
 import json
 import pathlib
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
 from .analysis import attribute_all, critical_path, phase_totals
 from .metrics import Histogram
 
 #: Format version of ``BENCH_perf.json``.  Bump on shape changes; the
-#: differ treats a version mismatch as an automatic breach.
+#: differ treats a version mismatch as an automatic breach.  The
+#: optional ``wallclock`` section is additive — documents with and
+#: without it share the schema (see :func:`diff_perf`'s skip rule).
 PERF_SCHEMA = 1
+
+
+def measure_wallclock(fn: Callable[[], object], repeats: int = 5) -> float:
+    """Median of ``repeats`` monotonic timings of ``fn()``, in seconds.
+
+    The **wallclock** measurement class: unlike every other number in a
+    perf document these are real, machine-local timings — not
+    byte-stable, not comparable across hosts, useful only as
+    order-of-magnitude regression tripwires under a generous tolerance
+    (:attr:`PerfTolerances.wallclock_pct`).  The median of an odd ``k``
+    (the upper middle for even ``k``) shrugs off one slow outlier run.
+    """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1: {repeats!r}")
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return sorted(timings)[len(timings) // 2]
 
 
 def _round(value: float) -> float:
@@ -54,7 +77,8 @@ def _family_sum(registry, name: str, **match: object) -> float:
     return total
 
 
-def collect_perf(obs, report, workload: Dict[str, object]
+def collect_perf(obs, report, workload: Dict[str, object], *,
+                 wallclock: Optional[Dict[str, object]] = None
                  ) -> Dict[str, object]:
     """Assemble the canonical perf document from one observed batch run.
 
@@ -62,7 +86,12 @@ def collect_perf(obs, report, workload: Dict[str, object]
     executed under, ``report`` the scheduler's
     :class:`~repro.sched.report.BatchReport`, and ``workload`` the
     parameters that produced it (recorded verbatim so ``perf diff``
-    can re-run the identical workload later).
+    can re-run the identical workload later).  ``wallclock`` — when
+    provided — is stored as an additional ``wallclock`` section of
+    real-time measurements; it is the only part of the document that
+    is *not* byte-stable across machines (see
+    :func:`measure_wallclock`), and the differ treats its keys as
+    optional on either side.
     """
     attributions = attribute_all(obs.tracer)
     totals = phase_totals(attributions)
@@ -71,7 +100,7 @@ def collect_perf(obs, report, workload: Dict[str, object]
     result_misses = _family_sum(registry, "cache_events_total", event="miss")
     lookups = result_hits + result_misses
     path = critical_path(obs.tracer)
-    return {
+    doc: Dict[str, object] = {
         "schema": PERF_SCHEMA,
         "workload": dict(workload),
         "makespan_seconds": _round(report.makespan_seconds),
@@ -111,6 +140,9 @@ def collect_perf(obs, report, workload: Dict[str, object]
             "idle_seconds": _round(path["idle_seconds"]),  # type: ignore[arg-type]
         },
     }
+    if wallclock is not None:
+        doc["wallclock"] = dict(wallclock)
+    return doc
 
 
 def render_perf_json(doc: Dict[str, object]) -> str:
@@ -149,13 +181,17 @@ class PerfTolerances:
 
     Timing classes are relative (percent of the baseline value); hit
     ratios compare absolutely.  A baseline value of zero tolerates
-    only zero (any appearance of a new cost is a breach).
+    only zero (any appearance of a new cost is a breach).  The
+    ``wallclock`` class is deliberately loose: real timings swing with
+    machine load, so only order-of-magnitude regressions should trip
+    the gate.
     """
 
     makespan_pct: float = 5.0
     phase_pct: float = 10.0
     counter_pct: float = 10.0
     ratio_abs: float = 0.05
+    wallclock_pct: float = 200.0
 
 
 @dataclass(frozen=True)
@@ -189,6 +225,8 @@ def _flatten(doc: Dict[str, object], prefix: str = ""
 def _tolerance_for(key: str, tolerances: PerfTolerances
                    ) -> Tuple[str, float]:
     """The tolerance class of one flattened key: (kind, limit)."""
+    if key.startswith("wallclock."):
+        return "pct", tolerances.wallclock_pct
     if key.endswith("_ratio"):
         return "abs", tolerances.ratio_abs
     if key == "makespan_seconds":
@@ -207,7 +245,12 @@ def diff_perf(baseline: Dict[str, object], current: Dict[str, object],
     diff between different workloads is meaningless, so a mismatch is
     itself a breach.  Every other numeric leaf is compared under its
     tolerance class; non-numeric leaves (critical-path lane names)
-    must be equal.  Missing or extra leaves always breach.
+    must be equal.  Missing or extra leaves always breach — except
+    ``wallclock.*`` leaves, which are machine-local opt-in
+    measurements: a baseline recorded with ``--wallclock`` must still
+    gate a current document recorded without it (and vice versa), so
+    a wallclock leaf present on only one side is skipped, not
+    breached.
     """
     if tolerances is None:
         tolerances = PerfTolerances()
@@ -217,10 +260,14 @@ def diff_perf(baseline: Dict[str, object], current: Dict[str, object],
     compared = 0
     for key in sorted(set(base_flat) | set(cur_flat)):
         if key not in cur_flat:
+            if key.startswith("wallclock."):
+                continue
             breaches.append(PerfBreach(key, base_flat[key], None,
                                        "missing from current"))
             continue
         if key not in base_flat:
+            if key.startswith("wallclock."):
+                continue
             breaches.append(PerfBreach(key, None, cur_flat[key],
                                        "not in baseline"))
             continue

@@ -28,7 +28,7 @@ from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
 from ..core.clock import SimClock
-from .metrics import MetricsRegistry, NullRegistry, NULL_REGISTRY
+from .metrics import CacheInfo, MetricsRegistry, NullRegistry, NULL_REGISTRY
 from .trace import NullTracer, NULL_TRACER, Tracer
 
 
@@ -48,10 +48,37 @@ class Observability:
         self.registry: MetricsRegistry = MetricsRegistry()
         self.tracer: Tracer = Tracer(clock)
         self.call_logs: List[object] = []
+        self.caches: List[object] = []
 
     def register_call_log(self, log: object) -> None:
         """Track one client's call log for end-of-run aggregation."""
         self.call_logs.append(log)
+
+    def register_cache(self, cache: object) -> None:
+        """Track one cache (anything with a ``cache_info()`` method)."""
+        self.caches.append(cache)
+
+    def cache_info(self) -> List[CacheInfo]:
+        """Per-cache snapshots, merged by name and sorted.
+
+        Engines that construct one cache per lane report under the
+        same name; merging sums their hits/misses/evictions/sizes so
+        the stats line shows one row per cache *kind*.
+        """
+        merged: "dict[str, CacheInfo]" = {}
+        for cache in self.caches:
+            info = cache.cache_info()
+            prior = merged.get(info.name)
+            if prior is None:
+                merged[info.name] = info
+            else:
+                merged[info.name] = CacheInfo(
+                    name=info.name,
+                    hits=prior.hits + info.hits,
+                    misses=prior.misses + info.misses,
+                    evictions=prior.evictions + info.evictions,
+                    size=prior.size + info.size)
+        return [merged[name] for name in sorted(merged)]
 
     def call_log_summary(self) -> dict:
         """Merged per-resource aggregates across every registered log.
@@ -76,13 +103,21 @@ class NullObservability:
     registry: NullRegistry = NULL_REGISTRY
     tracer: NullTracer = NULL_TRACER
     call_logs: List[object] = []
+    caches: List[object] = []
 
     def register_call_log(self, log: object) -> None:
         """Ignore the log."""
 
+    def register_cache(self, cache: object) -> None:
+        """Ignore the cache."""
+
     def call_log_summary(self) -> dict:
         """Always empty."""
         return {}
+
+    def cache_info(self) -> List[CacheInfo]:
+        """Always empty."""
+        return []
 
 
 NULL_OBS = NullObservability()

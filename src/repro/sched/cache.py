@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..api.endpoints import IdsPage, UserObject
+from ..obs.metrics import CacheInfo
 from ..obs.runtime import get_observability
 
 
@@ -54,9 +55,12 @@ class AcquisitionCache:
         #: Lookup hits / misses since construction (all stores pooled).
         self.hits = 0
         self.misses = 0
-        self._registry = get_observability().registry
+        self._feature_cache = None
+        obs = get_observability()
+        self._registry = obs.registry
         self._hit_counter = None
         self._miss_counter = None
+        obs.register_cache(self)
 
     # -- bookkeeping ----------------------------------------------------------
 
@@ -124,6 +128,23 @@ class AcquisitionCache:
         """Store one fetched timeline (kept as an immutable tuple)."""
         self._timelines[(user_id, count)] = tuple(timeline)
 
+    # -- derived caches -------------------------------------------------------
+
+    def feature_cache(self, factory):
+        """The batch-shared FC feature cache, built on first request.
+
+        The FC engines hand the cache's class in as ``factory`` (this
+        module cannot import :mod:`repro.fc.columnar` without a cycle);
+        every engine wired to this acquisition cache then shares one
+        instance, so overlapping follower samples across a batch's
+        audits reuse each other's feature rows.  Lives and dies with
+        the batch: :meth:`clear` empties it along with the raw stores.
+        """
+        if self._feature_cache is None:
+            self._feature_cache = factory(
+                name=f"{self._name}-features", max_entries=None)
+        return self._feature_cache
+
     # -- lifecycle ------------------------------------------------------------
 
     def clear(self) -> None:
@@ -132,6 +153,8 @@ class AcquisitionCache:
         self._by_name.clear()
         self._pages.clear()
         self._timelines.clear()
+        if self._feature_cache is not None:
+            self._feature_cache.clear()
 
     def size(self) -> int:
         """Total live entries across all three stores."""
@@ -141,3 +164,13 @@ class AcquisitionCache:
         """Hit/miss/entry counts, for batch-report telemetry."""
         return {"hits": self.hits, "misses": self.misses,
                 "entries": self.size()}
+
+    def cache_info(self) -> CacheInfo:
+        """The uniform snapshot shape shared with the other caches.
+
+        Raw acquisitions are never evicted (the store is unbounded and
+        cleared per batch), so ``evictions`` is always zero; the shared
+        feature cache registers and reports separately.
+        """
+        return CacheInfo(name=self._name, hits=self.hits,
+                         misses=self.misses, evictions=0, size=self.size())

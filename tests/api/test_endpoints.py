@@ -135,3 +135,65 @@ class TestCallLog:
         stats = log.summary()["statuses/user_timeline"]
         assert stats == {"calls": 0, "items": 0, "waited": 0.0,
                          "total_latency": 0.0, "failures": 1}
+
+
+class TestCallLogIncrementalAggregation:
+    """The O(1) aggregates must equal a from-scratch rescan, always."""
+
+    def _mixed_log(self):
+        log = CallLog()
+        log.record(ApiCall("users/lookup", 0.0, 2.0, 0.5, 100))
+        log.record(ApiCall("users/lookup", 2.0, 42.0, 7.0, 3,
+                           error="transient_503"))
+        log.record(ApiCall("followers/ids", 42.0, 44.0, 0.25, 5000))
+        log.record(ApiCall("followers/ids", 44.0, 45.0, 0.0, 0,
+                           error="rate_limit_spike"))
+        log.record(ApiCall("users/lookup", 45.0, 47.0, 0.0, 100))
+        return log
+
+    def test_aggregates_match_a_naive_rescan(self):
+        log = self._mixed_log()
+        calls = log.calls()
+        assert log.count() == len(calls)
+        assert log.failures() == sum(1 for c in calls if not c.ok)
+        assert log.total_items() == sum(c.items for c in calls)
+        assert log.total_waited() == sum(c.waited for c in calls)
+        for resource in {"users/lookup", "followers/ids"}:
+            subset = log.calls(resource)
+            assert log.count(resource) == len(subset)
+            assert log.failures(resource) == \
+                sum(1 for c in subset if not c.ok)
+            assert log.total_items(resource) == \
+                sum(c.items for c in subset)
+
+    def test_summary_matches_a_naive_recompute(self):
+        log = self._mixed_log()
+        expected = {}
+        for call in log.calls():
+            stats = expected.setdefault(call.resource, {
+                "calls": 0, "items": 0, "waited": 0.0,
+                "total_latency": 0.0, "failures": 0})
+            if not call.ok:
+                stats["failures"] += 1
+                continue
+            stats["calls"] += 1
+            stats["items"] += call.items
+            stats["waited"] += call.waited
+            stats["total_latency"] += call.latency
+        assert log.summary() == {r: expected[r] for r in sorted(expected)}
+
+    def test_summary_returns_copies(self):
+        log = self._mixed_log()
+        log.summary()["users/lookup"]["calls"] = 999
+        assert log.summary()["users/lookup"]["calls"] == 2
+
+    def test_clear_resets_every_aggregate(self):
+        log = self._mixed_log()
+        log.clear()
+        assert log.count() == 0
+        assert log.failures() == 0
+        assert log.total_items() == 0
+        assert log.total_waited() == 0.0
+        assert log.summary() == {}
+        assert log.count("users/lookup") == 0
+        assert log.total_items("followers/ids") == 0

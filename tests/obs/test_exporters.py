@@ -173,3 +173,46 @@ class TestConsoleSummary:
         assert "2 API calls" in line
         assert "100 items" in line
         assert "58s rate-limit wait" in line
+
+
+class _StubCache:
+    def __init__(self, name, hits, misses, evictions, size):
+        from repro.obs import CacheInfo
+        self._info = CacheInfo(name, hits, misses, evictions, size)
+
+    def cache_info(self):
+        return self._info
+
+
+class TestCacheSegment:
+    def test_stats_line_gains_the_segment_only_with_caches(self):
+        obs = build_scenario()
+        assert "caches" not in stats_line(obs)
+        obs.register_cache(_StubCache("audit", 7, 3, 1, 4))
+        assert "1 caches (7/10 hits, 1 evicted)" in stats_line(obs)
+
+    def test_cache_info_merges_same_named_caches(self):
+        obs = build_scenario()
+        obs.register_cache(_StubCache("audit", 1, 1, 0, 2))
+        obs.register_cache(_StubCache("audit", 2, 0, 1, 3))
+        obs.register_cache(_StubCache("acquisition", 5, 5, 0, 9))
+        infos = obs.cache_info()
+        assert [info.name for info in infos] == ["acquisition", "audit"]
+        merged = infos[1]
+        assert (merged.hits, merged.misses,
+                merged.evictions, merged.size) == (3, 1, 1, 5)
+
+    def test_console_summary_renders_the_cache_table(self):
+        obs = build_scenario()
+        assert "cache" not in console_summary(obs).split("\n")[0]
+        obs.register_cache(_StubCache("audit", 7, 3, 1, 4))
+        text = console_summary(obs)
+        assert "cache" in text
+        assert "evicted" in text
+        assert text.endswith(stats_line(obs))
+
+    def test_null_observability_reports_no_caches(self):
+        from repro.obs import NULL_OBS
+        NULL_OBS.register_cache(_StubCache("ignored", 1, 1, 0, 1))
+        assert NULL_OBS.cache_info() == []
+        assert NULL_OBS.caches == []
