@@ -6,16 +6,22 @@ of instrumentation events) x (cost of one null operation).  This bench
 measures both factors on a serial Table III slice and asserts their
 product stays under 5% of the run's wall time — i.e. NULL_OBS adds no
 measurable overhead to the paper's core experiment.
+
+The live-telemetry bench applies the same events-times-cost method to
+the enabled streaming path: its hooks fire only when a plane is
+attached, so the budget is (stream events the run actually feeds) x
+(cost of one windowed observe).
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.core import SimClock
+from repro.core import DAY, SimClock
 from repro.experiments.results import run_table3
 from repro.experiments.testbed import average_accounts
 from repro.obs import NULL_OBS, observed
+from repro.obs.live import LiveTelemetry
 
 #: Spans are the rarest instrumentation event; counters and gauges fire
 #: a few times per span.  This multiplier turns the observed span count
@@ -49,6 +55,26 @@ def _null_op_seconds() -> float:
     return _wall(burn) / NULL_OPS
 
 
+#: Iterations for timing one windowed stream observation.
+LIVE_OPS = 100_000
+
+#: Each live hook call routes one to four stream observations plus the
+#: hook dispatch itself; doubling the measured per-event cost gives a
+#: generous upper bound on the non-observe bookkeeping around it.
+LIVE_DISPATCH_MULTIPLIER = 2
+
+
+def _live_event_seconds() -> float:
+    """Best-case cost of one windowed observation on an event stream."""
+    live = LiveTelemetry(origin=0.0, pane_width=DAY)
+
+    def burn():
+        for k in range(LIVE_OPS):
+            live.note("bench.live", k * 0.01)
+
+    return _wall(burn) / LIVE_OPS
+
+
 def test_null_obs_overhead_is_under_5pct_of_serial_table3(
         detector, save_result):
     kwargs = dict(seed=42, accounts=average_accounts()[:3],
@@ -75,4 +101,36 @@ def test_null_obs_overhead_is_under_5pct_of_serial_table3(
         f"({100.0 * overhead / baseline:.3f}% of run)",
     ])
     save_result("obs_overhead", report)
+    assert overhead < 0.05 * baseline, report
+
+
+def test_live_telemetry_overhead_is_under_5pct_of_serial_table3(
+        detector, save_result):
+    kwargs = dict(seed=42, accounts=average_accounts()[:3],
+                  detector=detector, max_followers=2_000,
+                  truth_sample=500, mode="serial")
+
+    # The live budget of the run: attach a plane, count the stream
+    # events the instrumented hot paths actually feed...
+    with observed() as obs:
+        live = obs.attach_live(LiveTelemetry(origin=0.0, pane_width=DAY))
+        run_table3(**kwargs)
+        events = sum(stream.total_count
+                     for stream in live.streams().values())
+    assert events > 0  # the engines fed the plane
+
+    # ...then time the identical run with telemetry fully off.
+    baseline = _wall(lambda: run_table3(**kwargs))
+
+    per_event = _live_event_seconds()
+    overhead = per_event * events * LIVE_DISPATCH_MULTIPLIER
+    report = "\n".join([
+        "Live-telemetry overhead on serial Table III (3 average accounts):",
+        f"  run wall time        {baseline * 1e3:10.1f} ms",
+        f"  stream events fed    {events:10d}",
+        f"  observe cost         {per_event * 1e9:10.1f} ns",
+        f"  est. live cost       {overhead * 1e6:10.1f} us "
+        f"({100.0 * overhead / baseline:.3f}% of run)",
+    ])
+    save_result("live_overhead", report)
     assert overhead < 0.05 * baseline, report

@@ -211,7 +211,8 @@ class CommercialAnalytic:
         self._crawler = Crawler(self._client)
         self._cache = ResultCache(ttl=cache_ttl, name=self.name,
                                   max_entries=cache_max_entries)
-        self._tracer = get_observability().tracer
+        self._obs = get_observability()
+        self._tracer = self._obs.tracer
         self._cache_serve_seconds = cache_serve_seconds
         self._processing_seconds = processing_seconds
         self._seed = seed
@@ -452,6 +453,10 @@ class CommercialAnalytic:
     def _report(self, screen_name: str, outcome: AnalysisOutcome,
                 response_seconds: float, *, cached: bool,
                 assessed_at: float) -> AuditReport:
+        live = self._obs.live
+        if live is not None:
+            live.on_audit(self.name, assessed_at, cached=cached,
+                          completeness=outcome.completeness)
         return AuditReport(
             tool=self.name,
             target=screen_name,

@@ -136,6 +136,42 @@ class HostedCheckerApp:
                                   engine=getattr(self._engine, "name", None))
         return self._engine.audit(target)
 
+    def status_page(self) -> str:
+        """The operator-facing health page of the hosted service.
+
+        Reads the active streaming-telemetry plane (``repro.obs.live``)
+        when one is attached: active alerts, SLO burn rates, and the
+        engine's recent audit throughput.  Without live telemetry the
+        page degrades to a static "no telemetry" banner, the honest
+        answer for an uninstrumented deployment.
+        """
+        from ..obs.runtime import get_observability
+        name = getattr(self._engine, "name", "service")
+        lines = [f"{name} service status",
+                 f"  authorized sessions: {len(self._sessions)}"]
+        live = get_observability().live
+        if live is None:
+            lines.append("  live telemetry: not attached")
+            return "\n".join(lines)
+        active = live.alerts.active()
+        fired, resolved = live.alerts.counts()
+        lines.append(
+            f"  alerts: {len(active)} active ({fired} fired, "
+            f"{resolved} resolved)"
+            + (": " + ", ".join(active) if active else ""))
+        for status in live.slos.statuses():
+            flag = "FIRING" if status.firing else "ok"
+            lines.append(
+                f"  slo {status.spec.name}: burn fast "
+                f"{status.fast_burn:.2f} / slow {status.slow_burn:.2f} "
+                f"[{flag}]")
+        streams = live.streams()
+        audit_stream = streams.get(f"audits.{name}")
+        if audit_stream is not None:
+            lines.append(
+                f"  audits completed: {audit_stream.total_count}")
+        return "\n".join(lines)
+
     def report_page(self, report: AuditReport) -> str:
         """Render the result the way the hosted tools presented it."""
         lines = [

@@ -73,6 +73,7 @@ class TwitterApiClient:
         self._credentials = credentials
         self._policies = policies
         obs = get_observability()
+        self._obs = obs
         self._tracer = obs.tracer
         self._registry = obs.registry
         self._limiter = RateLimiter(clock.now(), policies, credentials,
@@ -297,6 +298,9 @@ class TwitterApiClient:
                 self._error_counter(resource, fault.kind).inc()
                 span.set_attribute("waited", waited)
                 span.set_attribute("error", fault.kind)
+                live = self._obs.live
+                if live is not None:
+                    live.on_request(resource, completed, ok=False)
                 self._raise_fault(resource, fault, completed, cursor)
             self._clock.advance(self._latency)
             completed = self._clock.now()
@@ -316,6 +320,9 @@ class TwitterApiClient:
             if fault is not None:
                 self._faults_seen += 1
                 span.set_attribute("fault", fault.kind)
+            live = self._obs.live
+            if live is not None:
+                live.on_request(resource, completed, ok=True)
         return completed, fault
 
     def _request(self, resource: str, items: int, *,
@@ -344,6 +351,9 @@ class TwitterApiClient:
                 retries.inc()
                 backoff_hist.observe(wait)
                 self._retries_total += 1
+                live = self._obs.live
+                if live is not None:
+                    live.note("api.retries", self._clock.now())
                 self._clock.advance(wait)
                 previous_wait = wait
                 retry_index += 1

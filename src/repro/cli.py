@@ -14,6 +14,8 @@ Examples
     repro samplesize             # n = 9604 arithmetic + coverage
     repro tacharts               # the three Twitteraudit report charts
     repro monitor                # growth monitoring / burst detection
+    repro monitor --ticks 200 --dashboard   # live fleet telemetry
+    repro stats trace.jsonl      # digest a (possibly mid-run) trace
     repro chaos --faults bursty  # engine robustness under API faults
     repro run chaos              # alias form: run <experiment>
     repro all                    # everything, one report
@@ -51,6 +53,7 @@ from .experiments import (
     validate_world,
 )
 from .experiments import run_chaos_experiment
+from .experiments.monitor_fleet import FleetSpec, run_monitor_fleet
 from .experiments.testbed import AVERAGE
 from .faults import named_plan
 from .faults.plan import SCENARIOS
@@ -59,6 +62,8 @@ from .obs import (
     activate,
     console_summary,
     deactivate,
+    load_trace_jsonl,
+    snapshot_to_json,
     stats_line,
     write_metrics_prom,
     write_trace_jsonl,
@@ -91,6 +96,56 @@ def _run_monitor_demo(*, seed: int, days: int) -> str:
         else:
             verdict = "no anomaly detected"
         sections.append(chart + "\n" + verdict)
+    return "\n\n".join(sections)
+
+
+def _run_monitor_fleet(args, seed: int) -> str:
+    """The fleet mode of ``repro monitor`` (``--ticks`` given)."""
+    spec = FleetSpec(
+        seed=seed,
+        accounts=args.accounts,
+        ticks=args.ticks,
+        slo_objective=args.slo,
+        serial=getattr(args, "serial", False),
+    )
+    result = run_monitor_fleet(spec)
+    lines = []
+    if args.dashboard:
+        cadence = max(1, args.cadence)
+        shown = [frame for index, frame in enumerate(result.frames)
+                 if index % cadence == 0 or index == len(result.frames) - 1]
+        lines.extend("\n".join(shown).splitlines())
+        lines.append("")
+    lines.append(result.summary())
+    if args.alerts_out:
+        result.alerts.write(args.alerts_out)
+        lines.append(f"alert log written to {args.alerts_out}")
+    if args.snapshots_out:
+        with open(args.snapshots_out, "w", encoding="utf-8") as handle:
+            for snapshot in result.snapshots:
+                handle.write(snapshot_to_json(snapshot) + "\n")
+        lines.append(f"snapshots written to {args.snapshots_out}")
+    return "\n".join(lines)
+
+
+def _run_stats(args) -> str:
+    """The ``stats`` subcommand: digest one or more trace dumps."""
+    sections = []
+    for path in args.files:
+        spans, truncated = load_trace_jsonl(path)
+        by_name = {}
+        for span in spans:
+            name = str(span.get("name", "?"))
+            count, seconds = by_name.get(name, (0, 0.0))
+            by_name[name] = (count + 1,
+                             seconds + float(span.get("duration") or 0.0))
+        total = sum(float(span.get("duration") or 0.0) for span in spans)
+        lines = [f"{path}: {len(spans)} spans, {total:.1f}s total"
+                 + (" (truncated final line dropped)" if truncated else "")]
+        for name in sorted(by_name):
+            count, seconds = by_name[name]
+            lines.append(f"  {name:<24} n={count:<6} {seconds:10.1f}s")
+        sections.append("\n".join(lines))
     return "\n\n".join(sections)
 
 
@@ -201,9 +256,38 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="the three charts of a Twitteraudit report")
 
     monitor = sub.add_parser(
-        "monitor", help="daily growth monitoring with burst detection")
+        "monitor", help="daily growth monitoring with burst detection; "
+                        "--ticks switches to the live-telemetry fleet")
     monitor.add_argument("--days", type=int, default=21,
-                         help="days of daily polling (default: 21)")
+                         help="days of daily polling in the two-account "
+                              "demo (default: 21)")
+    monitor.add_argument("--ticks", type=int, default=None, metavar="N",
+                         help="run the multi-account fleet with streaming "
+                              "telemetry for N simulated days instead of "
+                              "the demo")
+    monitor.add_argument("--accounts", type=int, default=3, metavar="K",
+                         help="fleet size in fleet mode (default: 3)")
+    monitor.add_argument("--slo", type=float, default=0.98,
+                         metavar="OBJECTIVE",
+                         help="poll-success SLO objective in fleet mode "
+                              "(default: 0.98)")
+    monitor.add_argument("--dashboard", action="store_true",
+                         help="print fleet-health dashboard frames")
+    monitor.add_argument("--cadence", type=int, default=50, metavar="N",
+                         help="with --dashboard, print every Nth frame "
+                              "(default: 50)")
+    monitor.add_argument("--alerts-out", metavar="FILE.jsonl", default=None,
+                         help="write the fleet's alert log as JSON lines")
+    monitor.add_argument("--snapshots-out", metavar="FILE.jsonl",
+                         default=None,
+                         help="write every dashboard snapshot as JSON lines")
+    _add_serial_flag(monitor)
+
+    stats = sub.add_parser(
+        "stats", help="digest trace JSONL files (tolerates the truncated "
+                      "final line of a file copied mid-run)")
+    stats.add_argument("files", nargs="+", metavar="FILE.jsonl",
+                       help="trace dumps written by --trace-out")
 
     validate = sub.add_parser(
         "validate", help="self-validate the paper testbed's generators")
@@ -274,7 +358,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "run", help="run one experiment by name (e.g. 'repro run chaos')")
     runner.add_argument("experiment",
                         choices=[name for name in sub.choices
-                                 if name not in ("run", "perf")],
+                                 if name not in ("run", "perf", "stats")],
                         help="the experiment to run")
     _add_serial_flag(runner)
     # Knobs that normally live on individual subparsers, with their
@@ -282,7 +366,9 @@ def _build_parser() -> argparse.ArgumentParser:
     runner.set_defaults(days=5, trials=100, sample=1500, levels=None,
                         targets=None, engines=None, slots=2,
                         max_followers=20_000, compare_serial=False,
-                        json_out=None)
+                        json_out=None, ticks=None, accounts=3, slo=0.98,
+                        dashboard=False, cadence=50, alerts_out=None,
+                        snapshots_out=None)
 
     for subparser in sub.choices.values():
         _add_obs_flags(subparser, suppress=True)
@@ -489,7 +575,12 @@ def _dispatch(args, seed: int):
     elif args.command == "tacharts":
         __, rendered = run_ta_charts(seed=seed)
     elif args.command == "monitor":
-        rendered = _run_monitor_demo(seed=seed, days=args.days)
+        if getattr(args, "ticks", None):
+            rendered = _run_monitor_fleet(args, seed)
+        else:
+            rendered = _run_monitor_demo(seed=seed, days=args.days)
+    elif args.command == "stats":
+        rendered = _run_stats(args)
     elif args.command == "validate":
         world = build_paper_world(seed, SimClock().now())
         __, rendered = validate_world(world, sample=args.sample, seed=seed)

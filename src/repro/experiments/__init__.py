@@ -25,6 +25,7 @@ from .chaos import (
 )
 from .figures import ascii_bar_chart, render_ta_charts, run_ta_charts
 from .live_ordering import ChurnSensitivityRow, run_churn_sensitivity
+from .monitor_fleet import FleetResult, FleetSpec, run_monitor_fleet
 from .sensitivity import TiltSensitivityRow, run_tilt_sensitivity
 from .ordering import (
     OrderingResult,
@@ -87,6 +88,8 @@ __all__ = [
     "ENGINE_ORDER",
     "EmpiricalCrawl",
     "ExperimentSuiteResult",
+    "FleetResult",
+    "FleetSpec",
     "HIGH",
     "LOW",
     "OrderingResult",
@@ -120,6 +123,7 @@ __all__ = [
     "run_chaos_experiment",
     "run_churn_sensitivity",
     "run_deepdive_comparison",
+    "run_monitor_fleet",
     "run_ordering_experiment",
     "run_purchased_burst_demo",
     "run_response_time_experiment",

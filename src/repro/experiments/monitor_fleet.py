@@ -1,0 +1,372 @@
+"""A monitored fleet on live telemetry: the ``repro monitor`` workload.
+
+The paper's introduction is one account watched by one monitor; an
+operator running such a watchdog in production watches a *fleet* and
+needs to know, continuously, whether the watchdog itself is healthy.
+This module stages that scenario end to end on the live-simulation
+backend:
+
+* ``accounts`` organically growing targets on one
+  :class:`~repro.twitter.live.LiveSimulation`;
+* a :class:`~repro.growth.GrowthMonitor` polling each daily under a
+  deterministic :class:`~repro.faults.FaultPlan` (a mid-run 503 storm
+  degrades poll success);
+* a :class:`~repro.obs.live.LiveTelemetry` plane: poll-success SLO with
+  dual-window burn-rate alerting, the detector bridge raising
+  ``burst:<handle>`` alerts when one target buys followers mid-run;
+* burst alerts trigger an on-demand FC audit through the batch
+  scheduler on a **detached** clock, so investigation cost never skews
+  the monitoring timeline;
+* a :class:`~repro.obs.live.FleetDashboard` snapshotting every tick.
+
+Everything is keyed to the fleet clock's tick instants, which are
+identical whether alert-triggered audits run serially or scheduled —
+so snapshots and the alert log are byte-identical across the two modes
+(the CI smoke job diffs them against goldens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..audit import AuditRequest
+from ..core.clock import SimClock
+from ..core.errors import ConfigurationError, RetryableApiError
+from ..core.timeutil import DAY, HOUR, PAPER_EPOCH, YEAR
+from ..faults.plan import BurstSchedule, FaultPlan, InjectorSpec
+from ..growth import BurstDetector, GrowthMonitor
+from ..market import CHEAP_BULK, Marketplace
+from ..obs.live import (
+    DetectorBridge,
+    FleetDashboard,
+    LiveTelemetry,
+    SloSpec,
+)
+from ..obs.runtime import Observability, get_observability, observed
+from ..sched import BatchAuditScheduler
+from ..twitter import (
+    Account,
+    LiveSimulation,
+    OrganicGrowthProcess,
+    SocialGraph,
+    TweetingProcess,
+)
+
+#: First user id of the fleet's targets (``fleet_0`` upward).
+FLEET_BASE_ID = 52_000
+
+#: Streams shown on the dashboard, in display order.  The list is
+#: explicit (not "everything registered") so the snapshot shape is
+#: stable even if instrumented components grow new streams.
+FLEET_PANELS: Tuple[str, ...] = (
+    "polls.total",
+    "polls.ok",
+    "polls.failed",
+    "polls.faults",
+    "followers.fleet",
+    "api.requests",
+    "api.errors",
+    "api.retries",
+    "audits.completed",
+    "audits.fc",
+    "sched.batch_runs",
+    "sched.batch_audits",
+)
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything that parameterises one fleet-monitoring run.
+
+    The default scenario (200 ticks) contains two incidents: target
+    ``fleet_1`` buys ``purchase_quantity`` followers on tick
+    ``purchase_tick`` (a burst alert next poll), and a 503 storm hits
+    the poll path for ``storm_days`` days from ``storm_start_tick``
+    (a burn-rate page that resolves once the fast window drains).
+    """
+
+    seed: int = 42
+    accounts: int = 3
+    ticks: int = 200
+    organic_per_day: float = 150.0
+    purchase_tick: int = 30
+    purchase_quantity: int = 4000
+    storm_start_tick: int = 60
+    storm_days: int = 4
+    fault_probability: float = 0.02
+    storm_multiplier: float = 45.0
+    slo_objective: float = 0.98
+    burn_threshold: float = 10.0
+    burst_threshold: float = 6.0
+    burst_min_excess: int = 500
+    snapshot_every: int = 1
+    serial: bool = False
+
+    def __post_init__(self) -> None:
+        if self.accounts < 1:
+            raise ConfigurationError(
+                f"accounts must be >= 1: {self.accounts!r}")
+        if self.ticks < 1:
+            raise ConfigurationError(f"ticks must be >= 1: {self.ticks!r}")
+        if self.snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1: {self.snapshot_every!r}")
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ConfigurationError(
+                f"slo_objective must be in (0, 1): {self.slo_objective!r}")
+        if self.purchase_tick < 1 or self.storm_start_tick < 1:
+            raise ConfigurationError(
+                "purchase_tick and storm_start_tick must be >= 1")
+
+    @property
+    def handles(self) -> Tuple[str, ...]:
+        """The fleet's target handles, in polling order."""
+        return tuple(f"fleet_{index}" for index in range(self.accounts))
+
+    @property
+    def buyer(self) -> str:
+        """The handle that buys followers mid-run."""
+        return self.handles[min(1, self.accounts - 1)]
+
+    def fault_plan(self, start: float) -> FaultPlan:
+        """The poll path's weather: base 503 noise plus one storm."""
+        storm = BurstSchedule(
+            period=(self.ticks + 400) * DAY,
+            duration=self.storm_days * DAY,
+            multiplier=self.storm_multiplier,
+            phase=start + self.storm_start_tick * DAY,
+        )
+        return FaultPlan(injectors=(InjectorSpec(
+            kind="transient_503",
+            probability=self.fault_probability,
+            resources=("users/lookup",),
+            burst=storm,
+        ),), seed=self.seed + 17)
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one :func:`run_monitor_fleet` run."""
+
+    spec: FleetSpec
+    live: LiveTelemetry
+    snapshots: List[Dict[str, object]] = field(default_factory=list)
+    frames: List[str] = field(default_factory=list)
+    audits: List[Dict[str, object]] = field(default_factory=list)
+    followers: Dict[str, int] = field(default_factory=dict)
+    poll_failures: int = 0
+
+    @property
+    def alerts(self):
+        """The run's append-only alert log."""
+        return self.live.alerts
+
+    def summary(self) -> str:
+        """A compact after-action report of the run."""
+        fired, resolved = self.alerts.counts()
+        lines = [
+            f"monitored {self.spec.accounts} accounts for "
+            f"{self.spec.ticks} days "
+            f"({'serial' if self.spec.serial else 'batch'} audits)",
+            f"  poll failures: {self.poll_failures}",
+            f"  alerts: {fired} fired, {resolved} resolved, "
+            f"{len(self.alerts.active())} still active",
+        ]
+        for event in self.alerts.events:
+            details = dict(event.details)
+            extra = ""
+            if event.name.startswith("burst:") and event.kind == "fire":
+                extra = (f" (z = {details.get('z_score', 0.0):.1f}, "
+                         f"excess ~{details.get('excess', 0.0):.0f})")
+            elif event.name.startswith("slo:") and event.kind == "fire":
+                extra = (f" (burn fast {details.get('fast_burn', 0.0):.1f} / "
+                         f"slow {details.get('slow_burn', 0.0):.1f})")
+            day = (event.time - PAPER_EPOCH) / DAY
+            lines.append(
+                f"    day {day:6.1f}  {event.kind:<7} {event.name}{extra}")
+        for audit in self.audits:
+            lines.append(
+                f"  audit @{audit['handle']} on tick {audit['tick']}: "
+                f"{audit['fake_pct']}% fake "
+                f"({audit['sample_size']} sampled)")
+        for handle in sorted(self.followers):
+            lines.append(
+                f"  @{handle}: {self.followers[handle]} followers")
+        return "\n".join(lines)
+
+
+def _build_fleet(spec: FleetSpec, start: float) -> LiveSimulation:
+    """The fleet's graph, accounts, and background processes."""
+    graph = SocialGraph(seed=spec.seed)
+    for index, handle in enumerate(spec.handles):
+        graph.add_account(Account(
+            user_id=FLEET_BASE_ID + index,
+            screen_name=handle,
+            created_at=start - 2 * YEAR - index * 30 * DAY,
+            statuses_count=1200 + 37 * index,
+            last_tweet_at=start - HOUR,
+            followers_count=0,
+            friends_count=200 + 11 * index,
+        ))
+    simulation = LiveSimulation(graph, SimClock(start), seed=spec.seed + 1)
+    for index in range(spec.accounts):
+        simulation.add_process(OrganicGrowthProcess(
+            FLEET_BASE_ID + index, per_day=spec.organic_per_day))
+        simulation.add_process(TweetingProcess(
+            FLEET_BASE_ID + index, per_day=4.0))
+    return simulation
+
+
+def _build_live(spec: FleetSpec, simulation: LiveSimulation,
+                poll_clock: SimClock, start: float) -> LiveTelemetry:
+    """The telemetry plane: streams, SLO rule, detector bridge."""
+    live = LiveTelemetry(origin=start, pane_width=DAY)
+    graph = simulation.graph
+    ids = [FLEET_BASE_ID + index for index in range(spec.accounts)]
+    live.gauge_stream(
+        "followers.fleet",
+        lambda: float(sum(graph.follower_count(user_id, poll_clock.now())
+                          for user_id in ids)))
+    # Pre-create the SLO streams so evaluation never references a
+    # stream that has not seen its first event yet.
+    for name in ("polls.total", "polls.ok", "polls.failed"):
+        live.value_stream(name)
+    live.add_slo(SloSpec(
+        name="poll-success",
+        good_stream="polls.ok",
+        total_stream="polls.total",
+        objective=spec.slo_objective,
+        fast_horizon=3 * DAY,
+        slow_horizon=8 * DAY,
+        burn_threshold=spec.burn_threshold,
+        min_events=max(1, 2 * spec.accounts),
+    ))
+    live.attach_bridge(DetectorBridge(
+        live.alerts,
+        detector=BurstDetector(threshold=spec.burst_threshold,
+                               min_excess=spec.burst_min_excess),
+        origin=start,
+    ))
+    return live
+
+
+def _alert_audits(spec: FleetSpec, simulation: LiveSimulation,
+                  handles: List[str], detector, tick: int, now: float
+                  ) -> List[Dict[str, object]]:
+    """Investigate burst alerts: FC audits on a detached clock.
+
+    The scheduler gets a throwaway clock pinned to the fleet's current
+    instant, so the (mode-dependent) makespan of the investigation
+    never advances the monitoring timeline — the next poll happens at
+    the same simulated instant whether audits ran serially or batched.
+    """
+    scheduler = BatchAuditScheduler(
+        simulation.graph, SimClock(now),
+        engines=("fc",), lane_slots=1,
+        detector=detector, seed=spec.seed,
+        shared_cache=False, serial=spec.serial)
+    for handle in handles:
+        scheduler.submit(AuditRequest(target=handle, as_of=now))
+    batch = scheduler.run()
+    outcomes = []
+    for item in batch.items:
+        report = item.report
+        outcomes.append({
+            "tick": tick,
+            "handle": item.request.target,
+            "engine": item.lane,
+            "fake_pct": report.fake_pct if report is not None else None,
+            "sample_size": report.sample_size if report is not None else 0,
+        })
+    return outcomes
+
+
+def run_monitor_fleet(spec: FleetSpec = FleetSpec(),
+                      start: float = PAPER_EPOCH) -> FleetResult:
+    """Run the fleet-monitoring scenario; returns the full result.
+
+    Activates an observability context (reusing the caller's, when one
+    is on) and attaches a live-telemetry plane for the duration, so
+    the instrumented hot paths — API client, engines, scheduler — feed
+    the streams without the workload threading a handle through them.
+    """
+    active = get_observability()
+    context = active if isinstance(active, Observability) else None
+    with observed(context) as obs:
+        if obs.live is not None:
+            raise ConfigurationError(
+                "a live-telemetry plane is already attached; "
+                "run_monitor_fleet needs its own")
+        simulation = _build_fleet(spec, start)
+        # The monitor polls over the API, which charges request latency
+        # to its clock.  A separate poll clock keeps the simulation
+        # clock advancing only through run_until(), so queued events
+        # are never overtaken; the graph itself is shared.
+        poll_clock = SimClock(start)
+        live = _build_live(spec, simulation, poll_clock, start)
+        obs.attach_live(live)
+        try:
+            return _run(spec, simulation, live, poll_clock, start)
+        finally:
+            obs.detach_live()
+
+
+def _run(spec: FleetSpec, simulation: LiveSimulation, live: LiveTelemetry,
+         poll_clock: SimClock, start: float) -> FleetResult:
+    """The daily monitoring loop (see the module docstring)."""
+    graph = simulation.graph
+    monitor = GrowthMonitor(graph, poll_clock,
+                            faults=spec.fault_plan(start))
+    live.counter_stream(
+        "polls.faults", lambda: float(monitor.client.faults_seen))
+    market = Marketplace(simulation, seed=spec.seed + 2)
+    dashboard = FleetDashboard(live, panels=FLEET_PANELS,
+                               horizon=3 * DAY, title="fleet health")
+    result = FleetResult(spec=spec, live=live)
+    fc_detector = None
+
+    for tick in range(spec.ticks):
+        tick_time = start + tick * DAY
+        if simulation.now() < tick_time:
+            simulation.run_until(tick_time)
+        if poll_clock.now() < tick_time:
+            poll_clock.advance_to(tick_time)
+        if tick == spec.purchase_tick:
+            market.place_order(
+                CHEAP_BULK,
+                FLEET_BASE_ID + spec.handles.index(spec.buyer),
+                spec.purchase_quantity)
+        events_before = len(live.alerts.events)
+        for handle in spec.handles:
+            try:
+                at, count = monitor.poll(handle)
+            except RetryableApiError:
+                at = poll_clock.now()
+                result.poll_failures += 1
+                live.note("polls.total", at)
+                live.note("polls.failed", at)
+            else:
+                result.followers[handle] = count
+                live.note("polls.total", at)
+                live.note("polls.ok", at)
+        now = live.tick(poll_clock.now())
+        burst_handles = sorted({
+            event.name.split(":", 1)[1]
+            for event in live.alerts.events[events_before:]
+            if event.kind == "fire" and event.name.startswith("burst:")})
+        if burst_handles:
+            if fc_detector is None:
+                from ..fc.engine import default_detector
+                fc_detector = default_detector(spec.seed)
+            result.audits.extend(_alert_audits(
+                spec, simulation, burst_handles, fc_detector, tick, now))
+        if tick % spec.snapshot_every == 0 or tick == spec.ticks - 1:
+            snapshot = dashboard.snapshot(now, fleet={
+                "followers": dict(sorted(result.followers.items())),
+                "audits_run": len(result.audits),
+                "poll_failures": result.poll_failures,
+            })
+            result.snapshots.append(snapshot)
+            result.frames.append(dashboard.render(snapshot))
+    return result

@@ -83,7 +83,8 @@ class FakeClassifierEngine:
             acquisition_cache=acquisition_cache,
         )
         self._crawler = Crawler(self._client)
-        self._tracer = get_observability().tracer
+        self._obs = get_observability()
+        self._tracer = self._obs.tracer
         self._detector = detector if detector is not None else default_detector(seed)
         self._sample_size = sample_size
         self._processing_seconds = processing_seconds
@@ -177,6 +178,10 @@ class FakeClassifierEngine:
                          errors_seen: int, followers_count: int,
                          reason: str) -> AuditReport:
         """The empty, degraded answer for an unrecoverable acquisition."""
+        live = self._obs.live
+        if live is not None:
+            live.on_audit(self.name, self._clock.now(), cached=False,
+                          completeness=0.0)
         return AuditReport(
             tool=self.name,
             target=screen_name,
@@ -295,6 +300,11 @@ class FakeClassifierEngine:
         expected_sample = min(self._sample_size, population)
         sample_part = (min(1.0, len(users) / expected_sample)
                        if expected_sample > 0 else 1.0)
+        live = self._obs.live
+        if live is not None:
+            live.on_audit(self.name, self._clock.now(), cached=False,
+                          completeness=frame_part * sample_part
+                          * timeline_part)
         return AuditReport(
             tool=self.name,
             target=screen_name,

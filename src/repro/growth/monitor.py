@@ -16,6 +16,7 @@ from ..api.client import TwitterApiClient
 from ..core.clock import SimClock
 from ..core.errors import ConfigurationError
 from ..core.timeutil import DAY
+from ..obs.runtime import get_observability
 from ..twitter.population import World
 from .detector import BurstDetector, BurstEvent
 from .series import GrowthSeries, series_from_observations
@@ -45,8 +46,10 @@ class GrowthMonitor:
     """
 
     def __init__(self, world: World, clock: SimClock,
-                 detector: BurstDetector = None) -> None:
-        self._client = TwitterApiClient(world, clock)
+                 detector: BurstDetector = None, *,
+                 faults=None, retry=None) -> None:
+        self._client = TwitterApiClient(world, clock, faults=faults,
+                                        retry=retry)
         self._clock = clock
         self._detector = detector if detector is not None else BurstDetector()
 
@@ -54,6 +57,23 @@ class GrowthMonitor:
     def client(self) -> TwitterApiClient:
         """The monitor's API client (exposes its call log)."""
         return self._client
+
+    def poll(self, handle: str) -> Tuple[float, int]:
+        """One follower-count reading at the current simulated instant.
+
+        When a live-telemetry plane is attached to the active
+        observability context, the reading also feeds the detector
+        bridge (``repro.obs.live``), which turns the stream of counter
+        reads into daily arrival series and ``burst:<handle>`` alerts.
+        Raises whatever the API raises (e.g. an injected fault), so a
+        caller running under a fault plan can count failed polls.
+        """
+        now = self._clock.now()
+        user = self._client.users_show(screen_name=handle)
+        live = get_observability().live
+        if live is not None:
+            live.observe_followers(handle, now, user.followers_count)
+        return now, user.followers_count
 
     def observe(self, handle: str, days: int) -> GrowthSeries:
         """Poll the account once per simulated day for ``days`` + 1 readings."""

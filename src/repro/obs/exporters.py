@@ -89,6 +89,40 @@ def write_trace_jsonl(tracer, path) -> "pathlib.Path":
     return target
 
 
+def load_trace_jsonl(path, *, tolerate_truncation: bool = True
+                     ) -> Tuple[List[Dict[str, object]], bool]:
+    """Load a JSONL trace dump, tolerating a truncated final line.
+
+    A trace file copied out of a *running* experiment usually ends in a
+    partial line (the writer was mid-record).  With
+    ``tolerate_truncation`` (the default) a final line that fails to
+    parse is dropped and reported via the returned flag; malformed
+    lines anywhere *else* still raise — those indicate corruption, not
+    an in-flight write.
+
+    Returns ``(spans, truncated)`` where ``spans`` is a list of span
+    dicts (the :func:`span_to_dict` shape) and ``truncated`` says
+    whether a partial final line was dropped.
+    """
+    target = pathlib.Path(path)
+    spans: List[Dict[str, object]] = []
+    truncated = False
+    with target.open("r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            spans.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            if tolerate_truncation and number == len(lines):
+                truncated = True
+                break
+            raise ConfigurationError(
+                f"{target}:{number}: malformed trace line: {error}")
+    return spans, truncated
+
+
 # ---------------------------------------------------------------------------
 # Metrics → Prometheus text exposition
 # ---------------------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""Streaming telemetry on the sim clock: windows, SLOs, dashboards.
+
+The live counterpart to the post-hoc exporters: deterministic windowed
+metric streams (:mod:`.windows`), dual-window error-budget burn-rate
+alerting (:mod:`.slo`), a burst-detector bridge (:mod:`.bridge`), and
+the fleet health dashboard (:mod:`.dashboard`) — all coordinated by
+one :class:`~repro.obs.live.telemetry.LiveTelemetry` plane attached to
+the active observability context.  See ``docs/observability.md``.
+"""
+
+from .bridge import DetectorBridge
+from .dashboard import FleetDashboard, snapshot_to_json
+from .slo import AlertEvent, AlertLog, SloEvaluator, SloSpec, SloStatus
+from .telemetry import LiveTelemetry
+from .windows import (
+    CounterRateStream,
+    GaugeStream,
+    WindowAggregate,
+    WindowPoint,
+    WindowSpec,
+    WindowStream,
+)
+
+__all__ = [
+    "AlertEvent",
+    "AlertLog",
+    "CounterRateStream",
+    "DetectorBridge",
+    "FleetDashboard",
+    "GaugeStream",
+    "LiveTelemetry",
+    "SloEvaluator",
+    "SloSpec",
+    "SloStatus",
+    "WindowAggregate",
+    "WindowPoint",
+    "WindowSpec",
+    "WindowStream",
+    "snapshot_to_json",
+]

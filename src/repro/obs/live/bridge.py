@@ -1,0 +1,142 @@
+"""Detector bridge: follower-count streams into burst alerts.
+
+The :class:`~repro.growth.detector.BurstDetector` was built for
+post-campaign analysis (hand it a finished series, read the verdict).
+A live monitor wants the same robust statistics evaluated *as each
+daily reading lands*, with findings surfacing through the same alert
+pipeline as SLO burn-rate pages.  The bridge keeps a bounded per-handle
+observation history, mirrors each reading into a follower-count
+:class:`~repro.obs.live.windows.GaugeStream`-style window stream, and
+re-runs the detector incrementally:
+
+* a **new** burst day (one not previously reported for the handle)
+  fires ``burst:<handle>``;
+* a subsequent burst-free day resolves it — the account has returned
+  to its organic baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Set, Tuple
+
+from ...core.errors import ConfigurationError
+from ...core.timeutil import DAY
+from .slo import AlertLog
+from .windows import WindowSpec, WindowStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...growth.detector import BurstDetector
+
+# repro.growth sits above the API client, which itself imports
+# repro.obs — so the bridge resolves the detector machinery lazily
+# (first use) rather than at import time.
+
+
+class DetectorBridge:
+    """Feeds follower-count readings through burst detection into alerts.
+
+    Parameters
+    ----------
+    alerts:
+        The shared :class:`AlertLog` fire/resolve transitions land in.
+    detector:
+        The :class:`BurstDetector` to run (default thresholds when
+        omitted).  Threshold configuration flows straight through —
+        a stricter detector simply fires fewer alerts.
+    min_history:
+        Observations required before detection runs.  N readings yield
+        N-1 daily arrivals and the detector needs >= 4 days, so the
+        floor is 5; more history stabilises the baseline.
+    max_history:
+        Bounded per-handle memory: older readings roll off, exactly as
+        a windowed monitor forgets the distant past.
+    origin:
+        Anchor for the per-handle follower window streams' panes
+        (normally the fleet's start instant).
+    """
+
+    def __init__(self, alerts: AlertLog,
+                 detector: Optional["BurstDetector"] = None, *,
+                 min_history: int = 8, max_history: int = 256,
+                 origin: float = 0.0) -> None:
+        if min_history < 5:
+            raise ConfigurationError(
+                f"min_history must be >= 5 (N readings give N-1 daily "
+                f"arrivals; the detector needs 4): {min_history!r}")
+        if max_history < min_history:
+            raise ConfigurationError(
+                f"max_history must be >= min_history: {max_history!r}")
+        if detector is None:
+            from ...growth.detector import BurstDetector
+            detector = BurstDetector()
+        self._alerts = alerts
+        self._detector = detector
+        self._min_history = min_history
+        self._max_history = max_history
+        self._origin = origin
+        self._observations: Dict[str, Deque[Tuple[float, int]]] = {}
+        self._reported: Dict[str, Set[float]] = {}
+        self._streams: Dict[str, WindowStream] = {}
+
+    @property
+    def detector(self) -> "BurstDetector":
+        """The detector instance evaluating each handle's series."""
+        return self._detector
+
+    def stream(self, handle: str) -> Optional[WindowStream]:
+        """The follower-count window stream of ``handle``, if any."""
+        return self._streams.get(handle)
+
+    def streams(self) -> Dict[str, WindowStream]:
+        """Every per-handle follower stream, keyed by handle."""
+        return dict(self._streams)
+
+    def observe(self, handle: str, t: float, followers_count: int) -> bool:
+        """Record one daily reading; returns whether a new alert fired.
+
+        Readings must be strictly chronological per handle (the series
+        builder enforces it).  Detection runs once ``min_history``
+        readings have accumulated.
+        """
+        history = self._observations.get(handle)
+        if history is None:
+            history = deque(maxlen=self._max_history)
+            self._observations[handle] = history
+            self._reported[handle] = set()
+            self._streams[handle] = WindowStream(
+                f"followers:{handle}",
+                WindowSpec(width=DAY, origin=self._origin))
+        history.append((t, int(followers_count)))
+        self._streams[handle].observe(t, float(followers_count))
+        if len(history) < self._min_history:
+            return False
+        return self._evaluate(handle, t)
+
+    def _evaluate(self, handle: str, now: float) -> bool:
+        from ...growth.series import series_from_observations
+        series = series_from_observations(list(self._observations[handle]))
+        bursts = self._detector.detect(series)
+        burst_starts = {event.start_time for event in bursts}
+        reported = self._reported[handle]
+        # History rolls off the deque; forget reported days with it so
+        # the set stays bounded too.
+        reported &= {series.day_start(day) for day in range(len(series))} \
+            | burst_starts
+        fresh = [event for event in bursts
+                 if event.start_time not in reported]
+        name = f"burst:{handle}"
+        if fresh:
+            strongest = fresh[0]  # detect() sorts strongest first
+            reported.update(event.start_time for event in fresh)
+            self._alerts.fire(
+                now, name, severity="page",
+                day=strongest.day, arrivals=strongest.arrivals,
+                baseline=strongest.baseline, z_score=strongest.z_score,
+                excess=strongest.excess)
+            return True
+        # The latest completed day is burst-free: the spike is over.
+        latest_start = series.day_start(len(series) - 1)
+        if self._alerts.is_active(name) and latest_start not in burst_starts:
+            self._alerts.resolve(now, name, day=len(series) - 1)
+        return False

@@ -1,0 +1,293 @@
+"""Windowed metric streams on the simulated clock.
+
+The post-hoc exporters in :mod:`repro.obs.exporters` answer "what
+happened over the whole run"; a monitor needs "what is happening *right
+now*".  This module provides the streaming half: tumbling windows
+(panes) with deterministic boundaries derived purely from the
+:class:`~repro.core.clock.SimClock` timeline, incremental aggregation,
+and bounded memory.  Sliding-window questions ("error ratio over the
+last three days") are answered by aggregating the trailing run of
+panes, so one pane ring serves every horizon.
+
+Determinism contract: pane ``k`` of a :class:`WindowSpec` covers
+``[origin + k*width, origin + (k+1)*width)`` — boundaries depend only
+on the spec, never on when observations happen to arrive.  Two replays
+that feed the same ``(time, value)`` sequence produce byte-identical
+:class:`WindowPoint` sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+from ...core.errors import ConfigurationError
+
+#: Upper bound on closed panes a stream may retain.
+MAX_RETAIN = 4096
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Deterministic tumbling-window geometry.
+
+    ``width`` is the pane width in simulated seconds; ``origin`` anchors
+    pane 0's left edge (pane boundaries are ``origin + k*width``);
+    ``retain`` bounds how many *closed* panes a stream keeps — memory is
+    O(retain) no matter how long the run is.
+    """
+
+    width: float
+    origin: float = 0.0
+    retain: int = 256
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError(f"width must be > 0: {self.width!r}")
+        if not 1 <= self.retain <= MAX_RETAIN:
+            raise ConfigurationError(
+                f"retain must be in [1, {MAX_RETAIN}]: {self.retain!r}")
+
+    def index_of(self, t: float) -> int:
+        """The pane index whose window contains instant ``t``."""
+        return int(math.floor((t - self.origin) / self.width))
+
+    def bounds(self, index: int) -> Tuple[float, float]:
+        """The ``[start, end)`` window of pane ``index``."""
+        start = self.origin + index * self.width
+        return start, start + self.width
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """One closed (or in-flight) pane's aggregate.
+
+    ``count``/``sum``/``min``/``max``/``last`` summarise the values the
+    pane absorbed; an empty pane has ``count == 0`` and ``None`` for
+    the extrema.
+    """
+
+    index: int
+    start: float
+    end: float
+    count: int
+    sum: float
+    min: Optional[float]
+    max: Optional[float]
+    last: Optional[float]
+
+    @property
+    def mean(self) -> float:
+        """Mean value of the pane (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class WindowAggregate:
+    """Aggregate of a trailing run of panes (a sliding-window answer)."""
+
+    start: float
+    end: float
+    panes: int
+    count: int
+    sum: float
+    min: Optional[float]
+    max: Optional[float]
+    last: Optional[float]
+
+    @property
+    def mean(self) -> float:
+        """Mean over every value in the horizon (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class _PaneAccumulator:
+    """Mutable running aggregate of the currently open pane."""
+
+    __slots__ = ("index", "count", "sum", "min", "max", "last")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the pane."""
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.last = value
+
+    def freeze(self, spec: WindowSpec) -> WindowPoint:
+        """The immutable snapshot of this pane."""
+        start, end = spec.bounds(self.index)
+        return WindowPoint(index=self.index, start=start, end=end,
+                           count=self.count, sum=self.sum,
+                           min=self.min, max=self.max, last=self.last)
+
+
+class WindowStream:
+    """A named stream of values aggregated into tumbling panes.
+
+    Feed it with :meth:`observe`; panes close as simulated time crosses
+    their right edge (empty panes are skipped entirely, so a sparse
+    stream stays cheap).  Observations are clamped forward onto the
+    open pane when their timestamp falls in an already-closed pane —
+    interleaved schedules (the batch scheduler's per-slot clocks) are
+    not monotone, and silently re-opening history would break the
+    bounded-memory and determinism contracts.
+    """
+
+    def __init__(self, name: str, spec: WindowSpec) -> None:
+        if not name:
+            raise ConfigurationError("a window stream needs a name")
+        self.name = name
+        self.spec = spec
+        self._closed: Deque[WindowPoint] = deque(maxlen=spec.retain)
+        self._open: Optional[_PaneAccumulator] = None
+        self._total_count = 0
+        self._total_sum = 0.0
+
+    # -- feeding ------------------------------------------------------------
+
+    def observe(self, t: float, value: float) -> None:
+        """Record ``value`` at simulated instant ``t``."""
+        index = self.spec.index_of(t)
+        pane = self._roll_to(index)
+        pane.add(float(value))
+        self._total_count += 1
+        self._total_sum += float(value)
+
+    def close_until(self, t: float) -> None:
+        """Close every pane that ends at or before instant ``t``.
+
+        Called on clock ticks so trailing queries see up-to-date pane
+        boundaries even when no values arrived recently.
+        """
+        index = self.spec.index_of(t)
+        if self._open is not None and self._open.index < index:
+            self._closed.append(self._open.freeze(self.spec))
+            self._open = None
+
+    def _roll_to(self, index: int) -> _PaneAccumulator:
+        if self._open is None:
+            self._open = _PaneAccumulator(index)
+        elif index > self._open.index:
+            self._closed.append(self._open.freeze(self.spec))
+            self._open = _PaneAccumulator(index)
+        # index <= open.index: clamp into the open pane (see class doc).
+        return self._open
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total_count(self) -> int:
+        """Observations absorbed over the stream's whole lifetime."""
+        return self._total_count
+
+    @property
+    def total_sum(self) -> float:
+        """Sum of every value absorbed over the stream's lifetime."""
+        return self._total_sum
+
+    def points(self) -> Tuple[WindowPoint, ...]:
+        """Closed panes (oldest first) plus the open pane, if any."""
+        out = tuple(self._closed)
+        if self._open is not None:
+            out += (self._open.freeze(self.spec),)
+        return out
+
+    def latest(self) -> Optional[WindowPoint]:
+        """The most recent pane holding data, or ``None``."""
+        points = self.points()
+        return points[-1] if points else None
+
+    def trailing(self, now: float, horizon: float) -> WindowAggregate:
+        """Aggregate every pane overlapping ``(now - horizon, now]``.
+
+        The sliding-window query: sums/counts over the trailing run of
+        panes whose window ends after the cutoff.  Panes older than the
+        retention ring contribute nothing (documented memory bound).
+        """
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0: {horizon!r}")
+        cutoff = now - horizon
+        count = 0
+        total = 0.0
+        low: Optional[float] = None
+        high: Optional[float] = None
+        last: Optional[float] = None
+        for point in self.points():
+            if point.end <= cutoff:
+                continue
+            count += point.count
+            total += point.sum
+            if point.min is not None:
+                low = point.min if low is None else min(low, point.min)
+            if point.max is not None:
+                high = point.max if high is None else max(high, point.max)
+            if point.last is not None:
+                last = point.last
+        return WindowAggregate(start=cutoff, end=now, panes=len(self.points()),
+                               count=count, sum=total,
+                               min=low, max=high, last=last)
+
+
+class GaugeStream(WindowStream):
+    """A window stream fed by sampling a level on every tick.
+
+    ``probe`` returns the current level (queue depth, follower count,
+    tokens left); :meth:`sample` records it into the pane containing
+    the tick instant.
+    """
+
+    def __init__(self, name: str, spec: WindowSpec,
+                 probe: Callable[[], float]) -> None:
+        super().__init__(name, spec)
+        self._probe = probe
+
+    def sample(self, t: float) -> None:
+        """Sample the probe at instant ``t``."""
+        self.observe(t, float(self._probe()))
+
+
+class CounterRateStream(WindowStream):
+    """A window stream of *deltas* of a cumulative counter.
+
+    ``probe`` returns a monotone cumulative total (e.g. a registry
+    counter's value); each :meth:`sample` attributes the increase since
+    the previous sample to the pane containing the tick instant, so a
+    pane's ``sum`` is the event count landing in that window.
+    """
+
+    def __init__(self, name: str, spec: WindowSpec,
+                 probe: Callable[[], float]) -> None:
+        super().__init__(name, spec)
+        self._probe = probe
+        self._last_total: Optional[float] = None
+
+    def sample(self, t: float) -> None:
+        """Sample the cumulative probe and record the delta at ``t``."""
+        total = float(self._probe())
+        previous = self._last_total
+        self._last_total = total
+        if previous is None:
+            # First sample establishes the baseline; rates start at the
+            # second tick, as with any counter scrape.
+            self.close_until(t)
+            return
+        delta = total - previous
+        if delta < 0:
+            raise ConfigurationError(
+                f"counter stream {self.name!r} went backwards: "
+                f"{previous!r} -> {total!r}")
+        if delta > 0:
+            self.observe(t, delta)
+        else:
+            self.close_until(t)

@@ -165,14 +165,37 @@ class Histogram:
 
         The ``histogram_quantile`` estimate: find the bucket the rank
         falls into and interpolate linearly inside it (the first bucket
-        interpolates from zero).  Ranks landing in the ``+Inf`` bucket
-        clamp to the highest finite edge — the estimate cannot exceed
-        what the buckets can resolve.  Returns 0.0 with no observations.
+        interpolates from zero).  Documented edge-case sentinels, so no
+        input produces an index error:
+
+        * **empty histogram** — returns ``0.0``;
+        * **q = 0** — the lower edge of the lowest occupied bucket
+          (``0.0`` for the first bucket);
+        * **q = 1** — the upper edge of the highest occupied *finite*
+          bucket;
+        * ranks landing in the ``+Inf`` bucket (including ``q = 1``
+          when only ``+Inf`` holds data) clamp to the highest finite
+          edge — the estimate cannot exceed what the buckets resolve;
+        * a **single-bucket** histogram degenerates to interpolating
+          inside ``[0, edge]`` and clamping at ``edge``.
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1]: {q!r}")
         if self._count == 0:
             return 0.0
+        if q == 0.0:
+            lower = 0.0
+            for edge, count in zip(self.buckets, self._counts[:-1]):
+                if count:
+                    return lower
+                lower = edge
+            return self.buckets[-1]
+        if q == 1.0:
+            highest = None
+            for edge, count in zip(self.buckets, self._counts[:-1]):
+                if count:
+                    highest = edge
+            return highest if highest is not None else self.buckets[-1]
         rank = q * self._count
         cumulative = 0
         lower = 0.0

@@ -49,6 +49,19 @@ class Observability:
         self.tracer: Tracer = Tracer(clock)
         self.call_logs: List[object] = []
         self.caches: List[object] = []
+        #: The streaming telemetry plane (``repro.obs.live``), or
+        #: ``None``.  Hot paths guard with one ``is None`` check, so
+        #: runs without live telemetry pay nothing.
+        self.live = None
+
+    def attach_live(self, live) -> object:
+        """Install a :class:`~repro.obs.live.LiveTelemetry` plane."""
+        self.live = live
+        return live
+
+    def detach_live(self) -> None:
+        """Remove the streaming telemetry plane."""
+        self.live = None
 
     def register_call_log(self, log: object) -> None:
         """Track one client's call log for end-of-run aggregation."""
@@ -104,6 +117,14 @@ class NullObservability:
     tracer: NullTracer = NULL_TRACER
     call_logs: List[object] = []
     caches: List[object] = []
+    live = None
+
+    def attach_live(self, live) -> object:
+        """Refuse politely: the disabled context records nothing."""
+        return live
+
+    def detach_live(self) -> None:
+        """Nothing to detach."""
 
     def register_call_log(self, log: object) -> None:
         """Ignore the log."""

@@ -258,6 +258,7 @@ class BatchAuditScheduler:
         self._coalesced_hits = 0
         self._coalesce_map: Dict[Tuple[str, str, bool], BatchItem] = {}
         obs = get_observability()
+        self._obs = obs
         self._registry = obs.registry
         self._tracer = obs.tracer
         self._queue_gauge = None
@@ -423,6 +424,11 @@ class BatchAuditScheduler:
             makespan = self._run_scheduled(epoch)
         self._set_queue_depth()
         self._publish_run_metrics(makespan)
+        live = self._obs.live
+        if live is not None:
+            # Keyed to the admission epoch (mode-invariant), not the
+            # finish instant (which depends on the scheduling mode).
+            live.on_batch_run(epoch, makespan, executed=len(run_items))
 
         lanes = []
         for name in self._lane_order:

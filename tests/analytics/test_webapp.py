@@ -107,3 +107,38 @@ class TestWithFcEngine:
         second = app.check(session, "smalltown")
         assert second.cached
         assert "previously computed" in app.report_page(second)
+
+
+class TestStatusPage:
+    def test_degrades_without_live_telemetry(self, app):
+        page = app.status_page()
+        assert "statuspeople service status" in page
+        assert "live telemetry: not attached" in page
+
+    def test_reads_the_attached_telemetry_plane(self, small_world):
+        from repro.obs import Observability, observed
+        from repro.obs.live import LiveTelemetry, SloSpec
+
+        obs = Observability(SimClock(PAPER_EPOCH))
+        live = LiveTelemetry(origin=PAPER_EPOCH, pane_width=DAY)
+        live.value_stream("checks.total")
+        live.value_stream("checks.ok")
+        live.add_slo(SloSpec(
+            name="check-success", good_stream="checks.ok",
+            total_stream="checks.total", objective=0.9,
+            fast_horizon=DAY, slow_horizon=3 * DAY,
+            burn_threshold=2.0, min_events=1))
+        live.alerts.fire(PAPER_EPOCH, "burst:suspect", severity="page")
+        obs.attach_live(live)
+        with observed(obs):
+            # Engines capture the active observability at construction,
+            # so the instrumented app is built inside the context.
+            engine = StatusPeopleFakers(
+                small_world, SimClock(PAPER_EPOCH), seed=6)
+            app = HostedCheckerApp(engine, daily_checks_per_user=3)
+            session = app.authorize("curious_user")
+            app.check(session, "smalltown")
+            page = app.status_page()
+        assert "alerts: 1 active (1 fired, 0 resolved): burst:suspect" in page
+        assert "slo check-success" in page
+        assert "audits completed: 1" in page

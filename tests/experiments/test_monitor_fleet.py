@@ -1,0 +1,162 @@
+"""End-to-end tests for the monitored fleet (repro monitor workload).
+
+The golden alert log in ``golden/monitor_fleet_alerts.jsonl`` pins the
+seeded incident scenario: the purchased-follower burst fires and
+resolves, then the 503 storm pages the poll-success SLO.  The CI smoke
+job diffs a CLI run against the same golden.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import ConfigurationError
+from repro.experiments.monitor_fleet import FleetSpec, run_monitor_fleet
+from repro.obs.live import snapshot_to_json
+
+GOLDEN = Path(__file__).parent / "golden" / "monitor_fleet_alerts.jsonl"
+
+#: The compressed incident scenario every test below shares: purchase
+#: on day 12, a three-day 503 storm from day 20, 40 monitored days.
+SPEC = FleetSpec(ticks=40, purchase_tick=12, storm_start_tick=20,
+                 storm_days=3)
+
+
+@pytest.fixture(scope="module")
+def fleet_result():
+    return run_monitor_fleet(SPEC)
+
+
+def _alert_names(result):
+    return [(event.kind, event.name) for event in result.alerts.events]
+
+
+class TestScenario:
+    def test_alert_log_matches_golden(self, fleet_result):
+        assert fleet_result.alerts.to_jsonl() == GOLDEN.read_text(
+            encoding="utf-8")
+
+    def test_burst_fires_on_the_buyer_and_resolves(self, fleet_result):
+        names = _alert_names(fleet_result)
+        buyer = SPEC.buyer
+        assert ("fire", f"burst:{buyer}") in names
+        assert ("resolve", f"burst:{buyer}") in names
+
+    def test_storm_pages_the_slo_and_recovers(self, fleet_result):
+        names = _alert_names(fleet_result)
+        assert ("fire", "slo:poll-success") in names
+        assert ("resolve", "slo:poll-success") in names
+        assert fleet_result.alerts.active() == ()
+
+    def test_burst_triggers_an_fc_audit_of_the_buyer(self, fleet_result):
+        (audit,) = fleet_result.audits
+        assert audit["handle"] == SPEC.buyer
+        assert audit["engine"] == "fc"
+        assert audit["fake_pct"] > 10.0  # the purchase is visible
+
+    def test_storm_degrades_polls_but_retries_absorb_most(self, fleet_result):
+        assert fleet_result.poll_failures > 0
+        live = fleet_result.live
+        faults = live.streams()["polls.faults"].total_sum
+        assert faults > fleet_result.poll_failures  # retry pressure
+
+    def test_snapshots_cover_every_tick(self, fleet_result):
+        assert len(fleet_result.snapshots) == SPEC.ticks
+        final = fleet_result.snapshots[-1]
+        assert final["fleet"]["audits_run"] == 1
+        assert set(final["fleet"]["followers"]) == set(SPEC.handles)
+
+    def test_summary_reads_as_an_after_action_report(self, fleet_result):
+        summary = fleet_result.summary()
+        assert "monitored 3 accounts for 40 days" in summary
+        assert "burst:fleet_1" in summary
+        assert "slo:poll-success" in summary
+
+
+class TestDeterminism:
+    def test_two_runs_are_byte_identical(self, fleet_result):
+        again = run_monitor_fleet(SPEC)
+        assert again.alerts.to_jsonl() == fleet_result.alerts.to_jsonl()
+        assert ([snapshot_to_json(s) for s in again.snapshots]
+                == [snapshot_to_json(s) for s in fleet_result.snapshots])
+
+    def test_serial_audits_do_not_perturb_telemetry(self, fleet_result):
+        serial = run_monitor_fleet(
+            FleetSpec(ticks=40, purchase_tick=12, storm_start_tick=20,
+                      storm_days=3, serial=True))
+        assert serial.alerts.to_jsonl() == fleet_result.alerts.to_jsonl()
+        assert ([snapshot_to_json(s) for s in serial.snapshots]
+                == [snapshot_to_json(s) for s in fleet_result.snapshots])
+        assert serial.audits == fleet_result.audits
+
+
+class TestSpecValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(accounts=0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(ticks=0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(slo_objective=1.0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(snapshot_every=0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(purchase_tick=0)
+
+    def test_single_account_fleet_buys_for_itself(self):
+        assert FleetSpec(accounts=1).buyer == "fleet_0"
+
+
+class TestMonitorCli:
+    def test_fleet_run_writes_alerts_and_snapshots(self, tmp_path, capsys):
+        alerts_path = tmp_path / "alerts.jsonl"
+        snaps_path = tmp_path / "snaps.jsonl"
+        code = main([
+            "monitor", "--ticks", "40", "--cadence", "20", "--dashboard",
+            "--alerts-out", str(alerts_path),
+            "--snapshots-out", str(snaps_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet health" in out
+        assert "monitored 3 accounts for 40 days" in out
+        alert_lines = alerts_path.read_text(
+            encoding="utf-8").strip().splitlines()
+        assert all(json.loads(line)["name"] for line in alert_lines)
+        assert len(snaps_path.read_text(
+            encoding="utf-8").strip().splitlines()) == 40
+
+    def test_without_ticks_runs_the_paper_demo(self, capsys):
+        assert main(["monitor"]) == 0
+        assert "ALERT: burst" in capsys.readouterr().out
+
+
+class TestStatsCli:
+    def test_digests_a_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        spans = [
+            {"span_id": 1, "parent_id": None, "name": "audit",
+             "start": 0.0, "end": 2.0, "duration": 2.0, "attributes": {}},
+            {"span_id": 2, "parent_id": 1, "name": "api.call",
+             "start": 0.5, "end": 1.0, "duration": 0.5, "attributes": {}},
+        ]
+        path.write_text("".join(json.dumps(s) + "\n" for s in spans),
+                        encoding="utf-8")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans" in out
+        assert "audit" in out and "api.call" in out
+
+    def test_tolerates_a_mid_write_truncated_tail(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        full = json.dumps({"span_id": 1, "parent_id": None, "name": "a",
+                           "start": 0.0, "end": 1.0, "duration": 1.0,
+                           "attributes": {}}) + "\n"
+        path.write_text(full + '{"span_id": 2, "name": "b", "sta',
+                        encoding="utf-8")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 spans" in out
+        assert "truncated final line dropped" in out

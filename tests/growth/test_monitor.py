@@ -63,3 +63,31 @@ class TestGrowthMonitor:
         monitor = GrowthMonitor(small_world, SimClock(PAPER_EPOCH))
         with pytest.raises(ConfigurationError):
             monitor.observe("smalltown", days=0)
+
+
+class TestPoll:
+    def test_single_reading_at_the_current_instant(self, small_world):
+        clock = SimClock(PAPER_EPOCH)
+        monitor = GrowthMonitor(small_world, clock)
+        at, count = monitor.poll("smalltown")
+        assert at == PAPER_EPOCH  # stamped before the call's latency
+        assert count == small_world.account_by_name(
+            "smalltown", PAPER_EPOCH).followers_count
+        assert clock.now() > PAPER_EPOCH  # one users/show was charged
+        assert monitor.client.call_log.count("users/lookup") == 1
+
+    def test_feeds_the_live_telemetry_follower_stream(self, small_world):
+        from repro.obs import Observability, observed
+        from repro.obs.live import DetectorBridge, LiveTelemetry
+
+        clock = SimClock(PAPER_EPOCH)
+        obs = Observability(SimClock(PAPER_EPOCH))
+        live = LiveTelemetry(origin=PAPER_EPOCH, pane_width=DAY)
+        live.attach_bridge(DetectorBridge(live.alerts, origin=PAPER_EPOCH))
+        obs.attach_live(live)
+        with observed(obs):
+            monitor = GrowthMonitor(small_world, clock)
+            at, count = monitor.poll("smalltown")
+        stream = live.bridge.stream("smalltown")
+        assert stream.latest().last == float(count)
+        assert stream.latest().count == 1

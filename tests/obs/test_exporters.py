@@ -8,6 +8,8 @@ what makes trace/metrics dumps usable as regression artifacts.
 import json
 import pathlib
 
+import pytest
+
 from repro.api import ApiCall, CallLog
 from repro.core import PAPER_EPOCH, SimClock
 from repro.obs import (
@@ -216,3 +218,53 @@ class TestCacheSegment:
         NULL_OBS.register_cache(_StubCache("ignored", 1, 1, 0, 1))
         assert NULL_OBS.cache_info() == []
         assert NULL_OBS.caches == []
+
+
+class TestLoadTraceJsonl:
+    def test_round_trips_a_complete_dump(self, tmp_path):
+        from repro.obs import load_trace_jsonl
+        obs = build_scenario()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(obs.tracer, path)
+        spans, truncated = load_trace_jsonl(path)
+        assert not truncated
+        assert [json.dumps(span, sort_keys=True) for span in spans] \
+            == [json.dumps(json.loads(line), sort_keys=True)
+                for line in iter_trace_jsonl(obs.tracer)]
+
+    def test_drops_a_truncated_final_line(self, tmp_path):
+        from repro.obs import load_trace_jsonl
+        obs = build_scenario()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(obs.tracer, path)
+        full = path.read_text(encoding="utf-8")
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text(full[:-10], encoding="utf-8")  # mid-record copy
+        spans, truncated = load_trace_jsonl(cut)
+        assert truncated
+        assert len(spans) == len(full.strip().splitlines()) - 1
+
+    def test_truncation_tolerance_can_be_disabled(self, tmp_path):
+        from repro.core import ConfigurationError
+        from repro.obs import load_trace_jsonl
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"span_id": 1, "name"', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_trace_jsonl(path, tolerate_truncation=False)
+
+    def test_mid_file_corruption_always_raises(self, tmp_path):
+        from repro.core import ConfigurationError
+        from repro.obs import load_trace_jsonl
+        path = tmp_path / "bad.jsonl"
+        path.write_text('not json\n{"span_id": 1}\n', encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="malformed trace line"):
+            load_trace_jsonl(path)
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        from repro.obs import load_trace_jsonl
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"span_id": 1}\n\n{"span_id": 2}\n',
+                        encoding="utf-8")
+        spans, truncated = load_trace_jsonl(path)
+        assert [span["span_id"] for span in spans] == [1, 2]
+        assert not truncated

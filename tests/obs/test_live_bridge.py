@@ -1,0 +1,106 @@
+"""Unit tests for the detector bridge (follower streams -> burst alerts)."""
+
+import pytest
+
+from repro.core import DAY, ConfigurationError
+from repro.growth import BurstDetector
+from repro.obs.live import AlertLog, DetectorBridge, LiveTelemetry
+
+
+def _feed_organic(bridge, handle, days, per_day=100, start_count=1000):
+    """Feed ``days`` daily readings of steady organic growth."""
+    count = start_count
+    for day in range(days):
+        count += per_day + (day % 3)  # small deterministic jitter
+        bridge.observe(handle, day * DAY + 60.0, count)
+    return count
+
+
+class TestDetectorBridge:
+    def test_no_alert_on_organic_growth(self):
+        log = AlertLog()
+        bridge = DetectorBridge(log)
+        _feed_organic(bridge, "calm", 20)
+        assert log.events == ()
+
+    def test_burst_fires_and_resolves(self):
+        log = AlertLog()
+        bridge = DetectorBridge(log)
+        count = _feed_organic(bridge, "buyer", 12)
+        # Day 12: a purchased block lands.
+        fired = bridge.observe("buyer", 12 * DAY + 60.0, count + 5000)
+        assert fired
+        assert log.active() == ("burst:buyer",)
+        details = dict(log.events[0].details)
+        assert details["arrivals"] == 5000  # delta from the prior reading
+        assert details["excess"] > 4000
+        # Next day back to baseline: the alert resolves.
+        bridge.observe("buyer", 13 * DAY + 60.0, count + 5000 + 100)
+        assert log.active() == ()
+        assert log.counts() == (1, 1)
+
+    def test_same_burst_day_is_reported_once(self):
+        log = AlertLog()
+        bridge = DetectorBridge(log)
+        count = _feed_organic(bridge, "buyer", 12)
+        bridge.observe("buyer", 12 * DAY + 60.0, count + 5000)
+        bridge.observe("buyer", 13 * DAY + 60.0, count + 5100)
+        # The burst day stays in the series but must not re-fire.
+        fired = bridge.observe("buyer", 14 * DAY + 60.0, count + 5200)
+        assert not fired
+        assert log.counts() == (1, 1)
+
+    def test_threshold_configuration_flows_through(self):
+        # A modest spike: ~8x the organic day.  The default detector
+        # flags it; a stricter min_excess ignores it.
+        lenient_log, strict_log = AlertLog(), AlertLog()
+        lenient = DetectorBridge(lenient_log, BurstDetector(min_excess=50))
+        strict = DetectorBridge(strict_log,
+                                BurstDetector(min_excess=2000))
+        for bridge in (lenient, strict):
+            count = _feed_organic(bridge, "t", 12)
+            bridge.observe("t", 12 * DAY + 60.0, count + 800)
+        assert lenient_log.counts() == (1, 0)
+        assert strict_log.counts() == (0, 0)
+
+    def test_detection_waits_for_min_history(self):
+        log = AlertLog()
+        bridge = DetectorBridge(log, min_history=10)
+        count = 1000
+        for day in range(9):
+            count += 100 if day < 8 else 9000
+            assert not bridge.observe("t", day * DAY, count)
+        assert log.events == ()
+
+    def test_history_and_reported_sets_stay_bounded(self):
+        bridge = DetectorBridge(AlertLog(), min_history=5, max_history=16)
+        _feed_organic(bridge, "t", 100)
+        assert len(bridge._observations["t"]) == 16
+        assert len(bridge._reported["t"]) <= 16
+
+    def test_follower_streams_mirror_readings(self):
+        bridge = DetectorBridge(AlertLog(), origin=0.0)
+        bridge.observe("t", 60.0, 1000)
+        stream = bridge.stream("t")
+        assert stream.name == "followers:t"
+        assert stream.latest().last == 1000.0
+        assert set(bridge.streams()) == {"t"}
+
+    def test_validates_history_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DetectorBridge(AlertLog(), min_history=4)
+        with pytest.raises(ConfigurationError):
+            DetectorBridge(AlertLog(), min_history=8, max_history=4)
+
+
+class TestTelemetryBridgeHook:
+    def test_observe_followers_routes_through_the_bridge(self):
+        live = LiveTelemetry()
+        assert not live.observe_followers("t", 60.0, 1000)  # no bridge yet
+        live.attach_bridge(DetectorBridge(live.alerts))
+        count = 1000
+        for day in range(12):
+            count += 100
+            live.observe_followers("t", day * DAY + 60.0, count)
+        assert live.observe_followers("t", 12 * DAY + 60.0, count + 5000)
+        assert live.alerts.active() == ("burst:t",)

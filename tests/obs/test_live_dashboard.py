@@ -1,0 +1,102 @@
+"""Unit tests for the fleet health dashboard (snapshots + rendering)."""
+
+import io
+import json
+
+from repro.obs.live import (
+    DetectorBridge,
+    FleetDashboard,
+    LiveTelemetry,
+    SloSpec,
+    snapshot_to_json,
+)
+
+
+def _live_with_traffic():
+    live = LiveTelemetry(origin=0.0, pane_width=10.0)
+    for t in (1.0, 2.0, 12.0):
+        live.note("api.requests", t)
+    live.note("api.errors", 12.5)
+    live.tick(15.0)
+    return live
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_rounding(self):
+        live = _live_with_traffic()
+        dash = FleetDashboard(live, horizon=100.0)
+        snap = dash.snapshot(15.0, fleet={"poll_failures": 0})
+        assert snap["frame"] == 1
+        assert snap["time"] == 15.0
+        assert snap["iso"].startswith("1970-01-01T00:00:15")
+        panel = snap["streams"]["api.requests"]
+        assert panel == {"count": 3, "sum": 3.0, "last": 1.0, "total": 3.0}
+        assert snap["alerts"] == {"active": [], "fired": 0, "resolved": 0}
+        assert snap["fleet"] == {"poll_failures": 0}
+        assert dash.frames == 1
+
+    def test_floats_are_rounded_for_byte_stability(self):
+        live = LiveTelemetry(origin=0.0, pane_width=10.0)
+        live.value_stream("x").observe(1.0, 1.0 / 3.0)
+        snap = FleetDashboard(live, horizon=100.0).snapshot(2.0)
+        assert snap["streams"]["x"]["sum"] == 0.333333
+
+    def test_explicit_panels_select_and_order(self):
+        live = _live_with_traffic()
+        dash = FleetDashboard(live, panels=("api.errors", "absent.stream"),
+                              horizon=100.0)
+        snap = dash.snapshot(15.0)
+        # Only registered panel streams appear; missing ones are skipped
+        # (not invented), keeping the shape mode-invariant.
+        assert list(snap["streams"]) == ["api.errors"]
+
+    def test_default_panels_include_bridge_streams(self):
+        live = _live_with_traffic()
+        live.attach_bridge(DetectorBridge(live.alerts, origin=0.0))
+        live.observe_followers("acct", 5.0, 1000)
+        snap = FleetDashboard(live, horizon=100.0).snapshot(15.0)
+        assert "followers:acct" in snap["streams"]
+
+    def test_slo_status_is_reported(self):
+        live = _live_with_traffic()
+        live.slos.add(SloSpec(
+            name="api-errors", good_stream="api.requests",
+            total_stream="api.requests", objective=0.9,
+            fast_horizon=20.0, slow_horizon=60.0, burn_threshold=2.0,
+            min_events=1))
+        live.tick(16.0)
+        snap = FleetDashboard(live, horizon=100.0).snapshot(16.0)
+        (slo,) = snap["slos"]
+        assert slo["name"] == "api-errors"
+        assert slo["firing"] is False
+
+    def test_snapshot_json_is_canonical(self):
+        live = _live_with_traffic()
+        dash = FleetDashboard(live, horizon=100.0)
+        line = snapshot_to_json(dash.snapshot(15.0))
+        assert "\n" not in line
+        parsed = json.loads(line)
+        assert line == json.dumps(parsed, sort_keys=True,
+                                  separators=(",", ":"))
+
+
+class TestRendering:
+    def test_render_mentions_every_section(self):
+        live = _live_with_traffic()
+        live.alerts.fire(14.0, "burst:acct", severity="page")
+        dash = FleetDashboard(live, horizon=100.0, title="smoke fleet")
+        frame = dash.render(dash.snapshot(15.0, fleet={"audits_run": 2}))
+        assert frame.splitlines()[0].startswith("=== smoke fleet · frame 1")
+        assert "alerts: 1 active (1 fired / 0 resolved): burst:acct" in frame
+        assert "api.requests" in frame
+        assert "fleet.audits_run: 2" in frame
+
+    def test_write_snapshot_appends_one_line(self):
+        live = _live_with_traffic()
+        dash = FleetDashboard(live, horizon=100.0)
+        sink = io.StringIO()
+        dash.write_snapshot(sink, dash.snapshot(15.0))
+        dash.write_snapshot(sink, dash.snapshot(16.0))
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["frame"] == 2

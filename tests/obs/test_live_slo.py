@@ -1,0 +1,143 @@
+"""Unit tests for SLO burn-rate alerting and the alert log."""
+
+import json
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.obs.live import (
+    AlertLog,
+    SloEvaluator,
+    SloSpec,
+    WindowSpec,
+    WindowStream,
+)
+
+
+def _streams(width=10.0):
+    good = WindowStream("good", WindowSpec(width=width))
+    total = WindowStream("total", WindowSpec(width=width))
+    return {"good": good, "total": total}
+
+
+def _spec(**overrides):
+    base = dict(name="svc", good_stream="good", total_stream="total",
+                objective=0.9, fast_horizon=20.0, slow_horizon=60.0,
+                burn_threshold=2.0, min_events=1)
+    base.update(overrides)
+    return SloSpec(**base)
+
+
+class TestAlertLog:
+    def test_fire_and_resolve_lifecycle(self):
+        log = AlertLog()
+        assert log.fire(1.0, "a", z=1.5) is not None
+        assert log.fire(2.0, "a") is None  # already active: no-op
+        assert log.active() == ("a",)
+        assert log.is_active("a")
+        assert log.resolve(3.0, "a") is not None
+        assert log.resolve(4.0, "a") is None  # not active: no-op
+        assert log.counts() == (1, 1)
+
+    def test_resolve_inherits_fire_severity(self):
+        log = AlertLog()
+        log.fire(1.0, "a", severity="ticket")
+        event = log.resolve(2.0, "a")
+        assert event.severity == "ticket"
+
+    def test_jsonl_is_canonical_and_replayable(self):
+        log = AlertLog()
+        log.fire(1.0, "a", ratio=0.123456789, day=3)
+        log.resolve(2.0, "a")
+        lines = log.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["details"]["ratio"] == 0.123457  # rounded to 6dp
+        assert list(first) == sorted(first)  # sorted keys
+
+    def test_write_round_trips(self, tmp_path):
+        log = AlertLog()
+        log.fire(1.0, "a")
+        path = tmp_path / "alerts.jsonl"
+        log.write(path)
+        assert path.read_text(encoding="utf-8") == log.to_jsonl()
+
+
+class TestSloSpec:
+    def test_validates_fields(self):
+        with pytest.raises(ConfigurationError):
+            _spec(objective=1.0)
+        with pytest.raises(ConfigurationError):
+            _spec(fast_horizon=30.0, slow_horizon=20.0)
+        with pytest.raises(ConfigurationError):
+            _spec(burn_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            _spec(min_events=0)
+
+    def test_error_budget(self):
+        assert _spec(objective=0.98).error_budget == pytest.approx(0.02)
+
+
+class TestSloEvaluator:
+    def test_fires_only_when_both_windows_burn(self):
+        streams = _streams()
+        log = AlertLog()
+        evaluator = SloEvaluator(log)
+        status = evaluator.add(_spec())
+        # A long healthy stretch fills the slow window with good events.
+        for k in range(5):
+            t = k * 10.0 + 5.0
+            streams["total"].observe(t, 1.0)
+            streams["good"].observe(t, 1.0)
+        evaluator.evaluate(50.0, streams)
+        assert not status.firing
+        # A fresh failure: the fast window burns above threshold but
+        # the slow window still dilutes it.
+        streams["total"].observe(55.0, 1.0)
+        evaluator.evaluate(56.0, streams)
+        assert status.fast_burn >= 2.0
+        assert not status.firing  # slow window holds it back
+        # Sustained failures push the slow window over too.
+        for t in (58.0, 62.0, 66.0):
+            streams["total"].observe(t, 8.0)
+        evaluator.evaluate(70.0, streams)
+        assert status.firing
+        assert log.active() == ("slo:svc",)
+
+    def test_resolves_when_burn_recovers(self):
+        streams = _streams()
+        log = AlertLog()
+        evaluator = SloEvaluator(log)
+        status = evaluator.add(_spec())
+        streams["total"].observe(5.0, 10.0)  # all bad
+        evaluator.evaluate(6.0, streams)
+        assert status.firing
+        # A long quiet+good stretch drains both windows.
+        for k in range(1, 9):
+            t = k * 10.0 + 5.0
+            streams["total"].observe(t, 10.0)
+            streams["good"].observe(t, 10.0)
+        evaluator.evaluate(90.0, streams)
+        assert not status.firing
+        assert log.counts() == (1, 1)
+
+    def test_min_events_suppresses_thin_windows(self):
+        streams = _streams()
+        evaluator = SloEvaluator(AlertLog())
+        status = evaluator.add(_spec(min_events=5))
+        streams["total"].observe(5.0, 2.0)  # 2 events, all bad
+        evaluator.evaluate(6.0, streams)
+        assert status.fast_burn == 0.0
+        assert not status.firing
+
+    def test_unknown_streams_are_an_error(self):
+        evaluator = SloEvaluator(AlertLog())
+        evaluator.add(_spec(good_stream="nope"))
+        with pytest.raises(ConfigurationError):
+            evaluator.evaluate(1.0, _streams())
+
+    def test_duplicate_names_rejected(self):
+        evaluator = SloEvaluator(AlertLog())
+        evaluator.add(_spec())
+        with pytest.raises(ConfigurationError):
+            evaluator.add(_spec())

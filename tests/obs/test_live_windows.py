@@ -1,0 +1,153 @@
+"""Unit tests for the streaming window primitives (repro.obs.live)."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.obs.live import (
+    CounterRateStream,
+    GaugeStream,
+    WindowSpec,
+    WindowStream,
+)
+
+
+class TestWindowSpec:
+    def test_pane_boundaries_depend_only_on_the_spec(self):
+        spec = WindowSpec(width=10.0, origin=100.0)
+        assert spec.index_of(100.0) == 0
+        assert spec.index_of(109.999) == 0
+        assert spec.index_of(110.0) == 1
+        assert spec.bounds(3) == (130.0, 140.0)
+
+    def test_negative_times_fall_into_negative_panes(self):
+        spec = WindowSpec(width=10.0, origin=0.0)
+        assert spec.index_of(-0.5) == -1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width=0.0)
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width=1.0, retain=0)
+        with pytest.raises(ConfigurationError):
+            WindowSpec(width=1.0, retain=10**6)
+
+
+class TestWindowStream:
+    def test_tumbling_aggregation(self):
+        stream = WindowStream("s", WindowSpec(width=10.0))
+        stream.observe(1.0, 2.0)
+        stream.observe(5.0, 4.0)
+        stream.observe(12.0, 8.0)  # rolls pane 0 closed
+        points = stream.points()
+        assert [p.index for p in points] == [0, 1]
+        first = points[0]
+        assert (first.count, first.sum, first.min, first.max) == (2, 6.0, 2.0, 4.0)
+        assert first.mean == 3.0
+        assert stream.total_count == 3
+        assert stream.total_sum == 14.0
+
+    def test_empty_panes_are_skipped(self):
+        stream = WindowStream("s", WindowSpec(width=1.0))
+        stream.observe(0.5, 1.0)
+        stream.observe(100.5, 1.0)  # 99 empty panes in between
+        assert [p.index for p in stream.points()] == [0, 100]
+
+    def test_out_of_order_observation_clamps_into_open_pane(self):
+        stream = WindowStream("s", WindowSpec(width=10.0))
+        stream.observe(25.0, 1.0)  # pane 2 open
+        stream.observe(3.0, 5.0)   # pane 0 already conceptually closed
+        points = stream.points()
+        assert len(points) == 1
+        assert points[0].index == 2
+        assert points[0].count == 2
+
+    def test_retention_ring_bounds_memory(self):
+        stream = WindowStream("s", WindowSpec(width=1.0, retain=4))
+        for k in range(10):
+            stream.observe(k + 0.5, 1.0)
+        points = stream.points()
+        assert len(points) == 5  # 4 retained closed + the open pane
+        assert points[0].index == 5
+        assert stream.total_count == 10  # lifetime totals unaffected
+
+    def test_close_until_closes_elapsed_panes(self):
+        stream = WindowStream("s", WindowSpec(width=10.0))
+        stream.observe(5.0, 1.0)
+        assert stream.latest().index == 0
+        stream.close_until(25.0)
+        stream.close_until(35.0)  # idempotent with no open pane
+        assert [p.index for p in stream.points()] == [0]
+
+    def test_trailing_covers_only_the_horizon(self):
+        stream = WindowStream("s", WindowSpec(width=10.0))
+        for k in range(5):
+            stream.observe(k * 10.0 + 5.0, float(k))
+        window = stream.trailing(now=50.0, horizon=20.0)
+        # Panes ending after t=30: panes 3 and 4.
+        assert window.count == 2
+        assert window.sum == 7.0
+        assert window.min == 3.0 and window.max == 4.0
+        assert window.last == 4.0
+
+    def test_trailing_rejects_non_positive_horizon(self):
+        stream = WindowStream("s", WindowSpec(width=10.0))
+        with pytest.raises(ConfigurationError):
+            stream.trailing(0.0, 0.0)
+
+    def test_needs_a_name(self):
+        with pytest.raises(ConfigurationError):
+            WindowStream("", WindowSpec(width=1.0))
+
+    def test_replay_determinism(self):
+        feed = [(t * 3.7, float(t % 5)) for t in range(50)]
+
+        def run():
+            stream = WindowStream("s", WindowSpec(width=10.0))
+            for t, v in feed:
+                stream.observe(t, v)
+            return stream.points()
+
+        assert run() == run()
+
+
+class TestGaugeStream:
+    def test_samples_the_probe_each_tick(self):
+        level = {"v": 3.0}
+        stream = GaugeStream("g", WindowSpec(width=10.0),
+                             probe=lambda: level["v"])
+        stream.sample(1.0)
+        level["v"] = 7.0
+        stream.sample(2.0)
+        point = stream.latest()
+        assert point.count == 2
+        assert point.last == 7.0
+        assert point.max == 7.0
+
+
+class TestCounterRateStream:
+    def test_first_sample_is_baseline_only(self):
+        total = {"v": 10.0}
+        stream = CounterRateStream("c", WindowSpec(width=10.0),
+                                   probe=lambda: total["v"])
+        stream.sample(1.0)
+        assert stream.total_count == 0
+        total["v"] = 14.0
+        stream.sample(11.0)
+        assert stream.latest().sum == 4.0
+
+    def test_zero_delta_just_closes_panes(self):
+        total = {"v": 5.0}
+        stream = CounterRateStream("c", WindowSpec(width=10.0),
+                                   probe=lambda: total["v"])
+        stream.sample(1.0)
+        stream.sample(11.0)
+        assert stream.total_count == 0
+
+    def test_backwards_counter_is_an_error(self):
+        total = {"v": 5.0}
+        stream = CounterRateStream("c", WindowSpec(width=10.0),
+                                   probe=lambda: total["v"])
+        stream.sample(1.0)
+        total["v"] = 4.0
+        with pytest.raises(ConfigurationError):
+            stream.sample(2.0)

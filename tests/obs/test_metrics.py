@@ -85,10 +85,43 @@ class TestHistogramQuantile:
         hist = MetricsRegistry().histogram("h", buckets=(1.0,))
         assert hist.quantile(0.5) == 0.0
 
+    def test_q0_is_the_lower_edge_of_the_lowest_occupied_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe(1.5)  # only the (1, 2] bucket holds data
+        assert hist.quantile(0.0) == 1.0
+        hist.observe(0.5)  # now the first bucket does
+        assert hist.quantile(0.0) == 0.0
+
+    def test_q0_with_only_overflow_data_clamps_to_the_last_edge(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(0.0) == 2.0
+
+    def test_q1_is_the_upper_edge_of_the_highest_occupied_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe(1.5)
+        assert hist.quantile(1.0) == 2.0
+
+    def test_q1_with_only_overflow_data_clamps_to_the_last_edge(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        assert hist.quantile(1.0) == 2.0
+
+    def test_single_bucket_degenerates_but_never_errors(self):
+        hist = MetricsRegistry().histogram("h", buckets=(10.0,))
+        hist.observe(5.0)
+        hist.observe(5.0)
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(1.0) == 10.0
+        hist.observe(100.0)  # overflow rank clamps at the only edge
+        assert hist.quantile(0.9) == 10.0
+
     def test_rejects_out_of_range_quantiles(self):
         hist = MetricsRegistry().histogram("h", buckets=(1.0,))
         with pytest.raises(ConfigurationError):
             hist.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(-0.1)
 
     def test_null_histogram_estimates_zero(self):
         assert NULL_HISTOGRAM.quantile(0.5) == 0.0
