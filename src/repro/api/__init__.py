@@ -3,6 +3,7 @@
 from .client import DEFAULT_REQUEST_LATENCY, TwitterApiClient
 from .crawler import AcquisitionEstimate, Crawler, estimate_acquisition_time
 from .endpoints import ApiCall, CallLog, IdsPage, UserObject
+from .frame import IdFrame
 from .ratelimit import (
     DEFAULT_POLICIES,
     TABLE_I,
@@ -19,6 +20,7 @@ __all__ = [
     "Crawler",
     "DEFAULT_POLICIES",
     "DEFAULT_REQUEST_LATENCY",
+    "IdFrame",
     "IdsPage",
     "RateLimitPolicy",
     "RateLimiter",

@@ -29,7 +29,6 @@ from ..core.errors import (
     RetryableApiError,
     StaleCursorError,
     TransientServerError,
-    UnknownAccountError,
 )
 from ..faults.injectors import Fault, FaultInjector
 from ..faults.plan import FaultPlan
@@ -408,13 +407,7 @@ class TwitterApiClient:
         completed = self._execute("users/lookup", len(user_ids))
         now = (self._observe_at if self._observe_at is not None
                else completed)
-        users: List[UserObject] = []
-        for uid in user_ids:
-            try:
-                users.append(UserObject.from_account(
-                    self._world.account_by_id(uid, now)))
-            except UnknownAccountError:
-                continue
+        users = self._world.user_objects(user_ids, now)
         if self._acq_cache is not None:
             for user in users:
                 self._acq_cache.put_profile(user)

@@ -19,6 +19,7 @@ from ..obs.runtime import get_observability
 from ..twitter.tweet import Tweet
 from .client import DEFAULT_REQUEST_LATENCY, TwitterApiClient
 from .endpoints import UserObject
+from .frame import IdFrame
 from .ratelimit import DEFAULT_POLICIES, RateLimitPolicy
 
 
@@ -42,7 +43,7 @@ class Crawler:
         """The underlying API client."""
         return self._client
 
-    def fetch_all_follower_ids(self, screen_name: str) -> List[int]:
+    def fetch_all_follower_ids(self, screen_name: str) -> IdFrame:
         """Fetch the target's complete follower list, newest first.
 
         This is what distinguishes the FC engine from the commercial
@@ -52,19 +53,24 @@ class Crawler:
         return self.fetch_newest_follower_ids(screen_name, max_ids=None)
 
     def fetch_newest_follower_ids(self, screen_name: str,
-                                  max_ids: Optional[int]) -> List[int]:
+                                  max_ids: Optional[int]) -> IdFrame:
         """Fetch at most ``max_ids`` follower ids from the head of the list.
 
         With ``max_ids=None`` the full list is retrieved.  Because the
         service returns followers newest-first, a truncated fetch yields
         exactly the *latest* accounts to have followed — the biased
         sample the paper criticises.
+
+        Ids accumulate into an :class:`IdFrame` (one int64 block per
+        page) instead of a Python list, keeping a 10M-follower crawl
+        around 80 MB instead of ~360 MB; the frame indexes, iterates
+        and samples identically to the list it replaced.
         """
         if max_ids is not None and max_ids < 1:
             raise ConfigurationError(f"max_ids must be >= 1: {max_ids!r}")
         with self._tracer.span("crawl.followers", self._client.clock,
                                target=screen_name) as span:
-            ids: List[int] = []
+            ids = IdFrame()
             cursor = -1
             pages = 0
             while True:

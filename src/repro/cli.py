@@ -353,6 +353,10 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--wallclock-tol-pct", type=float, default=200.0,
                       metavar="PCT",
                       help="allowed wallclock drift (default: 200%%)")
+    perf.add_argument("--substrate", action="store_true",
+                      help="also measure the columnar substrate: chunk "
+                           "telemetry counters plus column page latency "
+                           "(diff skips it when only one side has it)")
 
     runner = sub.add_parser(
         "run", help="run one experiment by name (e.g. 'repro run chaos')")
@@ -492,7 +496,8 @@ def _run_perf(args, seed: int):
         workload = default_workload(
             seed=seed, targets=args.targets, lane_slots=args.slots,
             max_followers=args.max_followers)
-        doc, obs, __ = run_perf_workload(workload, wallclock=args.wallclock)
+        doc, obs, __ = run_perf_workload(workload, wallclock=args.wallclock,
+                                         substrate=args.substrate)
         write_perf_json(doc, args.out)
         lines = [render_phase_attribution(obs.tracer)]
         if args.timeline:
@@ -515,7 +520,8 @@ def _run_perf(args, seed: int):
                 f"baseline {args.baseline!r} has no workload section; "
                 f"re-record it or pass --current")
         current, __, __ = run_perf_workload(workload,
-                                            wallclock=args.wallclock)
+                                            wallclock=args.wallclock,
+                                            substrate=args.substrate)
     tolerances = PerfTolerances(
         makespan_pct=args.makespan_tol_pct,
         phase_pct=args.phase_tol_pct,

@@ -37,6 +37,15 @@ PERF_MAX_FOLLOWERS = 20_000
 WALLCLOCK_ROWS = 2_000
 WALLCLOCK_REPEATS = 3
 
+#: Shape of the opt-in substrate measurement (``--substrate``): the
+#: columnar world paged by the probe.  Module constants for the same
+#: reason as the wallclock shape — the workload section must not vary
+#: with the optional sections.
+SUBSTRATE_FOLLOWERS = 1_000_000
+SUBSTRATE_PAGE_SIZE = 5_000
+SUBSTRATE_PAGES = 20
+SUBSTRATE_LOOKUPS = 100
+
 
 def default_workload(*, seed: int = 42,
                      targets: Optional[Sequence[str]] = None,
@@ -103,8 +112,70 @@ def measure_fc_wallclock(*, rows: int = WALLCLOCK_ROWS,
     return doc
 
 
+def measure_substrate(*, seed: int = 0,
+                      followers: int = SUBSTRATE_FOLLOWERS,
+                      pages: int = SUBSTRATE_PAGES,
+                      page_size: int = SUBSTRATE_PAGE_SIZE,
+                      lookups: int = SUBSTRATE_LOOKUPS,
+                      repeats: int = WALLCLOCK_REPEATS) -> Dict[str, object]:
+    """The **substrate** measurement class: columnar paging telemetry.
+
+    Runs a fixed access pattern against a columnar world — cursor
+    ``pages`` follower-id pages through the API client, then
+    ``users/lookup`` an even positional spread of followers — and
+    reports the chunk store's deterministic counters (chunks
+    materialized, rows generated, gather calls; byte-stable for a
+    fixed seed, gated at the counter tolerance) alongside real column
+    page latencies (``*_seconds`` keys, gated at the loose wallclock
+    tolerance).  Counters are snapshotted *before* the timing loops so
+    the repeats never inflate them.
+    """
+    from ..api import TwitterApiClient
+    from ..twitter import add_simple_target, build_columnar_world, follower_id
+
+    world = build_columnar_world(seed=seed)
+    add_simple_target(world, "substrate", followers, 0.35, 0.15, 0.50,
+                      tilt=0.5)
+    client = TwitterApiClient(world, SimClock(world.ref_time))
+
+    cursor = -1
+    ids_fetched = 0
+    pages_fetched = 0
+    while pages_fetched < pages:
+        page = client.followers_ids(screen_name="substrate", cursor=cursor,
+                                    count=page_size)
+        ids_fetched += len(page.ids)
+        pages_fetched += 1
+        if page.next_cursor == 0:
+            break
+        cursor = page.next_cursor
+
+    stride = max(1, followers // lookups)
+    wanted = [follower_id(0, position)
+              for position in range(0, followers, stride)][:lookups]
+    users = client.users_lookup(wanted)
+
+    stats = world.substrate_stats()
+    doc: Dict[str, object] = {
+        "followers": int(followers),
+        "page_size": int(page_size),
+        "pages_fetched": int(pages_fetched),
+        "ids_fetched": int(ids_fetched),
+        "lookups": len(users),
+        "repeats": int(repeats),
+    }
+    doc.update({key: int(value) for key, value in sorted(stats.items())})
+    doc["page_fetch_seconds"] = round(measure_wallclock(
+        lambda: client.followers_ids(screen_name="substrate",
+                                     count=page_size), repeats), 6)
+    doc["lookup_seconds"] = round(measure_wallclock(
+        lambda: client.users_lookup(wanted), repeats), 6)
+    return doc
+
+
 def run_perf_workload(workload: Dict[str, object], *,
-                      wallclock: bool = False
+                      wallclock: bool = False,
+                      substrate: bool = False
                       ) -> Tuple[Dict[str, object], Observability, object]:
     """Execute one workload and return ``(perf_doc, obs, batch_report)``.
 
@@ -112,8 +183,9 @@ def run_perf_workload(workload: Dict[str, object], *,
     (nesting restores whatever context the caller had), so a recording
     never mixes spans with an outer ``--trace-out`` run.  With
     ``wallclock=True`` the document gains the opt-in real-time FC
-    section from :func:`measure_fc_wallclock`; everything else in the
-    document is unaffected.
+    section from :func:`measure_fc_wallclock`; with ``substrate=True``
+    the opt-in columnar paging section from :func:`measure_substrate`;
+    everything else in the document is unaffected.
     """
     seed = int(workload["seed"])  # type: ignore[arg-type]
     targets = list(workload["targets"])  # type: ignore[call-overload]
@@ -133,5 +205,7 @@ def run_perf_workload(workload: Dict[str, object], *,
             [AuditRequest(target=account.handle) for account in accounts])
         batch = scheduler.run()
     measured = measure_fc_wallclock(seed=seed) if wallclock else None
-    doc = collect_perf(obs, batch, workload, wallclock=measured)
+    paging = measure_substrate(seed=seed) if substrate else None
+    doc = collect_perf(obs, batch, workload, wallclock=measured,
+                       substrate=paging)
     return doc, obs, batch

@@ -139,11 +139,19 @@ class _ExtractContext:
         self.users = users
         self.timelines = timelines
         self.now = now
-        rows = [_PROFILE_FIELDS(user) for user in users]
+        profile_columns = getattr(users, "profile_columns", None)
+        if profile_columns is not None:
+            # Columnar-substrate batches (e.g. UserRowBlock) hand over
+            # ready-made attribute columns; values equal what the
+            # per-object sweep below would have read, so downstream
+            # feature math is unchanged.
+            columns = profile_columns()
+        else:
+            rows = [_PROFILE_FIELDS(user) for user in users]
+            columns = tuple(list(column) for column in zip(*rows))
         (self.followers, self.friends, self.statuses, self.created_at,
          self.last_status_at, self.descriptions, self.locations, self.urls,
-         self.names, self.default_images, self.screen_names) = (
-            list(column) for column in zip(*rows))
+         self.names, self.default_images, self.screen_names) = columns
         self._age_days = None
         self._fractions = None
 

@@ -28,8 +28,9 @@ from .metrics import Histogram
 
 #: Format version of ``BENCH_perf.json``.  Bump on shape changes; the
 #: differ treats a version mismatch as an automatic breach.  The
-#: optional ``wallclock`` section is additive — documents with and
-#: without it share the schema (see :func:`diff_perf`'s skip rule).
+#: optional ``wallclock`` and ``substrate`` sections are additive —
+#: documents with and without them share the schema (see
+#: :func:`diff_perf`'s skip rule).
 PERF_SCHEMA = 1
 
 
@@ -78,7 +79,8 @@ def _family_sum(registry, name: str, **match: object) -> float:
 
 
 def collect_perf(obs, report, workload: Dict[str, object], *,
-                 wallclock: Optional[Dict[str, object]] = None
+                 wallclock: Optional[Dict[str, object]] = None,
+                 substrate: Optional[Dict[str, object]] = None
                  ) -> Dict[str, object]:
     """Assemble the canonical perf document from one observed batch run.
 
@@ -91,7 +93,12 @@ def collect_perf(obs, report, workload: Dict[str, object], *,
     real-time measurements; it is the only part of the document that
     is *not* byte-stable across machines (see
     :func:`measure_wallclock`), and the differ treats its keys as
-    optional on either side.
+    optional on either side.  ``substrate`` — when provided — is the
+    **substrate** measurement class: columnar chunk-store telemetry
+    (chunks materialized, rows generated, gather calls — deterministic
+    counters gated at :attr:`PerfTolerances.counter_pct`) plus column
+    page latencies (``*_seconds`` keys, real timings gated like
+    wallclock); its keys are likewise optional on either side.
     """
     attributions = attribute_all(obs.tracer)
     totals = phase_totals(attributions)
@@ -142,6 +149,8 @@ def collect_perf(obs, report, workload: Dict[str, object], *,
     }
     if wallclock is not None:
         doc["wallclock"] = dict(wallclock)
+    if substrate is not None:
+        doc["substrate"] = dict(substrate)
     return doc
 
 
@@ -227,6 +236,13 @@ def _tolerance_for(key: str, tolerances: PerfTolerances
     """The tolerance class of one flattened key: (kind, limit)."""
     if key.startswith("wallclock."):
         return "pct", tolerances.wallclock_pct
+    if key.startswith("substrate."):
+        # Mixed class: real page-latency timings get the loose
+        # wallclock tolerance, the chunk-store counters are
+        # deterministic and gate like any other counter.
+        if key.endswith("_seconds"):
+            return "pct", tolerances.wallclock_pct
+        return "pct", tolerances.counter_pct
     if key.endswith("_ratio"):
         return "abs", tolerances.ratio_abs
     if key == "makespan_seconds":
@@ -246,11 +262,11 @@ def diff_perf(baseline: Dict[str, object], current: Dict[str, object],
     itself a breach.  Every other numeric leaf is compared under its
     tolerance class; non-numeric leaves (critical-path lane names)
     must be equal.  Missing or extra leaves always breach — except
-    ``wallclock.*`` leaves, which are machine-local opt-in
-    measurements: a baseline recorded with ``--wallclock`` must still
-    gate a current document recorded without it (and vice versa), so
-    a wallclock leaf present on only one side is skipped, not
-    breached.
+    ``wallclock.*`` and ``substrate.*`` leaves, which are opt-in
+    measurement classes: a baseline recorded with ``--wallclock`` or
+    ``--substrate`` must still gate a current document recorded
+    without them (and vice versa), so a leaf of either class present
+    on only one side is skipped, not breached.
     """
     if tolerances is None:
         tolerances = PerfTolerances()
@@ -259,14 +275,15 @@ def diff_perf(baseline: Dict[str, object], current: Dict[str, object],
     breaches: List[PerfBreach] = []
     compared = 0
     for key in sorted(set(base_flat) | set(cur_flat)):
+        optional = key.startswith(("wallclock.", "substrate."))
         if key not in cur_flat:
-            if key.startswith("wallclock."):
+            if optional:
                 continue
             breaches.append(PerfBreach(key, base_flat[key], None,
                                        "missing from current"))
             continue
         if key not in base_flat:
-            if key.startswith("wallclock."):
+            if optional:
                 continue
             breaches.append(PerfBreach(key, None, cur_flat[key],
                                        "not in baseline"))

@@ -8,6 +8,12 @@ studies).
 """
 
 from .account import Account, BehaviorProfile, Label, LABELS
+from .columnar import (
+    ColumnarPopulation,
+    ColumnarWorld,
+    build_columnar_world,
+    columnar_twin,
+)
 from .generator import (
     add_simple_target,
     build_world,
@@ -56,6 +62,8 @@ __all__ = [
     "ArrivalSchedule",
     "BehaviorProfile",
     "ChurnProcess",
+    "ColumnarPopulation",
+    "ColumnarWorld",
     "DEFAULT_LABEL_MIXES",
     "FollowEdge",
     "FollowerPopulation",
@@ -81,7 +89,9 @@ __all__ = [
     "World",
     "add_simple_target",
     "ambient_id",
+    "build_columnar_world",
     "build_world",
+    "columnar_twin",
     "decode_follower",
     "even_schedule",
     "follow_block",

@@ -1,0 +1,135 @@
+"""Columnar follower population: the object population's lazy twin.
+
+:class:`ColumnarPopulation` subclasses
+:class:`repro.twitter.population.FollowerPopulation` and generates the
+*same* accounts (same documented random streams, see
+:mod:`repro.twitter.streams`) but stores them as structured-array rows
+in a :class:`~repro.twitter.columnar.store.ChunkStore`.  Every
+:meth:`account_at` answer round-trips through its row, so the
+differential suite exercising this class proves the row encoding is
+lossless, not merely that two code paths agree.
+
+Follower-edge ids are likewise served from chunked int64 arrays whose
+values equal the object path's arithmetic ids exactly; chunking keeps a
+followers/ids page O(page) regardless of where in a 41M-edge list it
+falls, and preserves chronological order (the API layer flips pages to
+the service's newest-first order, as before).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ...core.errors import ConfigurationError
+from ..account import Account
+from ..population import (
+    _NAMESPACE_SHIFT,
+    _POSITION_BITS,
+    FOLLOWER_TAG,
+    FollowerPopulation,
+    TargetSpec,
+)
+from .schema import UserRowBlock, materialize_account
+from .store import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_MAX_CACHED_CHUNKS,
+    ChunkStore,
+)
+
+#: Edge chunks are pure arithmetic (base + arange) and cheap to rebuild;
+#: a handful of cached pages covers cursoring locality.
+EDGE_CHUNKS_CACHED = 8
+
+
+class ColumnarPopulation(FollowerPopulation):
+    """Drop-in :class:`FollowerPopulation` backed by columnar chunks."""
+
+    def __init__(self, spec: TargetSpec, ordinal: int, seed: int,
+                 ref_time: float, *,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 max_cached_chunks: int = DEFAULT_MAX_CACHED_CHUNKS) -> None:
+        super().__init__(spec, ordinal, seed, ref_time)
+        self._store = ChunkStore(
+            self._generate_account, chunk_size=chunk_size,
+            max_cached_chunks=max_cached_chunks)
+        self._edge_chunks: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self.edge_chunks_materialized = 0
+
+    @property
+    def store(self) -> ChunkStore:
+        """The attribute-row chunk store (telemetry lives here)."""
+        return self._store
+
+    def _generate_account(self, position: int, now: float) -> Account:
+        # The one true generator: the object path's account_at, which
+        # draws from the documented streams.  Both substrates therefore
+        # share a single generation call site by construction.
+        return FollowerPopulation.account_at(self, position, now)
+
+    # -- attribute rows ------------------------------------------------------
+
+    def account_at(self, position: int, now: float) -> Account:
+        """Materialise via the row encoding (proves it lossless)."""
+        size = self.size_at(now)
+        if position >= size:
+            raise ConfigurationError(
+                f"position {position} >= population size {size}")
+        rows = self._store.gather((position,), now, size)
+        return materialize_account(rows[0])
+
+    def user_rows(self, positions: Iterable[int], now: float) -> np.ndarray:
+        """Structured rows for ascending unique ``positions`` at ``now``."""
+        return self._store.gather(positions, now, self.size_at(now))
+
+    def user_block(self, positions: Iterable[int], now: float) -> UserRowBlock:
+        """Rows wrapped as a lazily-materialising user-object sequence."""
+        return UserRowBlock(self.user_rows(positions, now))
+
+    # -- follower edges ------------------------------------------------------
+
+    def _edge_chunk(self, index: int) -> np.ndarray:
+        chunk = self._edge_chunks.get(index)
+        if chunk is not None:
+            self._edge_chunks.move_to_end(index)
+            return chunk
+        chunk_size = self._store.chunk_size
+        base = ((FOLLOWER_TAG << _NAMESPACE_SHIFT)
+                | (self.ordinal << _POSITION_BITS))
+        start = index * chunk_size
+        chunk = base + np.arange(start, start + chunk_size, dtype=np.int64)
+        self.edge_chunks_materialized += 1
+        self._edge_chunks[index] = chunk
+        if len(self._edge_chunks) > EDGE_CHUNKS_CACHED:
+            self._edge_chunks.popitem(last=False)
+        return chunk
+
+    def follower_ids(self, start: int, stop: int) -> np.ndarray:
+        """Chronological id slice served from chunked edge arrays."""
+        if start < 0 or stop < start:
+            raise ConfigurationError(f"bad slice [{start}, {stop})")
+        if stop == start:
+            return np.empty(0, dtype=np.int64)
+        chunk_size = self._store.chunk_size
+        pieces = []
+        index = start // chunk_size
+        cursor = start
+        while cursor < stop:
+            chunk = self._edge_chunk(index)
+            chunk_start = index * chunk_size
+            lo = cursor - chunk_start
+            hi = min(stop - chunk_start, chunk_size)
+            pieces.append(chunk[lo:hi])
+            cursor = chunk_start + hi
+            index += 1
+        if len(pieces) == 1:
+            return pieces[0].copy()
+        return np.concatenate(pieces)
+
+    def substrate_stats(self) -> dict:
+        """Telemetry for the perf ``substrate`` measurement class."""
+        stats = dict(self._store.stats())
+        stats["edge_chunks_materialized"] = self.edge_chunks_materialized
+        return stats

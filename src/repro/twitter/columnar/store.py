@@ -1,0 +1,169 @@
+"""Chunked lazy column store for follower attribute rows.
+
+Followers are partitioned by arrival position into fixed-size chunks;
+chunk ``i`` covers positions ``[i * chunk_size, (i + 1) * chunk_size)``.
+Materialising a chunk is a pure function of ``(seed, chunk_index,
+observation instant)`` — each row is generated independently off the
+follower's documented random streams (see
+:mod:`repro.twitter.streams`), so *any* chunk can be built on demand
+without generating its predecessors, which is what bounds memory at
+Obama scale.
+
+Rows depend on the observation instant ``now`` (persona samplers draw
+ages relative to it, and arrival re-anchoring clamps against it), so
+the chunk cache is keyed ``(chunk_index, now)``.  Under a pinned batch
+epoch every audit shares one ``now`` and the cache pays off across
+engines; unpinned serial audits simply regenerate — correctness never
+depends on a hit.
+
+:meth:`ChunkStore.gather` serves sparse position sets (audit samples)
+without materialising whole chunks: a chunk's rows are generated
+individually unless the request wants a dense-enough slice of it to
+justify caching the full chunk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ...core.errors import ConfigurationError
+from ..account import Account
+from .schema import ACCOUNT_DTYPE, pack_account
+
+#: Fraction of a chunk a gather must touch before the store densifies
+#: (materialises and caches the whole chunk instead of single rows).
+DENSIFY_FRACTION = 0.25
+
+DEFAULT_CHUNK_SIZE = 16_384
+DEFAULT_MAX_CACHED_CHUNKS = 64
+
+
+class ChunkStore:
+    """LRU-cached, lazily generated structured-array chunks."""
+
+    def __init__(self, generate_account: Callable[[int, float], Account],
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 max_cached_chunks: int = DEFAULT_MAX_CACHED_CHUNKS) -> None:
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1: {chunk_size!r}")
+        if max_cached_chunks < 1:
+            raise ConfigurationError(
+                f"max_cached_chunks must be >= 1: {max_cached_chunks!r}")
+        self._generate = generate_account
+        self._chunk_size = chunk_size
+        self._max_cached = max_cached_chunks
+        self._chunks: "OrderedDict[Tuple[int, float], np.ndarray]" = OrderedDict()
+        # Substrate telemetry, read by the perf `substrate` class.
+        self.chunks_materialized = 0
+        self.rows_generated = 0
+        self.gather_calls = 0
+        self.cache_hits = 0
+        self.evictions = 0
+
+    @property
+    def chunk_size(self) -> int:
+        """Rows per chunk; chunk ``i`` covers ``[i*size, (i+1)*size)``."""
+        return self._chunk_size
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (cheap, plain ints)."""
+        return {
+            "chunk_size": self._chunk_size,
+            "chunks_cached": len(self._chunks),
+            "chunks_materialized": self.chunks_materialized,
+            "rows_generated": self.rows_generated,
+            "gather_calls": self.gather_calls,
+            "cache_hits": self.cache_hits,
+            "evictions": self.evictions,
+        }
+
+    def _generate_row(self, out: np.ndarray, offset: int, position: int,
+                      now: float) -> None:
+        pack_account(out[offset], self._generate(position, now))
+        self.rows_generated += 1
+
+    def chunk(self, index: int, now: float, limit: int) -> np.ndarray:
+        """The full chunk at ``index`` as seen at ``now``.
+
+        ``limit`` is the population size at ``now``; a trailing chunk is
+        clamped to it, so rows past the current size are never generated.
+        The returned array is cached — callers must not mutate it.
+        """
+        key = (index, now)
+        cached = self._chunks.get(key)
+        if cached is not None:
+            self._chunks.move_to_end(key)
+            self.cache_hits += 1
+            return cached
+        start = index * self._chunk_size
+        stop = min(start + self._chunk_size, limit)
+        if stop <= start:
+            raise ConfigurationError(
+                f"chunk {index} is empty at limit {limit}")
+        rows = np.empty(stop - start, dtype=ACCOUNT_DTYPE)
+        for offset, position in enumerate(range(start, stop)):
+            self._generate_row(rows, offset, position, now)
+        self.chunks_materialized += 1
+        self._chunks[key] = rows
+        if len(self._chunks) > self._max_cached:
+            self._chunks.popitem(last=False)
+            self.evictions += 1
+        return rows
+
+    def gather(self, positions: Iterable[int], now: float,
+               limit: int) -> np.ndarray:
+        """Rows for ``positions`` (ascending, unique), packed in order.
+
+        Positions must lie in ``[0, limit)``.  Chunks already cached for
+        this ``now`` are sliced; chunks a request covers densely enough
+        (>= ``DENSIFY_FRACTION`` of the chunk, or the whole trailing
+        chunk) are materialised and cached; remaining sparse rows are
+        generated individually without touching the cache.
+        """
+        self.gather_calls += 1
+        wanted = list(positions)
+        out = np.empty(len(wanted), dtype=ACCOUNT_DTYPE)
+        if not wanted:
+            return out
+        previous = -1
+        for position in wanted:
+            if position <= previous:
+                raise ConfigurationError(
+                    "gather positions must be strictly ascending")
+            previous = position
+        if wanted[-1] >= limit or wanted[0] < 0:
+            raise ConfigurationError(
+                f"gather positions out of range [0, {limit})")
+
+        # Group by chunk, preserving output order.
+        groups: List[Tuple[int, List[int], List[int]]] = []
+        current_chunk = -1
+        for out_index, position in enumerate(wanted):
+            chunk_index = position // self._chunk_size
+            if chunk_index != current_chunk:
+                groups.append((chunk_index, [], []))
+                current_chunk = chunk_index
+            groups[-1][1].append(position)
+            groups[-1][2].append(out_index)
+
+        for chunk_index, chunk_positions, out_indices in groups:
+            start = chunk_index * self._chunk_size
+            span = min(self._chunk_size, limit - start)
+            cached = self._chunks.get((chunk_index, now))
+            dense = len(chunk_positions) >= max(
+                1, int(span * DENSIFY_FRACTION))
+            if cached is None and dense:
+                cached = self.chunk(chunk_index, now, limit)
+            elif cached is not None:
+                self._chunks.move_to_end((chunk_index, now))
+                self.cache_hits += 1
+            if cached is not None:
+                offsets = [p - start for p in chunk_positions]
+                out[out_indices] = cached[offsets]
+            else:
+                for out_index, position in zip(out_indices, chunk_positions):
+                    self._generate_row(out, out_index, position, now)
+        return out

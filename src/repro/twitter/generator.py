@@ -12,7 +12,6 @@ from typing import List, Mapping, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 from ..core.ids import IdGenerator
-from ..core.rng import make_rng
 from ..core.timeutil import PAPER_EPOCH, YEAR
 from .account import Account, Label
 from .graph import SocialGraph
@@ -24,6 +23,7 @@ from .population import (
     tilted_segments,
     uniform_segments,
 )
+from .streams import graph_rng
 
 
 def build_world(seed: int = 42, ref_time: float = PAPER_EPOCH) -> SyntheticWorld:
@@ -187,7 +187,7 @@ def populate_graph(
     if not graph.has_account(target.user_id):
         graph.add_account(target)
     ids = IdGenerator(worker=1)
-    rng = make_rng(seed, "graph", target.screen_name)
+    rng = graph_rng(seed, target.screen_name)
     window = follow_window_years * YEAR
     minted: List[int] = []
     for index, label in enumerate(follower_labels):

@@ -37,10 +37,17 @@ from ..core.errors import (
     DuplicateAccountError,
     UnknownAccountError,
 )
-from ..core.rng import make_rng, weighted_choice
+from ..core.rng import weighted_choice
 from ..core.timeutil import DAY, HOUR, TWITTER_LAUNCH
 from .account import Account, BehaviorProfile, Label
 from .personas import PERSONAS, Persona, persona_mix_from_labels
+from .streams import (
+    ambient_rng,
+    composition_rng,
+    follower_account_rng,
+    follower_persona_rng,
+    friends_rng,
+)
 from .timeline import TimelineGenerator
 from .tweet import Tweet
 from .workload import ArrivalSchedule, SegmentWindow
@@ -361,7 +368,7 @@ class FollowerPopulation:
     def persona_at(self, position: int) -> Persona:
         """Deterministically pick the persona of the follower at ``position``."""
         mix = self._mix_at(position)
-        rng = make_rng(self._seed, "persona", self._ordinal, position)
+        rng = follower_persona_rng(self._seed, self._ordinal, position)
         names = sorted(mix)
         name = weighted_choice(rng, names, [mix[n] for n in names])
         return PERSONAS[str(name)]
@@ -374,7 +381,7 @@ class FollowerPopulation:
         before it can follow, so its creation is capped at ``followed_at``.
         """
         persona = self.persona_at(position)
-        rng = make_rng(self._seed, "account", self._ordinal, position)
+        rng = follower_account_rng(self._seed, self._ordinal, position)
         user_id = self.follower_id_at(position)
         screen_name = f"u{self._ordinal}_{position}"
         account = persona.sample(rng, user_id, screen_name, now)
@@ -422,7 +429,7 @@ class FollowerPopulation:
         if size == 0:
             return {label: 0.0 for label in Label}
         if sample is not None and sample < size:
-            rng = make_rng(self._seed, "composition", seed)
+            rng = composition_rng(self._seed, seed)
             positions = rng.sample(range(size), sample)
         else:
             positions = range(size)
@@ -472,6 +479,26 @@ class World:
         """The user's recent tweets at ``now``, newest first."""
         raise NotImplementedError
 
+    def user_objects(self, user_ids: Sequence[int], now: float) -> List["UserObject"]:
+        """Resolve ``user_ids`` to API user objects at ``now``, in order.
+
+        Unknown/suspended ids are silently dropped, exactly as the real
+        ``users/lookup`` endpoint omits them from its response.  Backends
+        with columnar storage override this to build user objects
+        straight from attribute columns; this default is the reference
+        object path the columnar one must match byte-for-byte.
+        """
+        from ..api.endpoints import UserObject  # deferred: api imports this module
+
+        users: List[UserObject] = []
+        for user_id in user_ids:
+            try:
+                account = self.account_by_id(user_id, now)
+            except UnknownAccountError:
+                continue
+            users.append(UserObject.from_account(account))
+        return users
+
 
 class SyntheticWorld(World):
     """Lazy world: a registry of :class:`FollowerPopulation` targets plus
@@ -500,10 +527,19 @@ class SyntheticWorld(World):
         if key in self._by_name:
             raise DuplicateAccountError(spec.screen_name)
         ordinal = len(self._populations)
-        population = FollowerPopulation(spec, ordinal, self._seed, self._ref_time)
+        population = self._make_population(spec, ordinal)
         self._populations.append(population)
         self._by_name[key] = ordinal
         return population
+
+    def _make_population(self, spec: TargetSpec, ordinal: int) -> FollowerPopulation:
+        """Construct the population backend for a newly registered target.
+
+        Subclasses (notably :class:`repro.twitter.columnar.ColumnarWorld`)
+        override this to swap in a different substrate while keeping id
+        allocation and name registration identical.
+        """
+        return FollowerPopulation(spec, ordinal, self._seed, self._ref_time)
 
     def population(self, screen_name: str) -> FollowerPopulation:
         """Look up a registered target's population by handle."""
@@ -544,7 +580,7 @@ class SyntheticWorld(World):
         )
 
     def _ambient_account(self, index: int, now: float) -> Account:
-        rng = make_rng(self._seed, "ambient", index)
+        rng = ambient_rng(self._seed, index)
         persona = PERSONAS[
             "genuine_active" if rng.random() < 0.8 else "genuine_abandoned"]
         return persona.sample(rng, ambient_id(index), f"amb{index}", now)
@@ -612,7 +648,7 @@ class SyntheticWorld(World):
         stop = max(start, min(stop, count))
         if stop == start:
             return []
-        rng = make_rng(self._seed, "friends", user_id)
+        rng = friends_rng(self._seed, user_id)
         indices = rng.sample(range(AMBIENT_POOL_SIZE), count)
         return [ambient_id(index) for index in indices[start:stop]]
 

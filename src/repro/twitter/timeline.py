@@ -13,9 +13,9 @@ from __future__ import annotations
 from typing import List
 
 from ..core.ids import snowflake
-from ..core.rng import make_rng
 from ..core.timeutil import DAY
 from .account import Account
+from .streams import timeline_rng
 from .textgen import TweetTextGenerator
 from .tweet import Tweet
 
@@ -51,7 +51,7 @@ class TimelineGenerator:
         if n == 0:
             return []
 
-        rng = make_rng(self._seed, "timeline", account.user_id)
+        rng = timeline_rng(self._seed, account.user_id)
         textgen = TweetTextGenerator(rng, account.behavior)
         mean_gap = DAY / max(account.behavior.tweets_per_day, 1e-3)
 

@@ -1,0 +1,127 @@
+"""Chunk-boundary behaviour of the columnar substrate.
+
+Follower pages must be independent of chunk geometry: any page that
+straddles one or many chunk boundaries returns exactly the id sequence
+the object substrate computes arithmetically, for pathological chunk
+sizes (1, a prime, the page size, page size + 1), and the service-side
+newest-first ordering survives chunking, with post-reference arrivals
+still appearing as a strict prefix of the head page.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import TwitterApiClient
+from repro.core import DAY, PAPER_EPOCH, SimClock
+from repro.twitter import add_simple_target, build_world, columnar_twin
+
+PAGE_SIZE = 100
+CHUNK_SIZES = (1, 7, PAGE_SIZE, PAGE_SIZE + 1)
+FOLLOWERS = 1037  # not a multiple of anything above: ragged last chunk
+
+SEED = 19
+
+
+@pytest.fixture(scope="module")
+def object_world():
+    world = build_world(seed=SEED, ref_time=PAPER_EPOCH)
+    add_simple_target(world, "target", FOLLOWERS, 0.3, 0.2, 0.5,
+                      daily_new_followers=40.0)
+    return world
+
+
+def twin_for(object_world, chunk_size):
+    return columnar_twin(object_world, chunk_size=chunk_size)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_pages_identical_across_chunk_sizes(object_world, chunk_size):
+    """Full cursor walk: every page equals the object substrate's."""
+    twin = twin_for(object_world, chunk_size)
+    reference = TwitterApiClient(object_world, SimClock(PAPER_EPOCH))
+    columnar = TwitterApiClient(twin, SimClock(PAPER_EPOCH))
+    cursor = -1
+    pages = 0
+    while True:
+        expected = reference.followers_ids(
+            screen_name="target", cursor=cursor, count=PAGE_SIZE)
+        actual = columnar.followers_ids(
+            screen_name="target", cursor=cursor, count=PAGE_SIZE)
+        assert actual == expected
+        pages += 1
+        if expected.next_cursor == 0:
+            break
+        cursor = expected.next_cursor
+    assert pages == -(-FOLLOWERS // PAGE_SIZE)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_straddling_slices_identical(object_world, chunk_size):
+    """Raw chronological slices crossing 0, 1 and many boundaries."""
+    twin = twin_for(object_world, chunk_size)
+    population = object_world.population("target")
+    columnar = twin.population("target")
+    spans = [
+        (0, 1),
+        (0, FOLLOWERS),
+        (chunk_size - 1, chunk_size + 1) if chunk_size > 1 else (0, 2),
+        (chunk_size * 3 - 1, chunk_size * 5 + 2),
+        (FOLLOWERS - 1, FOLLOWERS),
+        (FOLLOWERS, FOLLOWERS),  # empty tail slice
+    ]
+    for start, stop in spans:
+        expected = population.follower_ids(start, stop)
+        actual = columnar.follower_ids(start, stop)
+        assert actual.dtype == np.int64
+        assert np.array_equal(actual, expected), (start, stop)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_newest_first_prefix_preserved(object_world, chunk_size):
+    """New arrivals prefix the head page regardless of chunk geometry.
+
+    The paper's Section IV-B finding: followers/ids returns newest
+    first, so followers arriving after an earlier snapshot appear as a
+    strict prefix of the later head page.
+    """
+    twin = twin_for(object_world, chunk_size)
+    early_clock = SimClock(PAPER_EPOCH)
+    late_clock = SimClock(PAPER_EPOCH + 2 * DAY)
+    early = TwitterApiClient(twin, early_clock).followers_ids(
+        screen_name="target", count=PAGE_SIZE)
+    late = TwitterApiClient(twin, late_clock).followers_ids(
+        screen_name="target", count=PAGE_SIZE)
+    population = twin.population("target")
+    grown = (population.size_at(late_clock.now())
+             - population.size_at(early_clock.now()))
+    assert 0 < grown < PAGE_SIZE
+    # The late head page = the new arrivals, then yesterday's head.
+    assert late.ids[grown:] == early.ids[:PAGE_SIZE - grown]
+    assert set(late.ids[:grown]).isdisjoint(early.ids)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_accounts_at_chunk_boundaries_identical(object_world, chunk_size):
+    twin = twin_for(object_world, chunk_size)
+    population = object_world.population("target")
+    columnar = twin.population("target")
+    now = PAPER_EPOCH
+    positions = sorted({
+        0, chunk_size - 1, chunk_size, chunk_size + 1,
+        5 * chunk_size - 1, 5 * chunk_size, FOLLOWERS - 1,
+    } & set(range(FOLLOWERS)))
+    for position in positions:
+        assert columnar.account_at(position, now) == \
+            population.account_at(position, now), position
+
+
+def test_edge_chunk_cache_is_bounded(object_world):
+    from repro.twitter.columnar import EDGE_CHUNKS_CACHED
+
+    twin = twin_for(object_world, 7)
+    columnar = twin.population("target")
+    columnar.follower_ids(0, FOLLOWERS)
+    assert len(columnar._edge_chunks) <= EDGE_CHUNKS_CACHED
+    assert columnar.edge_chunks_materialized == -(-FOLLOWERS // 7)
