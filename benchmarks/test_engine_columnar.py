@@ -1,0 +1,120 @@
+"""Wall-clock benchmarks: scalar vs columnar rule-based engines.
+
+The batch-criteria claim, measured per engine at the paper's own
+scale: StatusPeople and Twitteraudit classify a 9604-row sample
+(Section III's statistically mandated size), Socialbakers its
+production newest-2000 frame with timelines.  Each test asserts bit
+parity first — a fast wrong answer is worthless — then its speedup
+floor, and writes the measured numbers to
+``benchmarks/results/BENCH_<engine>_columnar.json``.
+
+The columnar side classifies from a
+:class:`~repro.twitter.columnar.schema.UserRowBlock` (the shape
+acquisition hands the batch path on a columnar world), with
+:class:`~repro.analytics.criteria.SampleBlock` construction timed
+inside; the scalar side classifies the user objects materialised from
+the same rows.
+
+Floors: the profile-only engines default to the ISSUE's local 5x
+(relaxed via ``SP_COLUMNAR_MIN_SPEEDUP`` / ``TA_COLUMNAR_MIN_SPEEDUP``;
+CI exports 2).  Socialbakers' floor (``SB_COLUMNAR_MIN_SPEEDUP``,
+default 1.0, CI 0.8) is a *non-regression* gate, not a speedup target:
+its rules are dominated by per-tweet text analysis (regex + substring
+scans) that scalar and columnar paths share one-for-one, so the masks
+can only win the rule-arithmetic margin on top.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.analytics import (
+    StatusPeopleCriteria,
+    TwitterauditCriteria,
+    build_sample_block,
+)
+from repro.analytics.socialbakers import SB_SAMPLE
+from repro.fc import FC_SAMPLE_SIZE, build_gold_standard
+from repro.fc.rulesets import SocialbakersCriteria
+from repro.obs import measure_wallclock
+from repro.twitter.columnar.schema import UserRowBlock
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+REPEATS = 3
+
+#: Profile-only engines: local 5x target, CI relaxes to 2x.
+SP_MIN_SPEEDUP = float(os.environ.get("SP_COLUMNAR_MIN_SPEEDUP", "5"))
+TA_MIN_SPEEDUP = float(os.environ.get("TA_COLUMNAR_MIN_SPEEDUP", "5"))
+#: Timeline-bound engine: non-regression floor (see module docstring).
+SB_MIN_SPEEDUP = float(os.environ.get("SB_COLUMNAR_MIN_SPEEDUP", "1.0"))
+
+
+def _bench_criteria(name, criteria, rows, timeline_depth, min_speedup,
+                    save_result):
+    """Parity then speedup for one engine's criteria; returns the doc."""
+    population = build_gold_standard(
+        n_fake=rows - rows // 2, n_genuine=rows // 2, seed=17,
+        timeline_depth=timeline_depth)
+    users = population.users()
+    timelines = population.timelines() if criteria.needs_timeline else None
+    now = population.now
+    assert len(users) == rows
+    block_users = UserRowBlock.from_users(users)
+
+    # Parity before speed: identical verdicts, counts and extras.
+    scalar = criteria.classify_all(users, timelines, now)
+    batch = criteria.classify_block(
+        build_sample_block(block_users, timelines), now)
+    assert list(batch.codes) == list(scalar.codes)
+    assert batch.counts() == scalar.counts()
+    assert batch.extras == scalar.extras
+
+    scalar_seconds = measure_wallclock(
+        lambda: criteria.classify_all(users, timelines, now), REPEATS)
+    batch_seconds = measure_wallclock(
+        lambda: criteria.classify_block(
+            build_sample_block(block_users, timelines), now), REPEATS)
+    speedup = scalar_seconds / batch_seconds
+
+    doc = {
+        "rows": rows,
+        "timeline_depth": timeline_depth,
+        "repeats": REPEATS,
+        "criteria": criteria.name,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "speedup": round(speedup, 2),
+        "scalar_rows_per_s": round(rows / scalar_seconds, 1),
+        "batch_rows_per_s": round(rows / batch_seconds, 1),
+        "min_speedup": min_speedup,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"BENCH_{name}_columnar.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    save_result(
+        f"{name}_columnar",
+        "\n".join(f"{key}: {value}" for key, value in sorted(doc.items())))
+
+    assert speedup >= min_speedup, (
+        f"{name} columnar speedup {speedup:.2f}x below the "
+        f"{min_speedup:g}x floor "
+        f"(scalar {scalar_seconds:.4f}s vs batch {batch_seconds:.4f}s)")
+    return doc
+
+
+def test_statuspeople_columnar_speedup(save_result):
+    _bench_criteria("statuspeople", StatusPeopleCriteria(), FC_SAMPLE_SIZE,
+                    0, SP_MIN_SPEEDUP, save_result)
+
+
+def test_twitteraudit_columnar_speedup(save_result):
+    _bench_criteria("twitteraudit", TwitterauditCriteria(), FC_SAMPLE_SIZE,
+                    0, TA_MIN_SPEEDUP, save_result)
+
+
+def test_socialbakers_columnar_speedup(save_result):
+    _bench_criteria("socialbakers", SocialbakersCriteria(), SB_SAMPLE,
+                    5, SB_MIN_SPEEDUP, save_result)

@@ -6,6 +6,14 @@ from .base import (
     ResultCache,
     percentages,
 )
+from .criteria import (
+    Criteria,
+    EngineInfo,
+    SampleBlock,
+    VerdictArray,
+    build_sample_block,
+    scalar_classify,
+)
 from .socialbakers import (
     SB_DAILY_QUOTA,
     SB_SAMPLE,
@@ -17,6 +25,7 @@ from .statuspeople import (
     LAUNCH_CONFIG,
     FakersConfig,
     SP_INACTIVITY_HORIZON,
+    StatusPeopleCriteria,
     StatusPeopleFakers,
     is_inactive,
     is_spam,
@@ -32,6 +41,7 @@ from .twitteraudit import (
     TA_MAX_POINTS,
     TA_SAMPLE,
     Twitteraudit,
+    TwitterauditCriteria,
     real_score,
 )
 
@@ -39,7 +49,9 @@ __all__ = [
     "AnalysisOutcome",
     "AppSession",
     "CommercialAnalytic",
+    "Criteria",
     "DEFAULT_PERMISSIONS",
+    "EngineInfo",
     "HostedCheckerApp",
     "DEEP_DIVE_CONFIG",
     "DEFAULT_CONFIG",
@@ -50,14 +62,20 @@ __all__ = [
     "SB_DAILY_QUOTA",
     "SB_SAMPLE",
     "SP_INACTIVITY_HORIZON",
+    "SampleBlock",
     "SocialbakersFakeFollowerCheck",
+    "StatusPeopleCriteria",
     "StatusPeopleFakers",
     "TA_MAX_POINTS",
     "TA_SAMPLE",
     "Twitteraudit",
+    "TwitterauditCriteria",
+    "VerdictArray",
+    "build_sample_block",
     "is_inactive",
     "is_spam",
     "percentages",
     "real_score",
+    "scalar_classify",
     "spam_score",
 ]

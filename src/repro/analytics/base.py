@@ -31,6 +31,13 @@ from ..obs.metrics import CacheInfo
 from ..obs.runtime import get_observability
 from ..twitter.population import World
 from ..twitter.tweet import Tweet
+from .criteria import (
+    Criteria,
+    EngineInfo,
+    VerdictArray,
+    build_sample_block,
+    numpy_available,
+)
 
 
 @dataclass(frozen=True)
@@ -177,6 +184,12 @@ class CommercialAnalytic:
         of Table II's repeat audits).
     processing_seconds:
         Fixed post-crawl computation time added to fresh analyses.
+    batch:
+        Columnar classification knob, mirroring the FC engine's:
+        ``"auto"`` (default) and ``True`` classify through the
+        criteria's NumPy mask pipeline when available, ``False`` forces
+        the scalar per-user loop.  Verdicts are bit-identical either
+        way — only the wall clock differs.
     seed:
         Seed for the tool's internal sampling.
     """
@@ -197,7 +210,11 @@ class CommercialAnalytic:
                  faults: Optional[FaultPlan] = None,
                  retry: Optional[RetryPolicy] = None,
                  acquisition_cache=None,
+                 batch: Union[bool, str] = "auto",
                  seed: int = 99) -> None:
+        if batch not in (True, False, "auto"):
+            raise ConfigurationError(
+                f"batch must be True, False or 'auto': {batch!r}")
         self._clock = clock
         self._client = TwitterApiClient(
             world, clock,
@@ -219,6 +236,11 @@ class CommercialAnalytic:
         self._audit_counter = 0
         self._last_completeness = 1.0
         self._active_request: Optional[AuditRequest] = None
+        self._batch_mode = batch
+        #: The engine's classification criteria; concrete tools set
+        #: this in their constructors (``None`` keeps legacy
+        #: ``_analyze`` subclasses working without one).
+        self._criteria: Optional[Criteria] = None
 
     @property
     def client(self) -> TwitterApiClient:
@@ -230,21 +252,49 @@ class CommercialAnalytic:
         """The tool's result cache."""
         return self._cache
 
+    @property
+    def criteria(self) -> Optional[Criteria]:
+        """The engine's classification criteria (``None`` for legacy
+        subclasses that classify inside ``_analyze`` directly)."""
+        return self._criteria
+
+    @property
+    def frame_policy(self) -> str:
+        """Human-readable description of the sampling frame."""
+        return "head-of-list sample"
+
+    def info(self) -> EngineInfo:
+        """The uniform engine metadata block (see :class:`EngineInfo`)."""
+        criteria = self._criteria
+        return EngineInfo(
+            name=self.name,
+            frame_policy=self.frame_policy,
+            criteria_id=criteria.name if criteria is not None else "custom",
+            reports_inactive=self.reports_inactive,
+            batch_capable=bool(criteria is not None
+                               and criteria.batch_capable),
+        )
+
+    def batch_active(self) -> bool:
+        """Whether classifications run on the columnar mask pipeline."""
+        return (self._batch_mode is not False
+                and self._criteria is not None
+                and self._criteria.batch_capable
+                and numpy_available())
+
     # -- public API -----------------------------------------------------------
 
-    def audit(self, request: Union[AuditRequest, str], *,
-              force_refresh: Optional[bool] = None) -> AuditReport:
+    def audit(self, request: AuditRequest) -> AuditReport:
         """Audit a target, serving from cache when possible.
 
-        Accepts an :class:`~repro.audit.AuditRequest` (the unified
-        entry point) or, deprecated, a bare screen name.  The returned
+        Takes an :class:`~repro.audit.AuditRequest` (the unified entry
+        point; the legacy string form was removed).  The returned
         report's ``response_seconds`` is simulated wall time as an end
         user would experience it, which is how Table II was measured.
         This blocking form simply drains :meth:`begin_audit`'s step
         chain on the engine's own clock.
         """
-        request = coerce_request(request, engine_name=self.name,
-                                 force_refresh=force_refresh)
+        request = coerce_request(request, engine_name=self.name)
         self._admit(request)
         with self._tracer.span("audit", self._clock, tool=self.name,
                                target=request.target) as span:
@@ -383,6 +433,30 @@ class CommercialAnalytic:
         pinned = self._client.observed_at
         return pinned if pinned is not None else self._clock.now()
 
+    def _classify_sample(self, users, timelines, now: float) -> VerdictArray:
+        """Classify one sample through the criteria's best path.
+
+        The single code path shared by all the rule-based engines:
+        under ``batch=True``/``"auto"`` the sample is packed into a
+        :class:`~repro.analytics.criteria.SampleBlock` and classified
+        by the criteria's columnar mask pipeline; ``batch=False``, a
+        NumPy-less host, or criteria without a columnar path all fall
+        back to the scalar per-user loop.  Verdicts are bit-identical
+        across paths by contract.
+        """
+        criteria = self._criteria
+        if criteria is None:
+            raise ConfigurationError(
+                f"engine {self.name!r} defines no criteria; override "
+                f"_analyze_steps or set self._criteria")
+        if self._batch_mode is not False and criteria.batch_capable:
+            block = build_sample_block(users, timelines)
+            if block is not None:
+                verdicts = criteria.classify_block(block, now)
+                if verdicts is not None:
+                    return verdicts
+        return criteria.classify_all(users, timelines, now)
+
     def _sampling_rng(self):
         """A fresh, deterministic RNG per analysis run.
 
@@ -426,7 +500,15 @@ class CommercialAnalytic:
             sampled_ids = rng.sample(head_ids, sample)
         else:
             sampled_ids = list(head_ids)
-        users = self._crawler.lookup_users(sampled_ids)
+        if self.batch_active():
+            # Columnar classification ahead: ask for the sample as a
+            # row block so a columnar world can skip per-user object
+            # construction entirely.  Falls back to the object list on
+            # object worlds and cached acquisitions; either shape
+            # classifies identically.
+            users = self._crawler.lookup_users_block(sampled_ids)
+        else:
+            users = self._crawler.lookup_users(sampled_ids)
         # Completeness = frame completeness x sample completeness: how
         # much of the intended head frame was paged in, times how much
         # of the intended within-frame sample actually resolved.
@@ -440,9 +522,12 @@ class CommercialAnalytic:
         timelines: Optional[List[List[Tweet]]] = None
         if with_timelines:
             yield
+            ids_of = getattr(users, "user_ids", None)
+            sample_user_ids = (ids_of() if ids_of is not None
+                               else [user.user_id for user in users])
             by_id = self._crawler.fetch_timelines(
-                [user.user_id for user in users], per_user=200)
-            timelines = [by_id[user.user_id] for user in users]
+                sample_user_ids, per_user=200)
+            timelines = [by_id[uid] for uid in sample_user_ids]
             if users:
                 # Degraded-to-empty timelines silently bias activity
                 # rules, so they count against completeness too.

@@ -50,9 +50,9 @@ class SocialbakersFakeFollowerCheck(CommercialAnalytic):
         self._quota_used = 0
 
     @property
-    def criteria(self) -> SocialbakersCriteria:
-        """The published rule set driving classification."""
-        return self._criteria
+    def frame_policy(self) -> str:
+        """The sampling frame: newest-2000 with timelines."""
+        return f"newest {SB_SAMPLE} followers with timelines"
 
     def _admit(self, request) -> None:
         """Enforce the free tier's ten-per-day usage quota.
@@ -79,13 +79,10 @@ class SocialbakersFakeFollowerCheck(CommercialAnalytic):
             with_timelines=True,
         )
         now = self._analysis_now()
-        counts = {"fake": 0, "inactive": 0, "good": 0}
         assert timelines is not None
-        for user, timeline in zip(users, timelines):
-            verdict = self._criteria.classify(user, timeline, now)
-            key = {"fake": "fake", "inactive": "inactive",
-                   "genuine": "good"}[verdict]
-            counts[key] += 1
+        tallies = self._classify_sample(users, timelines, now).counts()
+        counts = {"fake": tallies["fake"], "inactive": tallies["inactive"],
+                  "good": tallies["genuine"]}
         total = max(1, len(users))
         pct = percentages(counts, total)
         return AnalysisOutcome(
@@ -96,7 +93,7 @@ class SocialbakersFakeFollowerCheck(CommercialAnalytic):
             inactive_pct=pct["inactive"],
             details={
                 "declared_error_margin": "10-15%",
-                "criteria": "published 8-rule point system",
+                "engine": self.info().as_dict(),
                 "inactivity_tested_on": "suspicious accounts only",
             },
         )

@@ -26,10 +26,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from ..api.endpoints import UserObject
 from ..core.errors import ConfigurationError
 from ..core.timeutil import DAY
 from .base import AnalysisOutcome, CommercialAnalytic, percentages
+from .criteria import Criteria, SampleBlock, VerdictArray
 
 
 @dataclass(frozen=True)
@@ -86,6 +89,47 @@ def is_inactive(user: UserObject, now: float) -> bool:
     return age is None or age > SP_INACTIVITY_HORIZON
 
 
+class StatusPeopleCriteria(Criteria):
+    """The Fakers spam/inactivity rules behind the batch-criteria API.
+
+    Scalar classification delegates to the module-level rule functions
+    (the historical behaviour); the columnar path expresses the same
+    four spam predicates as weighted boolean masks.  Point weights are
+    exact multiples of 0.5 with sums well under 2^53, so the
+    mask-weighted sum is bit-identical to the scalar accumulation.
+    """
+
+    name = "sp-spam-points"
+    needs_timeline = False
+    labels = ("fake", "inactive", "good")
+    batch_capable = True
+
+    def __init__(self, threshold: float = 3.0) -> None:
+        self._threshold = threshold
+
+    def classify(self, user: UserObject, timeline, now: float) -> str:
+        if is_spam(user, self._threshold):
+            return "fake"
+        if is_inactive(user, now):
+            return "inactive"
+        return "good"
+
+    def classify_block(self, block: SampleBlock,
+                       now: float) -> Optional[VerdictArray]:
+        np = block.np
+        score = ((block.followers <= 25) * 1.0
+                 + (block.statuses <= 20) * 1.0
+                 + (block.friends >= 150) * 1.0
+                 + (block.ff_ratio >= 20.0) * 2.0)
+        spam = score >= self._threshold
+        # NaN last-status ages compare False against the horizon, so
+        # never-tweeted rows need the explicit mask.
+        inactive = block.never_tweeted | (
+            block.last_status_age(now) > SP_INACTIVITY_HORIZON)
+        codes = np.where(spam, 0, np.where(inactive, 1, 2)).astype(np.int64)
+        return VerdictArray(labels=self.labels, codes=codes)
+
+
 class StatusPeopleFakers(CommercialAnalytic):
     """The Fakers app: head-of-list sample, profile-only spam criteria.
 
@@ -102,11 +146,18 @@ class StatusPeopleFakers(CommercialAnalytic):
         kwargs.setdefault("parallelism", 1)
         super().__init__(world, clock, **kwargs)
         self._config = config
+        self._criteria = StatusPeopleCriteria()
 
     @property
     def config(self) -> FakersConfig:
         """The active sampling configuration."""
         return self._config
+
+    @property
+    def frame_policy(self) -> str:
+        """The sampling frame of the active Fakers configuration."""
+        return (f"newest {self._config.head} follower ids, "
+                f"random sample of {self._config.sample}")
 
     def _analyze_steps(self, screen_name: str):
         """Head-of-list sample classified by the spam/inactivity rules."""
@@ -117,14 +168,7 @@ class StatusPeopleFakers(CommercialAnalytic):
             with_timelines=False,
         )
         now = self._analysis_now()
-        counts = {"fake": 0, "inactive": 0, "good": 0}
-        for user in users:
-            if is_spam(user):
-                counts["fake"] += 1
-            elif is_inactive(user, now):
-                counts["inactive"] += 1
-            else:
-                counts["good"] += 1
+        counts = self._classify_sample(users, None, now).counts()
         total = max(1, len(users))
         pct = percentages(counts, total)
         return AnalysisOutcome(
@@ -136,6 +180,6 @@ class StatusPeopleFakers(CommercialAnalytic):
             details={
                 "config": self._config.label,
                 "head": self._config.head,
-                "criteria": "followers/tweets/following spam points",
+                "engine": self.info().as_dict(),
             },
         )

@@ -20,11 +20,12 @@ Distinctive observable behaviours reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..api.endpoints import UserObject
 from ..core.timeutil import DAY
 from .base import AnalysisOutcome, CommercialAnalytic
+from .criteria import Criteria, SampleBlock, VerdictArray
 
 #: "taking a random sample of 5K Twitter followers" — one API page,
 #: which is necessarily the newest 5000.
@@ -85,6 +86,95 @@ def real_score(user: UserObject, now: float) -> RealScore:
     return RealScore(tweets, recency, ratio_points)
 
 
+class TwitterauditCriteria(Criteria):
+    """The 3-criterion RealScore rules behind the batch-criteria API.
+
+    Both paths carry the audit's chart aggregates in the verdict
+    array's ``extras``: the 0-5 real-points histogram, the quality
+    decile histogram, and the running quality sum (accumulated in user
+    order on *both* paths — a NumPy pairwise sum would round
+    differently).  All point values are multiples of 0.25, so the
+    columnar nested-``where`` scoring is bit-identical to the scalar
+    branch ladder.
+    """
+
+    name = "ta-real-points"
+    needs_timeline = False
+    labels = ("fake", "not sure", "real")
+    batch_capable = True
+
+    def __init__(self, fake_threshold: float = 2.5) -> None:
+        self._fake_threshold = fake_threshold
+
+    def classify(self, user: UserObject, timeline, now: float) -> str:
+        total = real_score(user, now).total
+        if total < self._fake_threshold:
+            return "fake"
+        if total < self._fake_threshold + 1.0:
+            return "not sure"
+        return "real"
+
+    def classify_all(self, users, timelines, now: float) -> VerdictArray:
+        histogram: Dict[int, int] = {points: 0 for points in range(6)}
+        quality_histogram: Dict[int, int] = {decile: 0
+                                             for decile in range(10)}
+        quality_sum = 0.0
+        codes = []
+        for user in users:
+            score = real_score(user, now)
+            histogram[min(5, int(score.total))] += 1
+            quality_histogram[min(9, int(score.quality * 10))] += 1
+            quality_sum += score.quality
+            if score.total < self._fake_threshold:
+                codes.append(0)
+            elif score.total < self._fake_threshold + 1.0:
+                codes.append(1)
+            else:
+                codes.append(2)
+        return VerdictArray(labels=self.labels, codes=codes, extras={
+            "real_points_histogram": histogram,
+            "quality_histogram": quality_histogram,
+            "quality_sum": quality_sum,
+        })
+
+    def classify_block(self, block: SampleBlock,
+                       now: float) -> Optional[VerdictArray]:
+        np = block.np
+        statuses = block.statuses
+        tweets = np.where(statuses >= 50, 1.5,
+                          np.where(statuses >= 5, 0.75, 0.0))
+        age = block.last_status_age(now)
+        recency = np.where(block.never_tweeted, 0.0,
+                           np.where(age <= 30 * DAY, 1.5,
+                                    np.where(age <= 180 * DAY, 0.75, 0.0)))
+        ratio = block.ff_ratio
+        ratio_points = np.where(ratio <= 1.0, 2.0,
+                                np.where(ratio <= 5.0, 1.0, 0.0))
+        # Left-associated like RealScore.total's scalar sum.
+        total = (tweets + recency) + ratio_points
+        quality = total / TA_MAX_POINTS
+        buckets = np.minimum(5, total.astype(np.int64))
+        deciles = np.minimum(9, (quality * 10.0).astype(np.int64))
+        bucket_counts = np.bincount(buckets, minlength=6)
+        decile_counts = np.bincount(deciles, minlength=10)
+        # Ordered accumulation on Python floats, matching the scalar
+        # ``quality_sum += score.quality`` loop bit for bit.
+        quality_sum = 0.0
+        for value in quality.tolist():
+            quality_sum += value
+        threshold = self._fake_threshold
+        codes = np.where(total < threshold, 0,
+                         np.where(total < threshold + 1.0, 1, 2)
+                         ).astype(np.int64)
+        return VerdictArray(labels=self.labels, codes=codes, extras={
+            "real_points_histogram": {points: int(bucket_counts[points])
+                                      for points in range(6)},
+            "quality_histogram": {decile: int(decile_counts[decile])
+                                  for decile in range(10)},
+            "quality_sum": quality_sum,
+        })
+
+
 class Twitteraudit(CommercialAnalytic):
     """The Twitteraudit checker: one 5000-id page, 3-criterion scoring."""
 
@@ -98,6 +188,12 @@ class Twitteraudit(CommercialAnalytic):
         kwargs.setdefault("parallelism", 2)
         super().__init__(world, clock, **kwargs)
         self._fake_threshold = fake_threshold
+        self._criteria = TwitterauditCriteria(fake_threshold=fake_threshold)
+
+    @property
+    def frame_policy(self) -> str:
+        """The sampling frame: the one newest 5000-id page."""
+        return f"newest {TA_SAMPLE} followers (one id page)"
 
     def _analyze_steps(self, screen_name: str):
         """One newest-5000 page, scored on the three public criteria."""
@@ -108,25 +204,11 @@ class Twitteraudit(CommercialAnalytic):
             with_timelines=False,
         )
         now = self._analysis_now()
-        fake = 0
-        histogram: Dict[int, int] = {points: 0 for points in range(6)}
-        quality_histogram: Dict[int, int] = {decile: 0 for decile in range(10)}
-        verdicts = {"fake": 0, "not sure": 0, "real": 0}
-        quality_sum = 0.0
-        for user in users:
-            score = real_score(user, now)
-            histogram[min(5, int(score.total))] += 1
-            quality_histogram[min(9, int(score.quality * 10))] += 1
-            quality_sum += score.quality
-            if score.total < self._fake_threshold:
-                fake += 1
-                verdicts["fake"] += 1
-            elif score.total < self._fake_threshold + 1.0:
-                verdicts["not sure"] += 1
-            else:
-                verdicts["real"] += 1
+        verdicts = self._classify_sample(users, None, now)
+        counts = verdicts.counts()
         total = max(1, len(users))
-        fake_pct = round(100.0 * fake / total, 1)
+        fake_pct = round(100.0 * counts["fake"] / total, 1)
+        quality_sum = verdicts.extras["quality_sum"]
         return AnalysisOutcome(
             followers_count=target.followers_count,
             sample_size=len(users),
@@ -138,11 +220,11 @@ class Twitteraudit(CommercialAnalytic):
                 # (paper, Section II-C): the fake/not-sure/real verdict,
                 # the per-follower "quality score", and the per-follower
                 # "real points" on the 5-point scale.
-                "verdict_counts": verdicts,
-                "quality_histogram": quality_histogram,
-                "real_points_histogram": histogram,
+                "verdict_counts": counts,
+                "quality_histogram": verdicts.extras["quality_histogram"],
+                "real_points_histogram":
+                    verdicts.extras["real_points_histogram"],
                 "mean_quality_score": quality_sum / total,
-                "criteria": "tweets count / last tweet date / "
-                            "followers-friends ratio (max 5 points)",
+                "engine": self.info().as_dict(),
             },
         )

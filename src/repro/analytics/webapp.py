@@ -54,7 +54,7 @@ class HostedCheckerApp:
     Parameters
     ----------
     engine:
-        Any object with an ``audit(screen_name) -> AuditReport`` method
+        Any object with an ``audit(AuditRequest) -> AuditReport`` method
         (all four engines in this library qualify).
     daily_checks_per_user:
         Usage allowance per authorized user per day; ``None`` disables
@@ -149,6 +149,13 @@ class HostedCheckerApp:
         name = getattr(self._engine, "name", "service")
         lines = [f"{name} service status",
                  f"  authorized sessions: {len(self._sessions)}"]
+        info = getattr(self._engine, "info", None)
+        if info is not None:
+            detail = info()
+            lines.append(
+                f"  engine: criteria {detail.criteria_id}; "
+                f"frame {detail.frame_policy}; "
+                f"batch {'on' if detail.batch_capable else 'off'}")
         live = get_observability().live
         if live is None:
             lines.append("  live telemetry: not attached")

@@ -413,6 +413,37 @@ class TwitterApiClient:
                 self._acq_cache.put_profile(user)
         return users
 
+    def users_lookup_block(self, user_ids: Sequence[int]):
+        """``users/lookup`` kept in columnar row form when possible.
+
+        Same endpoint, same charge, same observation-pinning rules as
+        :meth:`users_lookup`, but when the world can serve the batch as
+        a structured-row block (a columnar world resolving follower
+        ids) the rows are returned as a
+        :class:`repro.twitter.columnar.schema.UserRowBlock` instead of
+        materialised user objects — the projection the engines' batch
+        criteria read columns from.  Falls back to :meth:`users_lookup`
+        semantics (a plain list) whenever the block path cannot apply:
+        an acquisition cache is attached (its unit is the profile
+        object), the world has no block projection, or the batch
+        contains non-follower ids.
+        """
+        row_block = getattr(self._world, "user_row_block", None)
+        if self._acq_cache is not None or row_block is None:
+            return self.users_lookup(user_ids)
+        policy = self._limiter.policy("users/lookup")
+        if not 1 <= len(user_ids) <= policy.elements_per_request:
+            raise ConfigurationError(
+                f"users/lookup takes 1..{policy.elements_per_request} ids, "
+                f"got {len(user_ids)}")
+        completed = self._execute("users/lookup", len(user_ids))
+        now = (self._observe_at if self._observe_at is not None
+               else completed)
+        block = row_block(user_ids, now)
+        if block is None:
+            return self._world.user_objects(user_ids, now)
+        return block
+
     # -- follower / friend listings ---------------------------------------------
 
     def _ids_page(self, resource: str, uid: int, total: int, fetch,

@@ -1,0 +1,61 @@
+"""Timeline statistic columns for batch classification.
+
+Socialbakers' content rules (spam phrases, repeated tweets, retweet and
+link ratios) need per-timeline fractions.  The scalar rule set walks
+each timeline once *per rule*; this module computes all seven fractions
+in a single pass per timeline — the same one-pass class-B sweep the FC
+columnar extractor uses (:func:`repro.fc.columnar._timeline_fractions`)
+— and exposes them as float64 columns, so a 2000-follower sample costs
+2000 timeline walks instead of 10000.
+
+Each fraction is ``count / len(timeline)`` on Python ints, stored into
+float64 without rounding, so the columns are bit-identical to what the
+scalar helpers in :mod:`repro.fc.rulesets` compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass
+class TimelineStatColumns:
+    """Seven per-timeline fraction columns plus a non-empty mask."""
+
+    retweet: object
+    link: object
+    spam: object
+    mention: object
+    hashtag: object
+    automation: object
+    duplicate: object
+    #: ``bool(timeline)`` per row — rules like "more than 90% retweets"
+    #: only fire on accounts that tweeted at all.
+    nonempty: object
+
+    def __len__(self) -> int:
+        return len(self.nonempty)
+
+
+def timeline_stat_columns(np, timelines) -> TimelineStatColumns:
+    """One-pass fraction columns over ``timelines``.
+
+    ``None`` entries read as empty timelines (all fractions 0.0), the
+    same degradation the scalar rules apply via ``timeline or []``.
+    """
+    if timelines is None:
+        raise ConfigurationError("timeline_stat_columns needs timelines")
+    from ..fc.columnar import _timeline_fractions
+
+    fractions = [_timeline_fractions(timeline or [])
+                 for timeline in timelines]
+    matrix = (np.asarray(fractions, dtype=np.float64) if fractions
+              else np.zeros((0, 7), dtype=np.float64))
+    nonempty = np.asarray([bool(timeline) for timeline in timelines],
+                          dtype=bool)
+    return TimelineStatColumns(
+        retweet=matrix[:, 0], link=matrix[:, 1], spam=matrix[:, 2],
+        mention=matrix[:, 3], hashtag=matrix[:, 4], automation=matrix[:, 5],
+        duplicate=matrix[:, 6], nonempty=nonempty)

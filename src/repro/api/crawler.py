@@ -125,6 +125,52 @@ class Crawler:
             span.set_attribute("resolved", len(users))
         return users
 
+    def lookup_users_block(self, user_ids: Sequence[int]):
+        """Resolve profiles, keeping them columnar when the world can.
+
+        The batch-criteria acquisition path: identical request charges,
+        span shape and degradation behaviour to :meth:`lookup_users`,
+        but each batch goes through
+        :meth:`TwitterApiClient.users_lookup_block` so a columnar world
+        returns structured rows.  When every batch resolved as rows the
+        result is one merged ``UserRowBlock`` (which still quacks like
+        a user-object sequence); any object-path fallback flattens the
+        whole result to a plain list.  With a shared acquisition cache
+        the profile-object cached path is used unchanged.
+        """
+        cache = self._client.acquisition_cache
+        if cache is not None:
+            return self._lookup_users_cached(user_ids, cache)
+        batch_size = self._client.policy("users/lookup").elements_per_request
+        with self._tracer.span("crawl.lookup", self._client.clock,
+                               requested=len(user_ids)) as span:
+            parts = []
+            resolved = 0
+            for start in range(0, len(user_ids), batch_size):
+                batch = list(user_ids[start:start + batch_size])
+                if not batch:
+                    continue
+                try:
+                    part = self._client.users_lookup_block(batch)
+                except RetryableApiError:
+                    span.set_attribute("degraded", True)
+                    continue
+                parts.append(part)
+                resolved += len(part)
+            span.set_attribute("resolved", resolved)
+        if parts and all(hasattr(part, "rows") for part in parts):
+            if len(parts) == 1:
+                return parts[0]
+            # Row blocks imply NumPy is importable: the world built them.
+            import numpy as np
+
+            from ..twitter.columnar.schema import UserRowBlock
+            return UserRowBlock(np.concatenate([p.rows for p in parts]))
+        users: List[UserObject] = []
+        for part in parts:
+            users.extend(part)
+        return users
+
     def _lookup_users_cached(self, user_ids: Sequence[int],
                              cache) -> List[UserObject]:
         """Cache-aware variant: re-batch only the cache misses."""

@@ -16,14 +16,13 @@ This module also defines the unified entry point every engine shares:
 * :func:`build_engines` — the one factory the experiments, the CLI and
   ``repro.quick_audit`` use instead of hand-rolled engine dicts.
 
-The legacy string form ``engine.audit("handle")`` keeps working but
-emits a :class:`DeprecationWarning`; new code constructs an
-:class:`AuditRequest`.
+``audit()`` takes an :class:`AuditRequest`, full stop: the legacy
+string form ``engine.audit("handle")`` (deprecated through PR 7) has
+been removed.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -168,8 +167,7 @@ class Auditor(Protocol):
     #: Whether the engine reports "inactive" as a separate class.
     reports_inactive: bool
 
-    def audit(self, request: Union["AuditRequest", str], *,
-              force_refresh: Optional[bool] = None) -> AuditReport:
+    def audit(self, request: "AuditRequest") -> AuditReport:
         """Audit one target and return the finished report."""
         ...  # pragma: no cover - protocol signature only
 
@@ -178,38 +176,25 @@ class Auditor(Protocol):
         ...  # pragma: no cover - protocol signature only
 
 
-def coerce_request(value: Union[AuditRequest, str], *, engine_name: str,
-                   force_refresh: Optional[bool] = None) -> AuditRequest:
-    """Normalize an ``audit()`` argument to a bound :class:`AuditRequest`.
+def coerce_request(value: AuditRequest, *, engine_name: str) -> AuditRequest:
+    """Validate an ``audit()`` argument and bind it to the engine.
 
-    The legacy string form is accepted with a :class:`DeprecationWarning`
-    (the ``force_refresh`` keyword applies only to that form); a request
-    addressed to a *different* engine is rejected loudly rather than
-    silently mislabelled.
+    Only :class:`AuditRequest` is accepted (the legacy string form was
+    removed); a request addressed to a *different* engine is rejected
+    loudly rather than silently mislabelled.
     """
-    if isinstance(value, AuditRequest):
-        if force_refresh is not None:
-            raise ConfigurationError(
-                "pass force_refresh inside the AuditRequest, not as a "
-                "keyword, when auditing by request")
-        if value.engine is not None and value.engine != engine_name:
-            raise ConfigurationError(
-                f"request addressed to engine {value.engine!r} was handed "
-                f"to {engine_name!r}")
-        if value.engine is None:
-            return value.bound_to(engine_name)
-        return value
-    if not isinstance(value, str):
+    if not isinstance(value, AuditRequest):
         raise ConfigurationError(
-            f"audit() takes an AuditRequest or a screen name: {value!r}")
-    warnings.warn(
-        "audit(\"name\") is deprecated; pass an AuditRequest instead "
-        "(repro.audit.AuditRequest)",
-        DeprecationWarning, stacklevel=3)
-    return AuditRequest(
-        target=value, engine=engine_name,
-        force_refresh=bool(force_refresh) if force_refresh is not None
-        else False)
+            f"audit() takes an AuditRequest (the string form was "
+            f"removed; wrap the handle in AuditRequest(target=...)): "
+            f"{value!r}")
+    if value.engine is not None and value.engine != engine_name:
+        raise ConfigurationError(
+            f"request addressed to engine {value.engine!r} was handed "
+            f"to {engine_name!r}")
+    if value.engine is None:
+        return value.bound_to(engine_name)
+    return value
 
 
 def drain_steps(steps) -> AuditReport:
@@ -226,12 +211,23 @@ def drain_steps(steps) -> AuditReport:
             return stop.value
 
 
+def engine_infos(engines: Mapping[str, "Auditor"]) -> Dict[str, Mapping]:
+    """Structured metadata for a dict of engines, keyed by name.
+
+    Every engine exposes :meth:`info` returning an
+    :class:`repro.analytics.criteria.EngineInfo`; this flattens the lot
+    to plain dicts for report headers and status pages.
+    """
+    return {name: engine.info().as_dict() for name, engine in engines.items()}
+
+
 def build_engines(world, clock, detector=None, seed: int = 5, *,
                   faults=None, retry=None,
                   engines: Optional[Sequence[str]] = None,
                   acquisition_cache=None,
                   sb_daily_quota: Optional[int] = None,
-                  sp_config=None) -> Dict[str, "Auditor"]:
+                  sp_config=None,
+                  batch: Union[bool, str] = "auto") -> Dict[str, "Auditor"]:
     """Build the paper's audit engines over one world and one clock.
 
     The single factory behind every experiment, the CLI and
@@ -243,8 +239,11 @@ def build_engines(world, clock, detector=None, seed: int = 5, *,
     overrides Socialbakers' free-tier quota (experiment runners lift it
     to ``10**9`` because they do in one session what the authors spread
     over days); ``sp_config`` selects a StatusPeople sampling
-    configuration.  Imports are deferred so ``repro.audit`` stays a
-    leaf module the engines themselves can import.
+    configuration; ``batch`` sets every engine's columnar-classification
+    knob (``"auto"``/``True``/``False`` — verdicts are bit-identical
+    either way, only the wall clock differs).  Imports are deferred so
+    ``repro.audit`` stays a leaf module the engines themselves can
+    import.
     """
     from .analytics.socialbakers import SocialbakersFakeFollowerCheck
     from .analytics.statuspeople import StatusPeopleFakers
@@ -257,7 +256,7 @@ def build_engines(world, clock, detector=None, seed: int = 5, *,
         raise ConfigurationError(
             f"unknown engines: {sorted(unknown)!r}; "
             f"choose from {ENGINE_NAMES}")
-    common = dict(faults=faults, retry=retry, seed=seed)
+    common = dict(faults=faults, retry=retry, seed=seed, batch=batch)
     if acquisition_cache is not None:
         common["acquisition_cache"] = acquisition_cache
     sb_kwargs = dict(common)

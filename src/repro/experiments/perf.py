@@ -112,6 +112,68 @@ def measure_fc_wallclock(*, rows: int = WALLCLOCK_ROWS,
     return doc
 
 
+def measure_engine_wallclock(*, rows: int = WALLCLOCK_ROWS,
+                             repeats: int = WALLCLOCK_REPEATS,
+                             seed: int = 0) -> Dict[str, object]:
+    """Per-engine criteria timings: scalar loop vs columnar masks.
+
+    One generated population classified by each rule-based engine's
+    criteria both ways, timed like :func:`measure_fc_wallclock` —
+    through the inputs each path really receives on the columnar
+    substrate: acquisition hands the batch path a
+    :class:`~repro.twitter.columnar.schema.UserRowBlock` of structured
+    rows, while the scalar path classifies the user objects
+    materialised from those same rows.  Block construction (the
+    :class:`~repro.analytics.criteria.SampleBlock` field views) is
+    timed inside the columnar side; object materialisation happens at
+    acquisition time on both paths and is timed in neither.
+    Socialbakers reads timelines, so its rows carry short timelines;
+    the other two classify profiles only.  On a NumPy-less host only
+    the scalar timings are recorded.
+    """
+    from ..analytics.criteria import build_sample_block, numpy_available
+    from ..analytics.statuspeople import StatusPeopleCriteria
+    from ..analytics.twitteraudit import TwitterauditCriteria
+    from ..fc.dataset import build_gold_standard
+    from ..fc.rulesets import SocialbakersCriteria
+
+    population = build_gold_standard(
+        n_fake=rows - rows // 2, n_genuine=rows // 2, seed=seed + 211,
+        timeline_depth=5)
+    users = population.users()
+    timelines = population.timelines()
+    now = population.now
+    doc: Dict[str, object] = {
+        "engine_rows": int(rows),
+        "repeats": int(repeats),
+    }
+    block_users = None
+    if numpy_available():
+        from ..twitter.columnar.schema import UserRowBlock
+
+        block_users = UserRowBlock.from_users(users)
+    cases = (
+        ("sp", StatusPeopleCriteria(), None),
+        ("sb", SocialbakersCriteria(), timelines),
+        ("ta", TwitterauditCriteria(), None),
+    )
+    for prefix, criteria, tls in cases:
+        scalar_seconds = round(measure_wallclock(
+            lambda c=criteria, t=tls: c.classify_all(users, t, now),
+            repeats), 6)
+        doc[f"{prefix}_scalar_seconds"] = scalar_seconds
+        if block_users is None:
+            continue
+        batch_seconds = round(measure_wallclock(
+            lambda c=criteria, t=tls: c.classify_block(
+                build_sample_block(block_users, t), now),
+            repeats), 6)
+        doc[f"{prefix}_batch_seconds"] = batch_seconds
+        doc[f"{prefix}_batch_speedup"] = round(
+            scalar_seconds / batch_seconds, 6) if batch_seconds else 0.0
+    return doc
+
+
 def measure_substrate(*, seed: int = 0,
                       followers: int = SUBSTRATE_FOLLOWERS,
                       pages: int = SUBSTRATE_PAGES,
@@ -204,7 +266,9 @@ def run_perf_workload(workload: Dict[str, object], *,
         scheduler.submit_batch(
             [AuditRequest(target=account.handle) for account in accounts])
         batch = scheduler.run()
-    measured = measure_fc_wallclock(seed=seed) if wallclock else None
+    measured = ({**measure_fc_wallclock(seed=seed),
+                 **measure_engine_wallclock(seed=seed)}
+                if wallclock else None)
     paging = measure_substrate(seed=seed) if substrate else None
     doc = collect_perf(obs, batch, workload, wallclock=measured,
                        substrate=paging)

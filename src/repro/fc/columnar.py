@@ -46,6 +46,8 @@ from ..core.timeutil import DAY
 from ..obs.metrics import CacheInfo
 from ..obs.runtime import get_observability
 from ..twitter.names import digit_fraction
+from ..twitter.tweet import (SPAM_PHRASES, _HASHTAG_RE, _MENTION_RE,
+                             _RETWEET_RE, _URL_RE)
 from .features import FeatureSet
 from .forest import RandomForest
 from .training import TrainedDetector
@@ -102,30 +104,44 @@ def _timeline_fractions(timeline) -> Tuple[float, ...]:
     Each fraction is ``count / len(timeline)`` on Python ints — the
     same exact division the scalar ``_fraction`` helper performs — so
     the values are bit-identical while the timeline is walked once
-    instead of seven times.
+    instead of seven times.  The per-tweet predicates are the
+    :class:`~repro.twitter.tweet.Tweet` method bodies inlined over one
+    ``text`` read; mention/hashtag counting uses regex *presence*
+    (``search``), which matches ``frozenset(findall)`` truthiness
+    exactly because every match captures at least one ``\\w``, behind
+    an exact C-level prefilter (a match requires the literal ``@``
+    or ``#``).
     """
     n = len(timeline)
     if n == 0:
         return (0.0,) * 7
     retweets = links = spam = mentions = hashtags = automation = 0
-    bodies: Counter = Counter()
     body_list: List[str] = []
+    append_body = body_list.append
+    is_retweet = _RETWEET_RE.match
+    has_link = _URL_RE.search
+    has_mention = _MENTION_RE.search
+    has_hashtag = _HASHTAG_RE.search
+    strip_retweet = _RETWEET_RE.sub
     for tweet in timeline:
-        if tweet.is_retweet():
+        text = tweet.text
+        if is_retweet(text):
             retweets += 1
-        if tweet.has_link():
+        if has_link(text):
             links += 1
-        if tweet.contains_spam_phrase():
-            spam += 1
-        if tweet.mentions():
+        lowered = text.lower()
+        for phrase in SPAM_PHRASES:
+            if phrase in lowered:
+                spam += 1
+                break
+        if "@" in text and has_mention(text) is not None:
             mentions += 1
-        if tweet.hashtags():
+        if "#" in text and has_hashtag(text) is not None:
             hashtags += 1
         if tweet.source not in _HUMAN_SOURCES:
             automation += 1
-        body = tweet.body()
-        bodies[body] += 1
-        body_list.append(body)
+        append_body(strip_retweet("", text).strip())
+    bodies: Counter = Counter(body_list)
     duplicated = sum(1 for body in body_list if bodies[body] > 3)
     return (retweets / n, links / n, spam / n, mentions / n,
             hashtags / n, automation / n, duplicated / n)

@@ -52,6 +52,82 @@ def default_detector(seed: int = 0, *, model: str = "forest",
     return train_detector(gold, model=model, seed=seed)
 
 
+class DetectorCriteria:
+    """The FC pipeline as batch criteria: inactivity rule + detector.
+
+    The adapter that puts the FC engine on the same
+    :class:`~repro.analytics.criteria.Criteria` protocol as the
+    rule-based engines.  ``classify_all`` replicates the engine's
+    historical flow exactly — partition by the 90-day inactivity
+    horizon, then one bulk ``predict`` over the active accounts — with
+    the prediction function injectable so the engine can route it
+    through its columnar :class:`~repro.fc.columnar.BatchClassifier`.
+    Imports of :mod:`repro.analytics.criteria` are deferred: the
+    analytics package imports this package at module load.
+    """
+
+    labels = ("fake", "inactive", "genuine")
+    #: The engine's columnar path lives in the batch classifier rather
+    #: than a mask pipeline, but the capability fact is the same.
+    batch_capable = True
+
+    def __init__(self, detector: TrainedDetector,
+                 horizon: float = FC_INACTIVITY_HORIZON) -> None:
+        self._detector = detector
+        self._horizon = horizon
+
+    @property
+    def name(self) -> str:
+        """The underlying detector's identifier (the criteria id)."""
+        return self._detector.name
+
+    @property
+    def needs_timeline(self) -> bool:
+        """Whether the detector reads timelines (class-B features)."""
+        return self._detector.needs_timeline
+
+    def classify(self, user, timeline, now: float) -> str:
+        """Three-way verdict for one account (inactivity rule first)."""
+        age = user.last_status_age(now)
+        if age is None or age > self._horizon:
+            return "inactive"
+        verdict = self._detector.predict(
+            [user], [timeline] if timeline is not None else None, now)
+        return "fake" if int(verdict[0]) else "genuine"
+
+    def classify_all(self, users, timelines, now: float, *, predict=None):
+        """Whole-sample verdicts: horizon partition + one bulk predict.
+
+        ``predict`` substitutes the prediction function (the engine
+        passes its columnar batch classifier's); ``None`` uses the
+        detector's scalar ``predict``.
+        """
+        from ..analytics.criteria import VerdictArray  # deferred: cycle
+
+        if predict is None:
+            predict = self._detector.predict
+        codes = [1] * len(users)
+        active_indices = []
+        active_users = []
+        active_timelines = []
+        for index, user in enumerate(users):
+            age = user.last_status_age(now)
+            if age is None or age > self._horizon:
+                continue
+            active_indices.append(index)
+            active_users.append(user)
+            if timelines is not None:
+                active_timelines.append(timelines[index])
+        verdicts = predict(
+            active_users,
+            active_timelines if timelines is not None else None,
+            now,
+        )
+        for slot, index in enumerate(active_indices):
+            codes[index] = 0 if int(verdicts[slot]) else 2
+        return VerdictArray(labels=self.labels, codes=codes)
+
+
 class FakeClassifierEngine:
     """The FC engine: sound sampling + disclosed, validated criteria."""
 
@@ -86,6 +162,7 @@ class FakeClassifierEngine:
         self._obs = get_observability()
         self._tracer = self._obs.tracer
         self._detector = detector if detector is not None else default_detector(seed)
+        self._criteria = DetectorCriteria(self._detector)
         self._sample_size = sample_size
         self._processing_seconds = processing_seconds
         self._seed = seed
@@ -138,21 +215,33 @@ class FakeClassifierEngine:
         """Whether classifications run on the columnar fast path."""
         return self._batch() is not None
 
-    def audit(self, request: Union[AuditRequest, str], *,
-              force_refresh: Optional[bool] = None) -> AuditReport:
+    @property
+    def criteria(self) -> DetectorCriteria:
+        """The engine's classification criteria, on the batch protocol."""
+        return self._criteria
+
+    def info(self):
+        """Structured engine metadata (batch-criteria API)."""
+        from ..analytics.criteria import EngineInfo  # deferred: cycle
+
+        return EngineInfo(
+            name=self.name,
+            frame_policy=(f"uniform sample of {self._sample_size} "
+                          "over the full follower list"),
+            criteria_id=self._criteria.name,
+            reports_inactive=True,
+            batch_capable=True,
+        )
+
+    def audit(self, request: AuditRequest) -> AuditReport:
         """Audit a target account.  Never served from cache.
 
         The whole follower id list is paged in first (this, plus the 97
         profile lookups for the 9604-strong sample, is why FC's response
         time is "always greater than 180 seconds", Table II), then the
         uniform sample is classified three ways.
-
-        ``force_refresh`` is accepted for interface parity with the
-        commercial engines but has no effect: FC keeps no result cache,
-        so every audit is already fresh.
         """
-        request = coerce_request(request, engine_name=self.name,
-                                 force_refresh=force_refresh)
+        request = coerce_request(request, engine_name=self.name)
         with self._tracer.span("audit", self._clock, tool=self.name,
                                target=request.target) as span:
             report = drain_steps(self._audit_steps(request))
@@ -163,7 +252,7 @@ class FakeClassifierEngine:
                 span.set_attribute("completeness", report.completeness)
             return report
 
-    def begin_audit(self, request: Union[AuditRequest, str]):
+    def begin_audit(self, request: AuditRequest):
         """Start an audit and return its resumable step generator.
 
         Each ``next()`` runs one acquisition phase; the generator's
@@ -256,27 +345,14 @@ class FakeClassifierEngine:
 
         pinned = self._client.observed_at
         now = pinned if pinned is not None else self._clock.now()
-        active_users = []
-        active_timelines = []
-        inactive = 0
-        for index, user in enumerate(users):
-            age = user.last_status_age(now)
-            if age is None or age > FC_INACTIVITY_HORIZON:
-                inactive += 1
-            else:
-                active_users.append(user)
-                if timelines is not None:
-                    active_timelines.append(timelines[index])
         classifier = self._batch()
         predict = (classifier.predict if classifier is not None
                    else self._detector.predict)
-        verdicts = predict(
-            active_users,
-            active_timelines if timelines is not None else None,
-            now,
-        )
-        fake = int(verdicts.sum()) if len(active_users) else 0
-        genuine = len(active_users) - fake
+        counts = self._criteria.classify_all(
+            users, timelines, now, predict=predict).counts()
+        fake = counts["fake"]
+        inactive = counts["inactive"]
+        genuine = counts["genuine"]
 
         with self._tracer.span("audit.classify", self._clock,
                                tool=self.name, target=screen_name):
@@ -328,5 +404,6 @@ class FakeClassifierEngine:
                 "confidence": "95% +/- 1%" if n >= FC_SAMPLE_SIZE else
                               f"census of all {population} followers"
                               if n == population else "reduced sample",
+                "engine": self.info().as_dict(),
             },
         )

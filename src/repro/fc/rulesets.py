@@ -149,6 +149,11 @@ class SocialbakersCriteria(RuleSet):
 
     name = "socialbakers"
     needs_timeline = True
+    #: Batch-criteria protocol: verdict vocabulary of :meth:`classify`
+    #: (the engine maps ``genuine`` onto its report's ``good`` class)
+    #: and the static columnar-capability fact.
+    labels = ("fake", "inactive", "genuine")
+    batch_capable = True
 
     #: (label, points) — one entry per published criterion.
     WEIGHTS = {
@@ -214,6 +219,51 @@ class SocialbakersCriteria(RuleSet):
         if self.is_inactive(user, now):
             return "inactive"
         return "fake"
+
+    # -- the batch-criteria protocol -------------------------------------------
+
+    def classify_all(self, users, timelines, now: float):
+        """Scalar classification of a whole sample, as a verdict array."""
+        from ..analytics.criteria import scalar_classify  # deferred: cycle
+
+        return scalar_classify(self, users, timelines, now)
+
+    def classify_block(self, block, now: float):
+        """Columnar three-way classification over a sample block.
+
+        The eight published criteria become weighted boolean masks;
+        the one-pass timeline fraction columns replace the five
+        per-rule timeline walks of the scalar path.  All weights are
+        exact multiples of 0.25 and skipped rules contribute an exact
+        ``0.0``, so the mask-weighted score equals the scalar
+        ``sum(WEIGHTS[label] for label in fired)`` bit for bit — both
+        paths then compare it against the same ``threshold`` constant.
+        """
+        from ..analytics.criteria import VerdictArray  # deferred: cycle
+
+        np = block.np
+        stats = block.timeline_stats()
+        weights = self.WEIGHTS
+        score = ((block.ff_ratio >= 50.0) * weights["ff_ratio_50"]
+                 + (stats.spam > 0.30) * weights["spam_phrases_30pct"]
+                 + (stats.duplicate > 0.0) * weights["repeated_tweets_3x"]
+                 + (stats.nonempty & (stats.retweet > 0.90))
+                 * weights["retweets_90pct"]
+                 + (stats.nonempty & (stats.link > 0.90))
+                 * weights["links_90pct"]
+                 + (block.statuses <= 0) * weights["never_tweeted"]
+                 + ((block.age_at(now) > 60 * DAY) & block.default_image)
+                 * weights["old_default_image"]
+                 + (~block.has_bio & ~block.has_location
+                    & (block.friends > 100))
+                 * weights["empty_profile_following_100"])
+        suspicious = score >= self._threshold
+        inactive = (block.statuses < 3) | (
+            ~block.never_tweeted
+            & (block.last_status_age(now) > 90 * DAY))
+        codes = np.where(~suspicious, 2,
+                         np.where(inactive, 1, 0)).astype(np.int64)
+        return VerdictArray(labels=self.labels, codes=codes)
 
 
 class StateOfSearchSignals(RuleSet):

@@ -209,7 +209,8 @@ class BatchAuditScheduler:
                  serial: bool = False,
                  max_pending: Optional[int] = None,
                  makespan_budget: Optional[float] = None,
-                 sb_daily_quota: Optional[int] = 10**9) -> None:
+                 sb_daily_quota: Optional[int] = 10**9,
+                 engine_batch: Union[bool, str] = "auto") -> None:
         if lane_slots < 1:
             raise ConfigurationError(f"lane_slots must be >= 1: {lane_slots!r}")
         if max_pending is not None and max_pending < 1:
@@ -249,7 +250,8 @@ class BatchAuditScheduler:
                     world, slot_clock, detector, seed,
                     faults=faults, retry=retry, engines=(name,),
                     acquisition_cache=self._cache,
-                    sb_daily_quota=sb_daily_quota)
+                    sb_daily_quota=sb_daily_quota,
+                    batch=engine_batch)
                 slots.append(_Slot(engine=engine_map[name], clock=slot_clock,
                                    index=slot_index))
             self._lanes[name] = _Lane(name, slots)

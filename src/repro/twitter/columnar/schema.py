@@ -193,6 +193,44 @@ class UserRowBlock(Sequence):
         """The underlying structured rows (read-mostly)."""
         return self._rows
 
+    @classmethod
+    def from_users(cls, users) -> "UserRowBlock":
+        """Pack plain user objects into a row block.
+
+        Only the profile fields a :class:`UserObject` carries are
+        written; the behaviour columns that drive lazy timeline
+        synthesis stay zeroed — callers classify profiles, they do not
+        synthesise timelines from the result.  Refuses lossy string
+        writes like :func:`pack_account`.
+        """
+        rows = np.zeros(len(users), dtype=ACCOUNT_DTYPE)
+        for row, user in zip(rows, users):
+            for field, width in STRING_WIDTHS.items():
+                value = getattr(user, field)
+                if len(value) > width:
+                    raise ConfigurationError(
+                        f"user {user.user_id} field {field!r} exceeds the "
+                        f"columnar width {width}: {value!r}")
+            row["user_id"] = user.user_id
+            row["screen_name"] = user.screen_name
+            row["created_at"] = user.created_at
+            row["name"] = user.name
+            row["description"] = user.description
+            row["location"] = user.location
+            row["url"] = user.url
+            row["default_profile_image"] = user.default_profile_image
+            row["verified"] = user.verified
+            row["followers_count"] = user.followers_count
+            row["friends_count"] = user.friends_count
+            row["statuses_count"] = user.statuses_count
+            row["last_tweet_at"] = (np.nan if user.last_status_at is None
+                                    else user.last_status_at)
+        return cls(rows)
+
+    def user_ids(self) -> List[int]:
+        """The block's user ids, in row order, as Python ints."""
+        return [int(v) for v in self._rows["user_id"].tolist()]
+
     def profile_columns(self) -> Tuple[List[object], ...]:
         """The 11 profile attribute columns, in the order the FC
         extractor's attribute sweep reads them.

@@ -91,6 +91,47 @@ class ColumnarWorld(SyntheticWorld):
             users.append(UserObject.from_account(account))
         return users
 
+    def user_row_block(self, user_ids: Sequence[int],
+                       now: float) -> Optional["UserRowBlock"]:
+        """``users/lookup`` as one structured-row block, when possible.
+
+        The projection behind the engines' columnar classification: the
+        same grouping/gathering as :meth:`user_objects`, but the result
+        stays in row form (a :class:`UserRowBlock`) so criteria masks
+        can read whole columns without materialising user objects.
+        Returns ``None`` when any id falls outside the follower
+        namespace (targets, ambient accounts) — those have no rows, so
+        the caller must take the object path instead.  Order and
+        duplicate semantics match :meth:`user_objects`; unresolvable
+        follower ids are silently omitted.
+        """
+        import numpy as np
+
+        from .schema import ACCOUNT_DTYPE, UserRowBlock
+
+        wanted: Dict[int, set] = {}
+        for user_id in user_ids:
+            if namespace_of(user_id) != FOLLOWER_TAG:
+                return None
+            ordinal, position = decode_follower(user_id)
+            if ordinal >= len(self._populations):
+                continue
+            if position >= self._populations[ordinal].size_at(now):
+                continue
+            wanted.setdefault(ordinal, set()).add(position)
+
+        parts = []
+        for ordinal, positions in wanted.items():
+            population = self._populations[ordinal]
+            assert isinstance(population, ColumnarPopulation)
+            parts.append(population.user_rows(sorted(positions), now))
+        pool = (np.concatenate(parts) if parts
+                else np.empty(0, dtype=ACCOUNT_DTYPE))
+        index_of = {int(uid): i
+                    for i, uid in enumerate(pool["user_id"].tolist())}
+        indices = [index_of[uid] for uid in user_ids if uid in index_of]
+        return UserRowBlock(pool[np.asarray(indices, dtype=np.intp)])
+
     def substrate_stats(self) -> Dict[str, int]:
         """Aggregate chunk-store telemetry across all targets."""
         totals: Dict[str, int] = {}

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.analytics import ResultCache, StatusPeopleFakers, percentages
 from repro.analytics.base import AnalysisOutcome
 from repro.core import ConfigurationError, DAY, PAPER_EPOCH, SimClock
@@ -111,30 +112,30 @@ class TestAuditCaching:
             small_world, SimClock(PAPER_EPOCH), seed=1)
 
     def test_first_audit_fresh_then_cached(self, tool):
-        first = tool.audit("smalltown")
+        first = tool.audit(AuditRequest(target="smalltown"))
         assert not first.cached
         assert first.response_seconds > 10
-        second = tool.audit("smalltown")
+        second = tool.audit(AuditRequest(target="smalltown"))
         assert second.cached
         assert second.response_seconds < 5
         assert second.assessed_at < tool.client.clock.now()
 
     def test_cached_result_identical_percentages(self, tool):
-        first = tool.audit("smalltown")
-        second = tool.audit("smalltown")
+        first = tool.audit(AuditRequest(target="smalltown"))
+        second = tool.audit(AuditRequest(target="smalltown"))
         assert second.fake_pct == first.fake_pct
         assert second.inactive_pct == first.inactive_pct
 
     def test_force_refresh_bypasses_cache(self, tool):
-        tool.audit("smalltown")
-        refreshed = tool.audit("smalltown", force_refresh=True)
+        tool.audit(AuditRequest(target="smalltown"))
+        refreshed = tool.audit(AuditRequest(target="smalltown", force_refresh=True))
         assert not refreshed.cached
         assert refreshed.response_seconds > 10
 
     def test_prewarm_makes_first_request_cached(self, small_world):
         tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=1)
         tool.prewarm(["smalltown"])
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.cached
         assert report.response_seconds < 5
 
@@ -149,7 +150,7 @@ class TestAuditCaching:
         clock = SimClock(PAPER_EPOCH)
         tool = StatusPeopleFakers(
             small_world, clock, seed=1, cache_ttl=2 * DAY)
-        tool.audit("smalltown")
+        tool.audit(AuditRequest(target="smalltown"))
         clock.advance(3 * DAY)
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert not report.cached

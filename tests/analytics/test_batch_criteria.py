@@ -1,0 +1,142 @@
+"""Edge cases of the batch-criteria API's mask pipelines.
+
+The differential parity suite (``tests/twitter/test_columnar_parity``)
+proves scalar/columnar bit-identity on realistic populations; this file
+covers the degenerate corners those worlds never produce — empty
+samples, all-fake samples, and hosts without NumPy — for each of the
+three rule-based engines.
+"""
+
+import pytest
+
+from repro.analytics import (
+    SocialbakersFakeFollowerCheck,
+    StatusPeopleCriteria,
+    StatusPeopleFakers,
+    Twitteraudit,
+    TwitterauditCriteria,
+    build_sample_block,
+)
+from repro.analytics import criteria as criteria_module
+from repro.api import UserObject
+from repro.audit import AuditRequest
+from repro.core import DAY, PAPER_EPOCH, SimClock, YEAR
+from repro.fc.rulesets import SocialbakersCriteria
+
+NOW = PAPER_EPOCH
+
+
+def make_user(**overrides):
+    defaults = dict(
+        user_id=1, screen_name="u", name="User",
+        created_at=PAPER_EPOCH - YEAR,
+        description="bio", location="Rome", url="",
+        default_profile_image=False, verified=False,
+        followers_count=200, friends_count=180, statuses_count=500,
+        last_status_at=PAPER_EPOCH - DAY,
+    )
+    defaults.update(overrides)
+    return UserObject(**defaults)
+
+
+#: One obviously-fake profile per engine's criteria.
+FAKES = {
+    "statuspeople": dict(followers_count=3, friends_count=800,
+                         statuses_count=2),
+    # Suspicious (ratio + empty profile) but active, so the published
+    # flow lands on "fake" rather than "inactive".
+    "socialbakers": dict(followers_count=10, friends_count=500,
+                         description="", location=""),
+    "twitteraudit": dict(statuses_count=0, last_status_at=None,
+                         followers_count=10, friends_count=500),
+}
+
+#: A mixed sample touching every verdict class of every engine.
+MIXED = [
+    make_user(user_id=1),                                     # engaged human
+    make_user(user_id=2, **FAKES["statuspeople"]),
+    make_user(user_id=3, **FAKES["socialbakers"]),
+    make_user(user_id=4, **FAKES["twitteraudit"]),
+    make_user(user_id=5, last_status_at=PAPER_EPOCH - 40 * DAY),
+    make_user(user_id=6, last_status_at=PAPER_EPOCH - 100 * DAY),
+    make_user(user_id=7, followers_count=0, friends_count=0,
+              statuses_count=1, last_status_at=PAPER_EPOCH - 200 * DAY),
+    make_user(user_id=8, default_profile_image=True,
+              created_at=PAPER_EPOCH - 10 * DAY),
+]
+
+ENGINE_CRITERIA = [
+    ("statuspeople", StatusPeopleCriteria(), False),
+    ("socialbakers", SocialbakersCriteria(), True),
+    ("twitteraudit", TwitterauditCriteria(), False),
+]
+
+IDS = [name for name, __, __ in ENGINE_CRITERIA]
+
+
+@pytest.mark.parametrize("name,criteria,timelined", ENGINE_CRITERIA, ids=IDS)
+class TestMaskPipelineEdges:
+    def test_empty_sample(self, name, criteria, timelined):
+        block = build_sample_block([], [] if timelined else None)
+        assert block is not None and len(block) == 0
+        verdicts = criteria.classify_block(block, NOW)
+        assert len(verdicts) == 0
+        assert all(count == 0 for count in verdicts.counts().values())
+        scalar = criteria.classify_all([], [] if timelined else None, NOW)
+        assert verdicts.counts() == scalar.counts()
+
+    def test_all_fake_sample(self, name, criteria, timelined):
+        users = [make_user(user_id=i, **FAKES[name]) for i in range(7)]
+        timelines = [[] for __ in users] if timelined else None
+        verdicts = criteria.classify_block(
+            build_sample_block(users, timelines), NOW)
+        assert verdicts.counts()[criteria.labels[0]] == len(users)
+        assert list(verdicts.codes) == [0] * len(users)
+
+    def test_mixed_sample_matches_scalar(self, name, criteria, timelined):
+        timelines = ([None if user.user_id % 3 == 0 else []
+                      for user in MIXED] if timelined else None)
+        block_verdicts = criteria.classify_block(
+            build_sample_block(MIXED, timelines), NOW)
+        scalar_verdicts = criteria.classify_all(MIXED, timelines, NOW)
+        assert list(block_verdicts.codes) == list(scalar_verdicts.codes)
+        assert block_verdicts.counts() == scalar_verdicts.counts()
+        assert block_verdicts.extras == scalar_verdicts.extras
+
+    def test_row_block_sample_matches_scalar(self, name, criteria, timelined):
+        """The structured-rows fast path (field views) stays identical."""
+        from repro.twitter.columnar.schema import UserRowBlock
+
+        timelines = [[] for __ in MIXED] if timelined else None
+        block_verdicts = criteria.classify_block(
+            build_sample_block(UserRowBlock.from_users(MIXED), timelines),
+            NOW)
+        scalar_verdicts = criteria.classify_all(MIXED, timelines, NOW)
+        assert list(block_verdicts.codes) == list(scalar_verdicts.codes)
+        assert block_verdicts.counts() == scalar_verdicts.counts()
+        assert block_verdicts.extras == scalar_verdicts.extras
+
+
+class TestNumpyAbsentFallback:
+    @pytest.fixture(autouse=True)
+    def no_numpy(self, monkeypatch):
+        """Simulate a NumPy-less host for the whole criteria layer."""
+        monkeypatch.setattr(criteria_module, "_import_numpy", lambda: None)
+
+    def test_sample_block_unavailable(self):
+        assert build_sample_block(MIXED) is None
+
+    @pytest.mark.parametrize("factory", [
+        StatusPeopleFakers, SocialbakersFakeFollowerCheck, Twitteraudit,
+    ], ids=["statuspeople", "socialbakers", "twitteraudit"])
+    def test_engine_falls_back_to_scalar(self, factory, small_world,
+                                         monkeypatch):
+        request = AuditRequest(target="smalltown")
+        batched = factory(small_world, SimClock(PAPER_EPOCH), seed=1,
+                          batch="auto")
+        assert not batched.batch_active()
+        report = batched.audit(request)
+        monkeypatch.undo()  # reference run with NumPy restored
+        scalar = factory(small_world, SimClock(PAPER_EPOCH), seed=1,
+                         batch=False)
+        assert report == scalar.audit(request)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.analytics import (
     SB_DAILY_QUOTA,
     SB_SAMPLE,
@@ -20,7 +21,7 @@ def tool(small_world):
 
 class TestAudit:
     def test_considers_up_to_2000_followers(self, tool):
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.sample_size == SB_SAMPLE
 
     def test_small_account_sampled_entirely(self, detector):
@@ -28,20 +29,20 @@ class TestAudit:
         add_simple_target(world, "small", 800, 0.2, 0.1, 0.7)
         tool = SocialbakersFakeFollowerCheck(
             world, SimClock(PAPER_EPOCH), seed=3)
-        assert tool.audit("small").sample_size == 800
+        assert tool.audit(AuditRequest(target="small")).sample_size == 800
 
     def test_fetches_timelines_for_content_rules(self, tool):
-        tool.audit("smalltown")
+        tool.audit(AuditRequest(target="smalltown"))
         assert tool.client.call_log.count("statuses/user_timeline") \
             == SB_SAMPLE
 
     def test_fast_despite_timeline_crawl(self, tool):
         """The paper's Table II: ~10 s — only possible with a fleet."""
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.response_seconds < 20
 
     def test_reports_all_three_classes(self, tool):
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.inactive_pct is not None
         total = report.fake_pct + report.genuine_pct + report.inactive_pct
         assert total == pytest.approx(100.0, abs=0.2)
@@ -49,11 +50,11 @@ class TestAudit:
     def test_inactive_understated_vs_truth(self, tool, small_world):
         """Only suspicious accounts are tested for inactivity, so SB's
         inactive share sits far below the ground truth (40%)."""
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.inactive_pct < 25.0
 
     def test_details_document_methodology(self, tool):
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.details["declared_error_margin"] == "10-15%"
 
 
@@ -62,17 +63,17 @@ class TestQuota:
         clock = SimClock(PAPER_EPOCH)
         tool = SocialbakersFakeFollowerCheck(small_world, clock, seed=3)
         for _ in range(SB_DAILY_QUOTA):
-            tool.audit("smalltown")  # cached after the first — still counted
+            tool.audit(AuditRequest(target="smalltown"))  # cached after the first — still counted
         with pytest.raises(QuotaExceededError):
-            tool.audit("smalltown")
+            tool.audit(AuditRequest(target="smalltown"))
 
     def test_quota_resets_next_day(self, small_world):
         clock = SimClock(PAPER_EPOCH)
         tool = SocialbakersFakeFollowerCheck(
             small_world, clock, daily_quota=2, seed=3)
-        tool.audit("smalltown")
-        tool.audit("smalltown")
+        tool.audit(AuditRequest(target="smalltown"))
+        tool.audit(AuditRequest(target="smalltown"))
         with pytest.raises(QuotaExceededError):
-            tool.audit("smalltown")
+            tool.audit(AuditRequest(target="smalltown"))
         clock.advance(DAY)
-        tool.audit("smalltown")  # fresh day, fresh quota
+        tool.audit(AuditRequest(target="smalltown"))  # fresh day, fresh quota

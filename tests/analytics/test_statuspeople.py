@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.analytics import (
     DEEP_DIVE_CONFIG,
     DEFAULT_CONFIG,
@@ -72,19 +73,19 @@ class TestSpamCriteria:
 class TestAudit:
     def test_sample_capped_at_config(self, small_world):
         tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=2)
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.sample_size == DEFAULT_CONFIG.sample
         assert report.details["config"] == "post-api-change"
 
     def test_percentages_sum_to_100(self, small_world):
         tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=2)
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         total = report.fake_pct + report.genuine_pct + report.inactive_pct
         assert total == pytest.approx(100.0, abs=0.2)
 
     def test_profile_only_no_timeline_calls(self, small_world):
         tool = StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=2)
-        tool.audit("smalltown")
+        tool.audit(AuditRequest(target="smalltown"))
         assert tool.client.call_log.count("statuses/user_timeline") == 0
 
     def test_stricter_activity_notion_than_socialbakers(self, small_world):
@@ -94,6 +95,6 @@ class TestAudit:
         clock = SimClock(PAPER_EPOCH)
         sp = StatusPeopleFakers(small_world, clock, seed=2)
         sb = SocialbakersFakeFollowerCheck(small_world, clock, seed=2)
-        sp_report = sp.audit("smalltown")
-        sb_report = sb.audit("smalltown")
+        sp_report = sp.audit(AuditRequest(target="smalltown"))
+        sb_report = sb.audit(AuditRequest(target="smalltown"))
         assert sp_report.inactive_pct > sb_report.inactive_pct

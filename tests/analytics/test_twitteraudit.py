@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.analytics import (
     RealScore,
     TA_MAX_POINTS,
@@ -58,12 +59,12 @@ class TestAudit:
         return Twitteraudit(small_world, SimClock(PAPER_EPOCH), seed=4)
 
     def test_samples_one_page_of_5000(self, tool):
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.sample_size == TA_SAMPLE
         assert tool.client.call_log.count("followers/ids") == 1
 
     def test_does_not_report_inactive(self, tool):
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.inactive_pct is None
         assert report.fake_pct + report.genuine_pct == \
             pytest.approx(100.0, abs=0.2)
@@ -71,16 +72,16 @@ class TestAudit:
     def test_fake_bundles_dormant_accounts(self, tool):
         """Without an inactive class, dormant accounts score low and
         land in 'fake' — TA's fake % exceeds the true 10% fake share."""
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         assert report.fake_pct > 15.0
 
     def test_details_expose_charts(self, tool):
-        report = tool.audit("smalltown")
+        report = tool.audit(AuditRequest(target="smalltown"))
         histogram = report.details["real_points_histogram"]
         assert set(histogram) == {0, 1, 2, 3, 4, 5}
         assert sum(histogram.values()) == report.sample_size
         assert 0.0 <= report.details["mean_quality_score"] <= 1.0
 
     def test_profile_only_no_timeline_calls(self, tool):
-        tool.audit("smalltown")
+        tool.audit(AuditRequest(target="smalltown"))
         assert tool.client.call_log.count("statuses/user_timeline") == 0

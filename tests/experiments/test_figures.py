@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.core import ConfigurationError, PAPER_EPOCH, SimClock
 from repro.analytics import Twitteraudit
 from repro.experiments import ascii_bar_chart, render_ta_charts, run_ta_charts
@@ -69,7 +70,7 @@ class TestTaCharts:
         engine = FakeClassifierEngine(
             small_world, SimClock(PAPER_EPOCH), detector, sample_size=200)
         with pytest.raises(ConfigurationError):
-            render_ta_charts(engine.audit("smalltown"))
+            render_ta_charts(engine.audit(AuditRequest(target="smalltown")))
 
     def test_runs_on_existing_world(self, small_world):
         report, rendered = run_ta_charts(

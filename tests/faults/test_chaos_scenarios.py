@@ -18,6 +18,7 @@ import pathlib
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.core import PAPER_EPOCH, SimClock
 from repro.experiments.response_time import ENGINE_ORDER, build_engines
 from repro.faults import named_plan
@@ -47,7 +48,7 @@ def run_scenario(detector, scenario=None, factor=1.0):
     add_simple_target(world, HANDLE, 2_400, 0.3, 0.25, 0.45)
     clock = SimClock(world.ref_time)
     engines = build_engines(world, clock, detector, seed=SEED, faults=plan)
-    reports = {tool: engines[tool].audit(HANDLE) for tool in ENGINE_ORDER}
+    reports = {tool: engines[tool].audit(AuditRequest(target=HANDLE)) for tool in ENGINE_ORDER}
     retries = {tool: engines[tool].client.retries_total
                for tool in ENGINE_ORDER}
     return reports, retries

@@ -9,6 +9,7 @@ request are monotone non-decreasing.
 
 import json
 
+from repro.audit import AuditRequest
 from repro.analytics import Twitteraudit
 from repro.api import TwitterApiClient
 from repro.core import PAPER_EPOCH, SimClock
@@ -89,7 +90,7 @@ class TestDeterminism:
         for __ in range(2):
             engine = Twitteraudit(small_world, SimClock(PAPER_EPOCH),
                                   seed=3, faults=plan)
-            report = engine.audit(HANDLE)
+            report = engine.audit(AuditRequest(target=HANDLE))
             payloads.append(json.dumps(audit_report_to_dict(report),
                                        sort_keys=True))
         assert payloads[0] == payloads[1]

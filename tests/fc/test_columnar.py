@@ -204,12 +204,12 @@ class TestEngineParity:
     def test_auto_engine_activates_the_fast_path(self, small_world,
                                                  detector):
         engine = build_engine(small_world, detector, batch="auto")
-        engine.audit("smalltown")
+        engine.audit(AuditRequest(target="smalltown"))
         assert engine.batch_active()
 
     def test_batch_false_never_activates(self, small_world, detector):
         engine = build_engine(small_world, detector, batch=False)
-        engine.audit("smalltown")
+        engine.audit(AuditRequest(target="smalltown"))
         assert not engine.batch_active()
 
     def test_invalid_batch_mode_is_rejected(self, small_world, detector):
@@ -219,18 +219,18 @@ class TestEngineParity:
     def test_fallback_without_numpy_matches_golden(self, small_world,
                                                    detector, monkeypatch):
         reference = build_engine(
-            small_world, detector, batch=False).audit("smalltown")
+            small_world, detector, batch=False).audit(AuditRequest(target="smalltown"))
         monkeypatch.setattr(columnar, "_import_numpy", lambda: None)
         for mode in (True, "auto"):
             engine = build_engine(small_world, detector, batch=mode)
-            report = engine.audit("smalltown")
+            report = engine.audit(AuditRequest(target="smalltown"))
             assert not engine.batch_active()
             assert report_digest(report) == report_digest(reference)
 
     def test_batch_spans_are_recorded(self, small_world, detector):
         with observed(Observability(SimClock(PAPER_EPOCH))) as obs:
             build_engine(small_world, detector,
-                         batch="auto").audit("smalltown")
+                         batch="auto").audit(AuditRequest(target="smalltown"))
             names = {span.name for span in obs.tracer.spans()}
         assert "fc.batch_extract" in names
         assert "fc.batch_infer" in names

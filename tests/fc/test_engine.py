@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.core import ConfigurationError, PAPER_EPOCH, SimClock
 from repro.fc import FC_SAMPLE_SIZE, FakeClassifierEngine
 from repro.twitter import add_simple_target, build_world
@@ -16,14 +17,14 @@ def engine(small_world, detector):
 
 class TestAudit:
     def test_percentages_track_ground_truth(self, engine, small_world):
-        report = engine.audit("smalltown")
+        report = engine.audit(AuditRequest(target="smalltown"))
         # smalltown's spec: 40% inactive / 10% fake / 50% genuine.
         assert report.inactive_pct == pytest.approx(40.0, abs=4.0)
         assert report.fake_pct == pytest.approx(10.0, abs=4.0)
         assert report.genuine_pct == pytest.approx(50.0, abs=5.0)
 
     def test_report_metadata(self, engine):
-        report = engine.audit("smalltown")
+        report = engine.audit(AuditRequest(target="smalltown"))
         assert report.tool == "fc"
         assert report.sample_size == 2000
         assert not report.cached
@@ -31,7 +32,7 @@ class TestAudit:
         assert report.details["sampling"].startswith("uniform")
 
     def test_confidence_intervals_bracket_estimates(self, engine):
-        report = engine.audit("smalltown")
+        report = engine.audit(AuditRequest(target="smalltown"))
         for key, point in (("fake_ci95", report.fake_pct),
                            ("inactive_ci95", report.inactive_pct),
                            ("genuine_ci95", report.genuine_pct)):
@@ -50,7 +51,7 @@ class TestAudit:
         add_simple_target(world, "tiny", 500, 0.2, 0.1, 0.7)
         engine = FakeClassifierEngine(
             world, SimClock(PAPER_EPOCH), detector, seed=2)
-        report = engine.audit("tiny")
+        report = engine.audit(AuditRequest(target="tiny"))
         assert report.sample_size == 500
         assert "census" in report.details["confidence"]
 
@@ -59,18 +60,18 @@ class TestAudit:
         seconds' — it pages the whole list and looks up 9604 profiles."""
         engine = FakeClassifierEngine(
             small_world, SimClock(PAPER_EPOCH), detector)
-        report = engine.audit("smalltown")
+        report = engine.audit(AuditRequest(target="smalltown"))
         assert report.response_seconds > 180.0
 
     def test_no_caching_between_audits(self, engine):
-        first = engine.audit("smalltown")
-        second = engine.audit("smalltown")
+        first = engine.audit(AuditRequest(target="smalltown"))
+        second = engine.audit(AuditRequest(target="smalltown"))
         assert not second.cached
         assert second.response_seconds > 10  # full re-analysis, not 2-3 s
 
     def test_audits_use_fresh_samples(self, engine):
-        first = engine.audit("smalltown")
-        second = engine.audit("smalltown")
+        first = engine.audit(AuditRequest(target="smalltown"))
+        second = engine.audit(AuditRequest(target="smalltown"))
         # Same world, same truth, but independent uniform samples:
         # estimates agree within the margin, yet need not be identical.
         assert first.inactive_pct == pytest.approx(
@@ -79,7 +80,7 @@ class TestAudit:
     def test_unknown_target_rejected(self, engine):
         from repro.core import UnknownAccountError
         with pytest.raises(UnknownAccountError):
-            engine.audit("ghost")
+            engine.audit(AuditRequest(target="ghost"))
 
     def test_followerless_target_rejected(self, detector):
         world = build_world(seed=4)
@@ -87,7 +88,7 @@ class TestAudit:
         engine = FakeClassifierEngine(
             world, SimClock(PAPER_EPOCH), detector)
         with pytest.raises(ConfigurationError):
-            engine.audit("lonely")
+            engine.audit(AuditRequest(target="lonely"))
 
     def test_invalid_sample_size(self, small_world, detector):
         with pytest.raises(ConfigurationError):

@@ -8,6 +8,7 @@ nothing.
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.analytics import StatusPeopleFakers
 from repro.core import PAPER_EPOCH, SimClock
 from repro.obs import NULL_OBS, get_observability, observed
@@ -27,13 +28,13 @@ class TestAuditInstrumentation:
             engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
             registry = obs.registry
 
-            engine.audit("tinytown")
+            engine.audit(AuditRequest(target="tinytown"))
             assert registry.value("cache_events_total",
                                   cache="statuspeople", event="miss") == 1
             assert registry.value("cache_events_total",
                                   cache="statuspeople", event="hit") == 0
 
-            engine.audit("tinytown")
+            engine.audit(AuditRequest(target="tinytown"))
             assert registry.value("cache_events_total",
                                   cache="statuspeople", event="miss") == 1
             assert registry.value("cache_events_total",
@@ -43,8 +44,8 @@ class TestAuditInstrumentation:
         world = make_world()
         with observed() as obs:
             engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
-            fresh = engine.audit("tinytown")
-            engine.audit("tinytown")
+            fresh = engine.audit(AuditRequest(target="tinytown"))
+            engine.audit(AuditRequest(target="tinytown"))
         audits = [span for span in obs.tracer.spans()
                   if span.name == "audit"]
         assert [span.attributes["cached"] for span in audits] == [False, True]
@@ -58,7 +59,7 @@ class TestAuditInstrumentation:
         world = make_world()
         with observed() as obs:
             engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
-            engine.audit("tinytown")
+            engine.audit(AuditRequest(target="tinytown"))
         spans = obs.tracer.spans()
         names = {span.name for span in spans}
         assert {"audit", "crawl.followers", "crawl.lookup",
@@ -77,7 +78,7 @@ class TestAuditInstrumentation:
         world = make_world()
         with observed() as obs:
             engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
-            engine.audit("tinytown")
+            engine.audit(AuditRequest(target="tinytown"))
         registry = obs.registry
         assert registry.value("api_requests_total",
                               resource="users/lookup") > 0
@@ -95,7 +96,7 @@ class TestAuditInstrumentation:
         world = make_world()
         with observed() as obs:
             engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
-            engine.audit("tinytown")
+            engine.audit(AuditRequest(target="tinytown"))
         summary = obs.call_log_summary()
         assert "users/lookup" in summary
         stats = summary["users/lookup"]
@@ -113,7 +114,7 @@ class TestDisabledObservability:
         world = make_world()
         assert get_observability() is NULL_OBS
         engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
-        report = engine.audit("tinytown")
+        report = engine.audit(AuditRequest(target="tinytown"))
         assert report.sample_size > 0
         assert len(NULL_OBS.tracer) == 0
         assert NULL_OBS.registry.series_count() == 0
@@ -121,10 +122,10 @@ class TestDisabledObservability:
 
     def test_results_identical_with_and_without_observability(self):
         without = StatusPeopleFakers(
-            make_world(), SimClock(PAPER_EPOCH)).audit("tinytown")
+            make_world(), SimClock(PAPER_EPOCH)).audit(AuditRequest(target="tinytown"))
         with observed():
             withobs = StatusPeopleFakers(
-                make_world(), SimClock(PAPER_EPOCH)).audit("tinytown")
+                make_world(), SimClock(PAPER_EPOCH)).audit(AuditRequest(target="tinytown"))
         assert without == withobs
 
     def test_observed_restores_previous_context(self):
@@ -139,7 +140,7 @@ class TestDisabledObservability:
         world = make_world()
         engine = StatusPeopleFakers(world, SimClock(PAPER_EPOCH))
         with observed() as obs:
-            engine.audit("tinytown")
+            engine.audit(AuditRequest(target="tinytown"))
             # The engine bound the null tracer/registry at construction;
             # activating afterwards must not retroactively instrument it.
             assert len(obs.tracer) == 0

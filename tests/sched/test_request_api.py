@@ -1,4 +1,4 @@
-"""The unified audit request API and its deprecation path."""
+"""The unified audit request API (AuditRequest-only since PR 8)."""
 
 import warnings
 
@@ -29,29 +29,23 @@ class TestAuditRequest:
 
 
 class TestCoerceRequest:
-    def test_string_form_warns_and_binds(self):
-        with pytest.warns(DeprecationWarning, match="AuditRequest"):
-            request = coerce_request("alice", engine_name="fc")
-        assert request == AuditRequest(target="alice", engine="fc")
+    def test_string_form_removed(self):
+        with pytest.raises(ConfigurationError, match="string form"):
+            coerce_request("alice", engine_name="fc")
 
-    def test_request_form_does_not_warn(self):
+    def test_request_form_binds_without_warning(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             request = coerce_request(AuditRequest(target="alice"),
                                      engine_name="fc")
-        assert request.engine == "fc"
+        assert request == AuditRequest(target="alice", engine="fc")
 
     def test_mismatched_engine_rejected(self):
         with pytest.raises(ConfigurationError):
             coerce_request(AuditRequest(target="alice", engine="fc"),
                            engine_name="statuspeople")
 
-    def test_force_refresh_keyword_only_for_strings(self):
-        with pytest.raises(ConfigurationError):
-            coerce_request(AuditRequest(target="alice"), engine_name="fc",
-                           force_refresh=True)
-
-    def test_non_string_rejected(self):
+    def test_non_request_rejected(self):
         with pytest.raises(ConfigurationError):
             coerce_request(42, engine_name="fc")
 
@@ -61,34 +55,24 @@ class TestEngineEntryPoints:
     def tool(self, small_world):
         return StatusPeopleFakers(small_world, SimClock(PAPER_EPOCH), seed=1)
 
-    def test_legacy_string_audit_warns_but_works(self, tool):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            report = tool.audit("smalltown")
-        assert report.target == "smalltown"
-        assert report.tool == "statuspeople"
+    def test_string_audit_rejected(self, tool):
+        with pytest.raises(ConfigurationError, match="string form"):
+            tool.audit("smalltown")
 
     def test_request_audit_does_not_warn(self, tool):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             report = tool.audit(AuditRequest(target="smalltown"))
         assert report.target == "smalltown"
+        assert report.tool == "statuspeople"
 
-    def test_string_and_request_forms_agree(self, small_world):
-        by_string = StatusPeopleFakers(
-            small_world, SimClock(PAPER_EPOCH), seed=1)
-        by_request = StatusPeopleFakers(
-            small_world, SimClock(PAPER_EPOCH), seed=1)
-        with pytest.warns(DeprecationWarning):
-            a = by_string.audit("smalltown")
-        b = by_request.audit(AuditRequest(target="smalltown"))
-        assert (a.fake_pct, a.genuine_pct, a.inactive_pct) == \
-            (b.fake_pct, b.genuine_pct, b.inactive_pct)
-
-    def test_fc_accepts_force_refresh_keyword(self, small_world, detector):
+    def test_fc_rejects_string_audit(self, small_world, detector):
         fc = FakeClassifierEngine(
             small_world, SimClock(PAPER_EPOCH), detector, seed=1)
-        with pytest.warns(DeprecationWarning):
-            report = fc.audit("smalltown", force_refresh=True)
+        with pytest.raises(ConfigurationError, match="string form"):
+            fc.audit("smalltown")
+        report = fc.audit(
+            AuditRequest(target="smalltown", force_refresh=True))
         assert report.tool == "fc"
         assert not report.cached  # FC keeps no result cache anyway
 

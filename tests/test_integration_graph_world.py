@@ -7,6 +7,7 @@ base with all four engines end to end, proving backend interchange.
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.analytics import (
     SocialbakersFakeFollowerCheck,
     StatusPeopleFakers,
@@ -40,27 +41,27 @@ class TestEnginesOnGraphBackend:
     def test_fc_engine_recovers_composition(self, graph_world, detector):
         engine = FakeClassifierEngine(
             graph_world, SimClock(PAPER_EPOCH), detector, seed=1)
-        report = engine.audit("graphstar")
+        report = engine.audit(AuditRequest(target="graphstar"))
         assert report.sample_size == 1200  # census: base < 9604
         assert report.inactive_pct == pytest.approx(40.0, abs=6.0)
         assert report.fake_pct == pytest.approx(10.0, abs=5.0)
 
     def test_twitteraudit_runs(self, graph_world):
         tool = Twitteraudit(graph_world, SimClock(PAPER_EPOCH), seed=1)
-        report = tool.audit("graphstar")
+        report = tool.audit(AuditRequest(target="graphstar"))
         assert report.sample_size == 1200
         assert 0.0 <= report.fake_pct <= 100.0
 
     def test_statuspeople_runs(self, graph_world):
         tool = StatusPeopleFakers(graph_world, SimClock(PAPER_EPOCH), seed=1)
-        report = tool.audit("graphstar")
+        report = tool.audit(AuditRequest(target="graphstar"))
         assert report.sample_size == 700  # its documented cap applies
         assert report.inactive_pct is not None
 
     def test_socialbakers_runs_with_timelines(self, graph_world):
         tool = SocialbakersFakeFollowerCheck(
             graph_world, SimClock(PAPER_EPOCH), seed=1)
-        report = tool.audit("graphstar")
+        report = tool.audit(AuditRequest(target="graphstar"))
         assert report.sample_size == 1200
         assert tool.client.call_log.count("statuses/user_timeline") == 1200
 
@@ -71,7 +72,7 @@ class TestEnginesOnGraphBackend:
         its spam criteria first, so many dormant eggs land in 'fake'
         rather than 'inactive')."""
         tool = StatusPeopleFakers(graph_world, SimClock(PAPER_EPOCH), seed=1)
-        report = tool.audit("graphstar")
+        report = tool.audit(AuditRequest(target="graphstar"))
         assert report.inactive_pct + report.fake_pct >= 45.0
 
     def test_growth_monitor_on_graph(self, graph_world):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import AuditRequest
 from repro.core import ConfigurationError, PAPER_EPOCH, SimClock
 from repro.fc import build_gold_standard
 from repro.serde import (
@@ -25,7 +26,7 @@ class TestAuditReportRoundTrip:
         from repro.fc import FakeClassifierEngine
         engine = FakeClassifierEngine(
             small_world, SimClock(PAPER_EPOCH), detector, sample_size=300)
-        return engine.audit("smalltown")
+        return engine.audit(AuditRequest(target="smalltown"))
 
     def test_round_trip_preserves_fields(self, report):
         rebuilt = audit_report_from_dict(audit_report_to_dict(report))

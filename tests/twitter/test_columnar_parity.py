@@ -140,9 +140,40 @@ def test_batch_audit_digest_bit_identical(world_pair, detector):
     assert columnar_report.to_json() == object_report.to_json()
 
 
-def _run_batch(world, handle, detector):
+def test_engine_batch_knob_reports_bit_identical(world_pair, detector):
+    """Scalar (``batch=False``) vs columnar-mask (``batch="auto"``) paths.
+
+    The batch-criteria contract: on *either* substrate, every engine's
+    complete report is unchanged by the classification path — the
+    columnar masks are a pure acceleration, not a reinterpretation.
+    """
+    world, twin, handle = world_pair
+    for base_world in (world, twin):
+        scalar_engines = build_engines(
+            base_world, SimClock(PAPER_EPOCH), detector=detector, seed=5,
+            batch=False)
+        columnar_engines = build_engines(
+            base_world, SimClock(PAPER_EPOCH), detector=detector, seed=5,
+            batch="auto")
+        for name in ENGINE_NAMES:
+            expected = scalar_engines[name].audit(AuditRequest(target=handle))
+            actual = columnar_engines[name].audit(AuditRequest(target=handle))
+            assert actual == expected, name
+
+
+def test_engine_batch_knob_scheduler_digest_bit_identical(
+        world_pair, detector):
+    """The pinned-epoch batch path is knob-invariant too."""
+    __, twin, handle = world_pair
+    scalar_report = _run_batch(twin, handle, detector, engine_batch=False)
+    columnar_report = _run_batch(twin, handle, detector, engine_batch="auto")
+    assert columnar_report.digest() == scalar_report.digest()
+    assert columnar_report.to_json() == scalar_report.to_json()
+
+
+def _run_batch(world, handle, detector, engine_batch="auto"):
     scheduler = BatchAuditScheduler(
         world, SimClock(PAPER_EPOCH), engines=ENGINE_NAMES,
-        detector=detector, seed=5)
+        detector=detector, seed=5, engine_batch=engine_batch)
     scheduler.submit_batch([AuditRequest(target=handle)])
     return scheduler.run()
