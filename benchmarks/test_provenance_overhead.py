@@ -1,0 +1,70 @@
+"""Micro-benchmark: provenance recording must stay within 5% of baseline.
+
+Provenance is a pure observation: the columnar paths hand the sink the
+very mask arrays their verdict arithmetic already computed, the scalar
+paths re-derive per-account predicates, and aggregation packs bitmaps
+once per audit.  This bench times the batch Table III slice with and
+without a :class:`~repro.obs.provenance.ProvenanceCollector` attached
+and asserts the measured overhead stays under
+``PROVENANCE_MAX_OVERHEAD_PCT`` percent (default 5; CI relaxes it —
+shared runners are noisy).  The measurement is written to
+``benchmarks/results/BENCH_provenance_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.experiments.results import run_table3
+from repro.experiments.testbed import average_accounts
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Min-of-N wall-clock repeats (the test_obs_overhead idiom).
+REPEATS = 3
+
+
+def _wall(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_provenance_overhead_is_bounded(detector, save_result):
+    limit_pct = float(os.environ.get("PROVENANCE_MAX_OVERHEAD_PCT", "5"))
+    kwargs = dict(seed=42, accounts=average_accounts()[:3],
+                  detector=detector, max_followers=2_000,
+                  truth_sample=500, mode="batch")
+
+    baseline = _wall(lambda: run_table3(**kwargs))
+    enabled = _wall(lambda: run_table3(explain=True, **kwargs))
+    overhead_pct = 100.0 * (enabled - baseline) / baseline
+
+    report = "\n".join([
+        "Provenance overhead on batch Table III (3 average accounts):",
+        f"  baseline wall time    {baseline * 1e3:10.1f} ms",
+        f"  provenance wall time  {enabled * 1e3:10.1f} ms",
+        f"  overhead              {overhead_pct:10.2f} %"
+        f" (limit {limit_pct:g}%)",
+    ])
+    save_result("provenance_overhead", report)
+    doc = {
+        "bench": "provenance_overhead",
+        "workload": "table3 batch, 3 average accounts, "
+                    "max_followers=2000, truth_sample=500",
+        "repeats": REPEATS,
+        "baseline_ms": round(baseline * 1e3, 3),
+        "provenance_ms": round(enabled * 1e3, 3),
+        "overhead_pct": round(overhead_pct, 3),
+        "limit_pct": limit_pct,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_provenance_overhead.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    assert overhead_pct < limit_pct, report

@@ -190,6 +190,11 @@ class CommercialAnalytic:
         criteria's NumPy mask pipeline when available, ``False`` forces
         the scalar per-user loop.  Verdicts are bit-identical either
         way — only the wall clock differs.
+    provenance:
+        Optional :class:`~repro.obs.provenance.ProvenanceCollector`.
+        When set, every fresh classification records which criteria
+        rules fired per account; the aggregate rides in
+        ``details["provenance"]``.  Verdicts are unchanged.
     seed:
         Seed for the tool's internal sampling.
     """
@@ -211,6 +216,7 @@ class CommercialAnalytic:
                  retry: Optional[RetryPolicy] = None,
                  acquisition_cache=None,
                  batch: Union[bool, str] = "auto",
+                 provenance=None,
                  seed: int = 99) -> None:
         if batch not in (True, False, "auto"):
             raise ConfigurationError(
@@ -237,6 +243,12 @@ class CommercialAnalytic:
         self._last_completeness = 1.0
         self._active_request: Optional[AuditRequest] = None
         self._batch_mode = batch
+        #: Optional :class:`~repro.obs.provenance.ProvenanceCollector`;
+        #: when set, every fresh classification records per-rule fire
+        #: masks (a pure observation — verdict bytes never change).
+        self._provenance = provenance
+        self._last_provenance = None
+        self._obs.register_engine(self)
         #: The engine's classification criteria; concrete tools set
         #: this in their constructors (``None`` keeps legacy
         #: ``_analyze`` subclasses working without one).
@@ -399,6 +411,7 @@ class CommercialAnalytic:
         """
         faults_before = self._client.faults_seen
         self._last_completeness = 1.0
+        self._last_provenance = None
         self._active_request = request
         try:
             outcome = yield from self._analyze_steps(request.target)
@@ -415,8 +428,13 @@ class CommercialAnalytic:
             completeness = 0.0
         finally:
             self._active_request = None
+        details = outcome.details
+        if self._last_provenance is not None:
+            details = dict(details)
+            details["provenance"] = self._last_provenance.stats.as_dict()
         return replace(
             outcome,
+            details=details,
             completeness=completeness,
             errors_seen=self._client.faults_seen - faults_before,
         )
@@ -449,13 +467,27 @@ class CommercialAnalytic:
             raise ConfigurationError(
                 f"engine {self.name!r} defines no criteria; override "
                 f"_analyze_steps or set self._criteria")
+        sink = None
+        if self._provenance is not None and criteria.rule_ids:
+            from ..obs.provenance import ProvenanceSink  # deferred: cycle
+            sink = ProvenanceSink()
+        verdicts = None
         if self._batch_mode is not False and criteria.batch_capable:
             block = build_sample_block(users, timelines)
             if block is not None:
-                verdicts = criteria.classify_block(block, now)
-                if verdicts is not None:
-                    return verdicts
-        return criteria.classify_all(users, timelines, now)
+                verdicts = criteria.classify_block(block, now, sink=sink)
+        if verdicts is None:
+            verdicts = criteria.classify_all(users, timelines, now,
+                                             sink=sink)
+        if sink is not None:
+            request = self._active_request
+            target = request.target if request is not None else ""
+            self._last_provenance = self._provenance.record(
+                self.name, target, verdicts, sink,
+                _sample_user_ids(users), now)
+        if self._obs.enabled:
+            self._obs.note_verdicts(self.name, verdicts.counts())
+        return verdicts
 
     def _sampling_rng(self):
         """A fresh, deterministic RNG per analysis run.
@@ -557,6 +589,20 @@ class CommercialAnalytic:
             errors_seen=outcome.errors_seen,
             details=dict(outcome.details),
         )
+
+
+def _sample_user_ids(users) -> List[int]:
+    """The user ids of a classified sample, in classification order.
+
+    Handles both sample shapes the engines feed the criteria: a
+    columnar :class:`~repro.twitter.columnar.schema.UserRowBlock`
+    (exposing ``user_ids()``) and a plain sequence of
+    :class:`~repro.api.endpoints.UserObject`.
+    """
+    ids_of = getattr(users, "user_ids", None)
+    if callable(ids_of):
+        return [int(uid) for uid in ids_of()]
+    return [int(user.user_id) for user in users]
 
 
 def percentages(counts: Dict[str, int], total: int) -> Dict[str, float]:

@@ -107,14 +107,35 @@ class VerdictArray:
                 for index, label in enumerate(self.labels)}
 
 
-def scalar_classify(criteria, users, timelines, now: float) -> VerdictArray:
-    """The generic scalar loop: one ``classify`` call per account."""
+def scalar_classify(criteria, users, timelines, now: float,
+                    sink=None) -> VerdictArray:
+    """The generic scalar loop: one ``classify`` call per account.
+
+    With a :class:`~repro.obs.provenance.ProvenanceSink` attached the
+    loop runs :meth:`Criteria.explain` instead, collecting each rule's
+    per-user fire bits; ``explain`` mirrors ``classify`` exactly, so
+    the verdict codes are identical either way (the differential
+    parity suite proves it).
+    """
     index = {label: code for code, label in enumerate(criteria.labels)}
     if timelines is None:
-        codes = [index[criteria.classify(user, None, now)] for user in users]
+        pairs = [(user, None) for user in users]
     else:
+        pairs = list(zip(users, timelines))
+    if sink is None:
         codes = [index[criteria.classify(user, timeline, now)]
-                 for user, timeline in zip(users, timelines)]
+                 for user, timeline in pairs]
+    else:
+        fires = {rule: [] for rule in criteria.rule_ids}
+        codes = []
+        for user, timeline in pairs:
+            label, fired = criteria.explain(user, timeline, now)
+            codes.append(index[label])
+            fired_set = set(fired)
+            for rule in criteria.rule_ids:
+                fires[rule].append(rule in fired_set)
+        for rule in criteria.rule_ids:
+            sink.add(rule, fires[rule])
     return VerdictArray(labels=tuple(criteria.labels), codes=codes)
 
 
@@ -134,17 +155,36 @@ class Criteria:
     labels: Tuple[str, ...] = ()
     #: Whether :meth:`classify_block` is implemented (static fact).
     batch_capable: bool = False
+    #: Stable rule identifiers, in evaluation order.  Part of the
+    #: observable wire format: goldens, metric series and dashboards
+    #: key on these strings — renaming one is a breaking change (see
+    #: docs/observability.md, "RuleId stability").
+    rule_ids: Tuple[str, ...] = ()
 
     def classify(self, user, timeline, now: float) -> str:
         """Classify one account; returns a label from ``labels``."""
         raise NotImplementedError
 
-    def classify_all(self, users, timelines, now: float) -> VerdictArray:
-        """Scalar classification of a whole sample (existing behaviour)."""
-        return scalar_classify(self, users, timelines, now)
+    def explain(self, user, timeline, now: float) -> Tuple[str, Tuple[str, ...]]:
+        """Classify one account and name the rules that fired.
 
-    def classify_block(self, block: "SampleBlock",
-                       now: float) -> Optional[VerdictArray]:
+        Must agree with :meth:`classify` on the label for every input.
+        The default reports no rules (criteria without a rule registry
+        still classify; they just have nothing to attribute).
+        """
+        return self.classify(user, timeline, now), ()
+
+    def classify_all(self, users, timelines, now: float,
+                     sink=None) -> VerdictArray:
+        """Scalar classification of a whole sample (existing behaviour).
+
+        ``sink`` optionally collects per-rule fire masks; attaching one
+        never changes the verdicts.
+        """
+        return scalar_classify(self, users, timelines, now, sink=sink)
+
+    def classify_block(self, block: "SampleBlock", now: float,
+                       sink=None) -> Optional[VerdictArray]:
         """Columnar classification, or ``None`` for "not supported"."""
         return None
 

@@ -103,6 +103,13 @@ class StatusPeopleCriteria(Criteria):
     needs_timeline = False
     labels = ("fake", "inactive", "good")
     batch_capable = True
+    rule_ids = (
+        "sp.few_followers",
+        "sp.few_tweets",
+        "sp.mass_following",
+        "sp.ratio_20",
+        "sp.inactive_30d",
+    )
 
     def __init__(self, threshold: float = 3.0) -> None:
         self._threshold = threshold
@@ -114,18 +121,42 @@ class StatusPeopleCriteria(Criteria):
             return "inactive"
         return "good"
 
-    def classify_block(self, block: SampleBlock,
-                       now: float) -> Optional[VerdictArray]:
+    def explain(self, user: UserObject, timeline, now: float):
+        fired = []
+        if user.followers_count <= 25:
+            fired.append("sp.few_followers")
+        if user.statuses_count <= 20:
+            fired.append("sp.few_tweets")
+        if user.friends_count >= 150:
+            fired.append("sp.mass_following")
+        if user.friends_followers_ratio() >= 20.0:
+            fired.append("sp.ratio_20")
+        if is_inactive(user, now):
+            fired.append("sp.inactive_30d")
+        return self.classify(user, timeline, now), tuple(fired)
+
+    def classify_block(self, block: SampleBlock, now: float,
+                       sink=None) -> Optional[VerdictArray]:
         np = block.np
-        score = ((block.followers <= 25) * 1.0
-                 + (block.statuses <= 20) * 1.0
-                 + (block.friends >= 150) * 1.0
-                 + (block.ff_ratio >= 20.0) * 2.0)
+        few_followers = block.followers <= 25
+        few_tweets = block.statuses <= 20
+        mass_following = block.friends >= 150
+        ratio_20 = block.ff_ratio >= 20.0
+        score = (few_followers * 1.0
+                 + few_tweets * 1.0
+                 + mass_following * 1.0
+                 + ratio_20 * 2.0)
         spam = score >= self._threshold
         # NaN last-status ages compare False against the horizon, so
         # never-tweeted rows need the explicit mask.
         inactive = block.never_tweeted | (
             block.last_status_age(now) > SP_INACTIVITY_HORIZON)
+        if sink is not None:
+            sink.add("sp.few_followers", few_followers)
+            sink.add("sp.few_tweets", few_tweets)
+            sink.add("sp.mass_following", mass_following)
+            sink.add("sp.ratio_20", ratio_20)
+            sink.add("sp.inactive_30d", inactive)
         codes = np.where(spam, 0, np.where(inactive, 1, 2)).astype(np.int64)
         return VerdictArray(labels=self.labels, codes=codes)
 

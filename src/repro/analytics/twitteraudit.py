@@ -86,6 +86,26 @@ def real_score(user: UserObject, now: float) -> RealScore:
     return RealScore(tweets, recency, ratio_points)
 
 
+def _ta_fired(user: UserObject, now: float):
+    """Deficiency rules of one follower, in registry order."""
+    fired = []
+    if user.statuses_count < 5:
+        fired.append("ta.no_tweets")
+    elif user.statuses_count < 50:
+        fired.append("ta.few_tweets")
+    age = user.last_status_age(now)
+    if age is None or age > 30 * DAY:
+        fired.append("ta.stale_30d")
+    if age is None or age > 180 * DAY:
+        fired.append("ta.stale_180d")
+    ratio = user.friends_followers_ratio()
+    if ratio > 1.0:
+        fired.append("ta.ratio_over_1")
+    if ratio > 5.0:
+        fired.append("ta.ratio_over_5")
+    return tuple(fired)
+
+
 class TwitterauditCriteria(Criteria):
     """The 3-criterion RealScore rules behind the batch-criteria API.
 
@@ -102,6 +122,17 @@ class TwitterauditCriteria(Criteria):
     needs_timeline = False
     labels = ("fake", "not sure", "real")
     batch_capable = True
+    #: Deficiency rules: each names a way a follower *loses* real
+    #: points (the audit penalises absences, unlike the spam-points
+    #: engines which accumulate positives).
+    rule_ids = (
+        "ta.no_tweets",
+        "ta.few_tweets",
+        "ta.stale_30d",
+        "ta.stale_180d",
+        "ta.ratio_over_1",
+        "ta.ratio_over_5",
+    )
 
     def __init__(self, fake_threshold: float = 2.5) -> None:
         self._fake_threshold = fake_threshold
@@ -114,12 +145,18 @@ class TwitterauditCriteria(Criteria):
             return "not sure"
         return "real"
 
-    def classify_all(self, users, timelines, now: float) -> VerdictArray:
+    def explain(self, user: UserObject, timeline, now: float):
+        return self.classify(user, timeline, now), _ta_fired(user, now)
+
+    def classify_all(self, users, timelines, now: float,
+                     sink=None) -> VerdictArray:
         histogram: Dict[int, int] = {points: 0 for points in range(6)}
         quality_histogram: Dict[int, int] = {decile: 0
                                              for decile in range(10)}
         quality_sum = 0.0
         codes = []
+        fires = ({rule: [] for rule in self.rule_ids}
+                 if sink is not None else None)
         for user in users:
             score = real_score(user, now)
             histogram[min(5, int(score.total))] += 1
@@ -131,14 +168,21 @@ class TwitterauditCriteria(Criteria):
                 codes.append(1)
             else:
                 codes.append(2)
+            if fires is not None:
+                fired = set(_ta_fired(user, now))
+                for rule in self.rule_ids:
+                    fires[rule].append(rule in fired)
+        if fires is not None:
+            for rule in self.rule_ids:
+                sink.add(rule, fires[rule])
         return VerdictArray(labels=self.labels, codes=codes, extras={
             "real_points_histogram": histogram,
             "quality_histogram": quality_histogram,
             "quality_sum": quality_sum,
         })
 
-    def classify_block(self, block: SampleBlock,
-                       now: float) -> Optional[VerdictArray]:
+    def classify_block(self, block: SampleBlock, now: float,
+                       sink=None) -> Optional[VerdictArray]:
         np = block.np
         statuses = block.statuses
         tweets = np.where(statuses >= 50, 1.5,
@@ -150,6 +194,18 @@ class TwitterauditCriteria(Criteria):
         ratio = block.ff_ratio
         ratio_points = np.where(ratio <= 1.0, 2.0,
                                 np.where(ratio <= 5.0, 1.0, 0.0))
+        if sink is not None:
+            # The deficiency masks restate the scoring breakpoints as
+            # booleans; they read the same columns the scores were
+            # computed from, never the scores themselves.
+            stale = block.never_tweeted | (age > 30 * DAY)
+            sink.add("ta.no_tweets", statuses < 5)
+            sink.add("ta.few_tweets", (statuses >= 5) & (statuses < 50))
+            sink.add("ta.stale_30d", stale)
+            sink.add("ta.stale_180d",
+                     block.never_tweeted | (age > 180 * DAY))
+            sink.add("ta.ratio_over_1", ratio > 1.0)
+            sink.add("ta.ratio_over_5", ratio > 5.0)
         # Left-associated like RealScore.total's scalar sum.
         total = (tweets + recency) + ratio_points
         quality = total / TA_MAX_POINTS

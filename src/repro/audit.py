@@ -227,7 +227,8 @@ def build_engines(world, clock, detector=None, seed: int = 5, *,
                   acquisition_cache=None,
                   sb_daily_quota: Optional[int] = None,
                   sp_config=None,
-                  batch: Union[bool, str] = "auto") -> Dict[str, "Auditor"]:
+                  batch: Union[bool, str] = "auto",
+                  provenance=None) -> Dict[str, "Auditor"]:
     """Build the paper's audit engines over one world and one clock.
 
     The single factory behind every experiment, the CLI and
@@ -241,8 +242,11 @@ def build_engines(world, clock, detector=None, seed: int = 5, *,
     over days); ``sp_config`` selects a StatusPeople sampling
     configuration; ``batch`` sets every engine's columnar-classification
     knob (``"auto"``/``True``/``False`` — verdicts are bit-identical
-    either way, only the wall clock differs).  Imports are deferred so
-    ``repro.audit`` stays a leaf module the engines themselves can
+    either way, only the wall clock differs); ``provenance`` hands one
+    :class:`repro.obs.provenance.ProvenanceCollector` to every engine
+    so fresh classifications record which rules fired (pure
+    observation — verdict bytes never change).  Imports are deferred
+    so ``repro.audit`` stays a leaf module the engines themselves can
     import.
     """
     from .analytics.socialbakers import SocialbakersFakeFollowerCheck
@@ -256,7 +260,8 @@ def build_engines(world, clock, detector=None, seed: int = 5, *,
         raise ConfigurationError(
             f"unknown engines: {sorted(unknown)!r}; "
             f"choose from {ENGINE_NAMES}")
-    common = dict(faults=faults, retry=retry, seed=seed, batch=batch)
+    common = dict(faults=faults, retry=retry, seed=seed, batch=batch,
+                  provenance=provenance)
     if acquisition_cache is not None:
         common["acquisition_cache"] = acquisition_cache
     sb_kwargs = dict(common)

@@ -13,6 +13,7 @@ Examples
     repro deepdive               # Fakers vs Deep Dive
     repro samplesize             # n = 9604 arithmetic + coverage
     repro tacharts               # the three Twitteraudit report charts
+    repro explain RobDWaller     # rule-level verdict provenance
     repro monitor                # growth monitoring / burst detection
     repro monitor --ticks 200 --dashboard   # live fleet telemetry
     repro stats trace.jsonl      # digest a (possibly mid-run) trace
@@ -107,6 +108,7 @@ def _run_monitor_fleet(args, seed: int) -> str:
         ticks=args.ticks,
         slo_objective=args.slo,
         serial=getattr(args, "serial", False),
+        provenance=getattr(args, "provenance", False),
     )
     result = run_monitor_fleet(spec)
     lines = []
@@ -218,7 +220,28 @@ def _build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="Table II: response times")
     _add_serial_flag(table2)
     table3 = sub.add_parser("table3", help="Table III: analysis results")
+    table3.add_argument("--explain", action="store_true",
+                        help="record rule-level provenance and append "
+                             "per-account rule tables plus cross-engine "
+                             "disagreement drill-downs")
     _add_serial_flag(table3)
+
+    explain = sub.add_parser(
+        "explain",
+        help="audit one testbed account with all engines and attribute "
+             "every verdict and cross-engine disagreement to named "
+             "criteria rules")
+    explain.add_argument("handle", metavar="HANDLE",
+                         help="a Table III testbed handle "
+                              "(e.g. RobDWaller)")
+    explain.add_argument("--engines", nargs="+", metavar="ENGINE",
+                         choices=list(ENGINE_NAMES), default=None,
+                         help="engines to compare (default: all four)")
+    explain.add_argument("--max-followers", type=int, default=2_000,
+                         metavar="N",
+                         help="follower materialisation cap for the world "
+                              "(default: 2000 — rule attribution needs no "
+                              "mega-scale frame)")
 
     batch = sub.add_parser(
         "batch-audit",
@@ -281,6 +304,10 @@ def _build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--snapshots-out", metavar="FILE.jsonl",
                          default=None,
                          help="write every dashboard snapshot as JSON lines")
+    monitor.add_argument("--provenance", action="store_true",
+                         help="in fleet mode, record rule-level provenance "
+                              "on alert-triggered audits and add rule-drift "
+                              "panels to the dashboard")
     _add_serial_flag(monitor)
 
     stats = sub.add_parser(
@@ -362,7 +389,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "run", help="run one experiment by name (e.g. 'repro run chaos')")
     runner.add_argument("experiment",
                         choices=[name for name in sub.choices
-                                 if name not in ("run", "perf", "stats")],
+                                 if name not in
+                                 ("run", "perf", "stats", "explain")],
                         help="the experiment to run")
     _add_serial_flag(runner)
     # Knobs that normally live on individual subparsers, with their
@@ -372,7 +400,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         max_followers=20_000, compare_serial=False,
                         json_out=None, ticks=None, accounts=3, slo=0.98,
                         dashboard=False, cadence=50, alerts_out=None,
-                        snapshots_out=None)
+                        snapshots_out=None, explain=False, provenance=False)
 
     for subparser in sub.choices.values():
         _add_obs_flags(subparser, suppress=True)
@@ -533,6 +561,57 @@ def _run_perf(args, seed: int):
     return rendered, (1 if breaches else 0)
 
 
+def _run_explain(args, seed: int) -> str:
+    """The ``explain`` subcommand: rule-level provenance for one handle.
+
+    Audits the handle with every selected engine (serially, sharing one
+    world and clock), then renders the per-engine rule-fire table and
+    the cross-engine disagreement drill-down — each disagreement cell
+    attributed to the rules that separated the engines.
+    """
+    from .audit import build_engines
+    from .experiments.testbed import PAPER_ACCOUNTS_BY_HANDLE
+    from .obs.provenance import (
+        ProvenanceCollector,
+        build_disagreement,
+        render_rule_table,
+    )
+    handle = args.handle
+    account = PAPER_ACCOUNTS_BY_HANDLE.get(handle)
+    if account is None:
+        raise ConfigurationError(
+            f"unknown testbed handle: {handle!r}; choose from "
+            f"{sorted(PAPER_ACCOUNTS_BY_HANDLE)}")
+    world = build_paper_world(seed, SimClock().now(), tiers=(account.tier,),
+                              max_followers=args.max_followers)
+    clock = SimClock(world.ref_time)
+    collector = ProvenanceCollector()
+    engines = build_engines(
+        world, clock, seed=seed, faults=_fault_plan(args),
+        engines=tuple(args.engines) if args.engines else None,
+        sb_daily_quota=10**9, provenance=collector)
+    lines = [f"verdict provenance @{handle} "
+             f"({account.followers} followers, {account.tier} tier)",
+             ""]
+    verdict_rows = []
+    for name in sorted(engines):
+        report = engines[name].audit(
+            AuditRequest(target=handle, engine=name))
+        inactive = ("-" if report.inactive_pct is None
+                    else f"{report.inactive_pct:.1f}%")
+        verdict_rows.append(
+            f"  {name:<14} fake {report.fake_pct:5.1f}%  "
+            f"genuine {report.genuine_pct:5.1f}%  inactive {inactive}")
+    lines.extend(verdict_rows)
+    lines.append("")
+    records = collector.for_target(handle)
+    lines.append(render_rule_table(records))
+    if len(records) >= 2:
+        lines.append("")
+        lines.append(build_disagreement(handle, records).render())
+    return "\n".join(lines)
+
+
 def _dispatch(args, seed: int):
     """Run the selected subcommand and return its rendered report.
 
@@ -556,7 +635,10 @@ def _dispatch(args, seed: int):
             seed=seed, faults=_fault_plan(args), mode=_mode(args))
     elif args.command == "table3":
         rows, rendered = run_table3(seed=seed, faults=_fault_plan(args),
-                                    mode=_mode(args))
+                                    mode=_mode(args),
+                                    explain=getattr(args, "explain", False))
+    elif args.command == "explain":
+        rendered = _run_explain(args, seed)
     elif args.command == "batch-audit":
         rendered = _run_batch_audit(args, seed)
     elif args.command == "perf":

@@ -43,6 +43,7 @@ from ..obs.live import (
     LiveTelemetry,
     SloSpec,
 )
+from ..obs.provenance import ProvenanceCollector
 from ..obs.runtime import Observability, get_observability, observed
 from ..sched import BatchAuditScheduler
 from ..twitter import (
@@ -74,6 +75,15 @@ FLEET_PANELS: Tuple[str, ...] = (
     "sched.batch_audits",
 )
 
+#: Drift panels added when ``FleetSpec.provenance`` is on: the
+#: per-window FC rule-fire streams the provenance collector feeds
+#: through the live plane (sample sizes plus one stream per rule).
+RULE_PANELS: Tuple[str, ...] = (
+    "rules.fc",
+    "rules.fc.fc.inactive_90d",
+    "rules.fc.fc.classifier_fake",
+)
+
 
 @dataclass(frozen=True)
 class FleetSpec:
@@ -102,6 +112,11 @@ class FleetSpec:
     burst_min_excess: int = 500
     snapshot_every: int = 1
     serial: bool = False
+    #: Record rule-level provenance on alert-triggered FC audits and
+    #: add the ``rules.fc*`` drift panels to the dashboard.  Off by
+    #: default: the golden alert logs and snapshot shapes are
+    #: byte-identical unless asked for.
+    provenance: bool = False
 
     def __post_init__(self) -> None:
         if self.accounts < 1:
@@ -252,7 +267,8 @@ def _build_live(spec: FleetSpec, simulation: LiveSimulation,
 
 
 def _alert_audits(spec: FleetSpec, simulation: LiveSimulation,
-                  handles: List[str], detector, tick: int, now: float
+                  handles: List[str], detector, tick: int, now: float,
+                  provenance: Optional[ProvenanceCollector] = None
                   ) -> List[Dict[str, object]]:
     """Investigate burst alerts: FC audits on a detached clock.
 
@@ -265,7 +281,8 @@ def _alert_audits(spec: FleetSpec, simulation: LiveSimulation,
         simulation.graph, SimClock(now),
         engines=("fc",), lane_slots=1,
         detector=detector, seed=spec.seed,
-        shared_cache=False, serial=spec.serial)
+        shared_cache=False, serial=spec.serial,
+        provenance=provenance)
     for handle in handles:
         scheduler.submit(AuditRequest(target=handle, as_of=now))
     batch = scheduler.run()
@@ -321,9 +338,11 @@ def _run(spec: FleetSpec, simulation: LiveSimulation, live: LiveTelemetry,
     live.counter_stream(
         "polls.faults", lambda: float(monitor.client.faults_seen))
     market = Marketplace(simulation, seed=spec.seed + 2)
-    dashboard = FleetDashboard(live, panels=FLEET_PANELS,
+    panels = FLEET_PANELS + RULE_PANELS if spec.provenance else FLEET_PANELS
+    dashboard = FleetDashboard(live, panels=panels,
                                horizon=3 * DAY, title="fleet health")
     result = FleetResult(spec=spec, live=live)
+    collector = ProvenanceCollector() if spec.provenance else None
     fc_detector = None
 
     for tick in range(spec.ticks):
@@ -360,7 +379,8 @@ def _run(spec: FleetSpec, simulation: LiveSimulation, live: LiveTelemetry,
                 from ..fc.engine import default_detector
                 fc_detector = default_detector(spec.seed)
             result.audits.extend(_alert_audits(
-                spec, simulation, burst_handles, fc_detector, tick, now))
+                spec, simulation, burst_handles, fc_detector, tick, now,
+                provenance=collector))
         if tick % spec.snapshot_every == 0 or tick == spec.ticks - 1:
             snapshot = dashboard.snapshot(now, fleet={
                 "followers": dict(sorted(result.followers.items())),

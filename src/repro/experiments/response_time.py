@@ -65,7 +65,8 @@ def build_engines(world: SyntheticWorld, clock: SimClock,
                   detector: Optional[TrainedDetector] = None,
                   seed: int = 5,
                   faults: Optional[FaultPlan] = None,
-                  retry: Optional[RetryPolicy] = None) -> Dict[str, object]:
+                  retry: Optional[RetryPolicy] = None,
+                  provenance=None) -> Dict[str, object]:
     """The paper's four engines, sharing one world and one clock.
 
     Socialbakers' ten-per-day quota is lifted for experiment runs (the
@@ -79,7 +80,8 @@ def build_engines(world: SyntheticWorld, clock: SimClock,
     """
     return _build_engines(world, clock, detector, seed,
                           faults=faults, retry=retry,
-                          sb_daily_quota=10**9)
+                          sb_daily_quota=10**9,
+                          provenance=provenance)
 
 
 def run_response_time_experiment(

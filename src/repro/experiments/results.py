@@ -25,6 +25,11 @@ from ..core.errors import ConfigurationError
 from ..faults.plan import FaultPlan
 from ..fc.training import TrainedDetector
 from ..obs.analysis import render_phase_attribution
+from ..obs.provenance import (
+    ProvenanceCollector,
+    build_disagreement,
+    render_rule_table,
+)
 from ..obs.runtime import get_observability
 from ..sched import BatchAuditScheduler
 from ..twitter.account import Label
@@ -91,6 +96,7 @@ def run_table3(
         faults: Optional[FaultPlan] = None,
         mode: str = "batch",
         lane_slots: int = 2,
+        explain: bool = False,
 ) -> Tuple[List[Table3Row], str]:
     """Run all four engines over the testbed and render Table III.
 
@@ -103,6 +109,12 @@ def run_table3(
     sampling indices, the resulting percentages are **identical** to
     ``mode="serial"`` (the legacy one-audit-at-a-time loop); the
     throughput benchmark asserts exactly that.
+
+    ``explain`` attaches a provenance collector to every engine and
+    appends, per account, the rule-fire table and the cross-engine
+    disagreement drill-down to the rendering — turning Table III's
+    disagreement *numbers* into rule-level *explanations*.  Verdicts
+    and row values are byte-identical with or without it.
     """
     if mode not in ("batch", "serial"):
         raise ConfigurationError(
@@ -115,11 +127,12 @@ def run_table3(
     world = build_paper_world(
         seed, SimClock().now(), tiers=tiers, max_followers=max_followers)
     clock = SimClock(world.ref_time)
+    collector = ProvenanceCollector() if explain else None
 
     rows: List[Table3Row] = []
     if mode == "serial":
         engines = build_engines(world, clock, detector, seed=seed,
-                                faults=faults)
+                                faults=faults, provenance=collector)
         for account in accounts:
             reports: Dict[str, AuditReport] = {}
             followers_used = 0
@@ -133,7 +146,7 @@ def run_table3(
     else:
         scheduler = BatchAuditScheduler(
             world, clock, seed=seed, detector=detector, faults=faults,
-            lane_slots=lane_slots)
+            lane_slots=lane_slots, provenance=collector)
         epoch = clock.now()
         scheduler.submit_batch(
             [AuditRequest(target=account.handle) for account in accounts])
@@ -149,6 +162,15 @@ def run_table3(
                                    epoch, truth_sample, seed))
 
     rendered = render_table3(rows)
+    if collector is not None:
+        for account in accounts:
+            records = collector.for_target(account.handle)
+            if len(records) < 2:
+                continue
+            rendered += ("\n\n" + render_rule_table(records)
+                         + "\n\n"
+                         + build_disagreement(account.handle,
+                                              records).render())
     if obs.enabled:
         rendered += "\n\n" + render_phase_attribution(
             obs.tracer.spans()[trace_mark:])

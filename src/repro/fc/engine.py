@@ -70,6 +70,10 @@ class DetectorCriteria:
     #: The engine's columnar path lives in the batch classifier rather
     #: than a mask pipeline, but the capability fact is the same.
     batch_capable = True
+    #: The pipeline's two decision stages as provenance rules: the
+    #: 90-day horizon partition, then the trained classifier's fake
+    #: call on the active partition.
+    rule_ids = ("fc.inactive_90d", "fc.classifier_fake")
 
     def __init__(self, detector: TrainedDetector,
                  horizon: float = FC_INACTIVITY_HORIZON) -> None:
@@ -95,12 +99,25 @@ class DetectorCriteria:
             [user], [timeline] if timeline is not None else None, now)
         return "fake" if int(verdict[0]) else "genuine"
 
-    def classify_all(self, users, timelines, now: float, *, predict=None):
+    def explain(self, user, timeline, now: float):
+        """One account's verdict plus the decision-stage rules."""
+        label = self.classify(user, timeline, now)
+        if label == "inactive":
+            return label, ("fc.inactive_90d",)
+        if label == "fake":
+            return label, ("fc.classifier_fake",)
+        return label, ()
+
+    def classify_all(self, users, timelines, now: float, *, predict=None,
+                     sink=None):
         """Whole-sample verdicts: horizon partition + one bulk predict.
 
         ``predict`` substitutes the prediction function (the engine
         passes its columnar batch classifier's); ``None`` uses the
-        detector's scalar ``predict``.
+        detector's scalar ``predict``.  Both scalar and columnar
+        invocations funnel through this one method, so provenance is
+        path-invariant by construction: the ``sink`` masks are derived
+        from the final ``codes``, after prediction.
         """
         from ..analytics.criteria import VerdictArray  # deferred: cycle
 
@@ -125,6 +142,9 @@ class DetectorCriteria:
         )
         for slot, index in enumerate(active_indices):
             codes[index] = 0 if int(verdicts[slot]) else 2
+        if sink is not None:
+            sink.add("fc.inactive_90d", [code == 1 for code in codes])
+            sink.add("fc.classifier_fake", [code == 0 for code in codes])
         return VerdictArray(labels=self.labels, codes=codes)
 
 
@@ -143,6 +163,7 @@ class FakeClassifierEngine:
                  retry: Optional[RetryPolicy] = None,
                  acquisition_cache=None,
                  batch: Union[bool, str] = "auto",
+                 provenance=None,
                  seed: int = 0) -> None:
         if sample_size < 1:
             raise ConfigurationError(f"sample_size must be >= 1: {sample_size!r}")
@@ -171,6 +192,8 @@ class FakeClassifierEngine:
         self._batch_mode = batch
         self._batch_classifier = None
         self._batch_resolved = False
+        self._provenance = provenance
+        self._obs.register_engine(self)
 
     @property
     def client(self) -> TwitterApiClient:
@@ -348,8 +371,20 @@ class FakeClassifierEngine:
         classifier = self._batch()
         predict = (classifier.predict if classifier is not None
                    else self._detector.predict)
-        counts = self._criteria.classify_all(
-            users, timelines, now, predict=predict).counts()
+        sink = None
+        if self._provenance is not None:
+            from ..obs.provenance import ProvenanceSink
+            sink = ProvenanceSink()
+        verdicts = self._criteria.classify_all(
+            users, timelines, now, predict=predict, sink=sink)
+        provenance_record = None
+        if sink is not None:
+            provenance_record = self._provenance.record(
+                self.name, screen_name, verdicts, sink,
+                [user.user_id for user in users], now)
+        counts = verdicts.counts()
+        if self._obs.enabled:
+            self._obs.note_verdicts(self.name, counts)
         fake = counts["fake"]
         inactive = counts["inactive"]
         genuine = counts["genuine"]
@@ -405,5 +440,7 @@ class FakeClassifierEngine:
                               f"census of all {population} followers"
                               if n == population else "reduced sample",
                 "engine": self.info().as_dict(),
+                **({"provenance": provenance_record.stats.as_dict()}
+                   if provenance_record is not None else {}),
             },
         )

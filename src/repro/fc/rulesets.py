@@ -154,6 +154,21 @@ class SocialbakersCriteria(RuleSet):
     #: and the static columnar-capability fact.
     labels = ("fake", "inactive", "genuine")
     batch_capable = True
+    #: Stable rule registry: the eight published suspicion criteria
+    #: (the ``sb.``-prefixed WEIGHTS keys) plus the two inactivity
+    #: rules.  Renaming one breaks goldens — see docs/observability.md.
+    rule_ids = (
+        "sb.ff_ratio_50",
+        "sb.spam_phrases_30pct",
+        "sb.repeated_tweets_3x",
+        "sb.retweets_90pct",
+        "sb.links_90pct",
+        "sb.never_tweeted",
+        "sb.old_default_image",
+        "sb.empty_profile_following_100",
+        "sb.under_3_tweets",
+        "sb.stale_90d",
+    )
 
     #: (label, points) — one entry per published criterion.
     WEIGHTS = {
@@ -220,15 +235,38 @@ class SocialbakersCriteria(RuleSet):
             return "inactive"
         return "fake"
 
+    def explain(self, user: UserObject, timeline: Optional[Sequence[Tweet]],
+                now: float):
+        """Classify one account and name the fired rules (``sb.`` ids).
+
+        Raw predicate firings: the inactivity rules report even on
+        non-suspicious accounts (the published flow only *consults*
+        them after suspicion; provenance records what held).
+        """
+        verdict = self.evaluate(user, timeline, now)
+        fired = ["sb." + label for label in verdict.fired]
+        if user.statuses_count < 3:
+            fired.append("sb.under_3_tweets")
+        age = user.last_status_age(now)
+        if age is not None and age > 90 * DAY:
+            fired.append("sb.stale_90d")
+        if not verdict.is_fake:
+            label = "genuine"
+        elif self.is_inactive(user, now):
+            label = "inactive"
+        else:
+            label = "fake"
+        return label, tuple(fired)
+
     # -- the batch-criteria protocol -------------------------------------------
 
-    def classify_all(self, users, timelines, now: float):
+    def classify_all(self, users, timelines, now: float, sink=None):
         """Scalar classification of a whole sample, as a verdict array."""
         from ..analytics.criteria import scalar_classify  # deferred: cycle
 
-        return scalar_classify(self, users, timelines, now)
+        return scalar_classify(self, users, timelines, now, sink=sink)
 
-    def classify_block(self, block, now: float):
+    def classify_block(self, block, now: float, sink=None):
         """Columnar three-way classification over a sample block.
 
         The eight published criteria become weighted boolean masks;
@@ -244,23 +282,37 @@ class SocialbakersCriteria(RuleSet):
         np = block.np
         stats = block.timeline_stats()
         weights = self.WEIGHTS
-        score = ((block.ff_ratio >= 50.0) * weights["ff_ratio_50"]
-                 + (stats.spam > 0.30) * weights["spam_phrases_30pct"]
-                 + (stats.duplicate > 0.0) * weights["repeated_tweets_3x"]
-                 + (stats.nonempty & (stats.retweet > 0.90))
-                 * weights["retweets_90pct"]
-                 + (stats.nonempty & (stats.link > 0.90))
-                 * weights["links_90pct"]
-                 + (block.statuses <= 0) * weights["never_tweeted"]
-                 + ((block.age_at(now) > 60 * DAY) & block.default_image)
-                 * weights["old_default_image"]
-                 + (~block.has_bio & ~block.has_location
-                    & (block.friends > 100))
+        masks = {
+            "ff_ratio_50": block.ff_ratio >= 50.0,
+            "spam_phrases_30pct": stats.spam > 0.30,
+            "repeated_tweets_3x": stats.duplicate > 0.0,
+            "retweets_90pct": stats.nonempty & (stats.retweet > 0.90),
+            "links_90pct": stats.nonempty & (stats.link > 0.90),
+            "never_tweeted": block.statuses <= 0,
+            "old_default_image":
+                (block.age_at(now) > 60 * DAY) & block.default_image,
+            "empty_profile_following_100":
+                ~block.has_bio & ~block.has_location & (block.friends > 100),
+        }
+        score = (masks["ff_ratio_50"] * weights["ff_ratio_50"]
+                 + masks["spam_phrases_30pct"] * weights["spam_phrases_30pct"]
+                 + masks["repeated_tweets_3x"] * weights["repeated_tweets_3x"]
+                 + masks["retweets_90pct"] * weights["retweets_90pct"]
+                 + masks["links_90pct"] * weights["links_90pct"]
+                 + masks["never_tweeted"] * weights["never_tweeted"]
+                 + masks["old_default_image"] * weights["old_default_image"]
+                 + masks["empty_profile_following_100"]
                  * weights["empty_profile_following_100"])
         suspicious = score >= self._threshold
-        inactive = (block.statuses < 3) | (
-            ~block.never_tweeted
-            & (block.last_status_age(now) > 90 * DAY))
+        under_3 = block.statuses < 3
+        stale = (~block.never_tweeted
+                 & (block.last_status_age(now) > 90 * DAY))
+        inactive = under_3 | stale
+        if sink is not None:
+            for label, mask in masks.items():
+                sink.add("sb." + label, mask)
+            sink.add("sb.under_3_tweets", under_3)
+            sink.add("sb.stale_90d", stale)
         codes = np.where(~suspicious, 2,
                          np.where(inactive, 1, 0)).astype(np.int64)
         return VerdictArray(labels=self.labels, codes=codes)

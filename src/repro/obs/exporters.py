@@ -259,9 +259,54 @@ def console_summary(obs) -> str:
         parts.append("")
         parts.extend(_table(
             ("cache", "hits", "misses", "evicted", "size"), cache_rows))
+    engine_rows = _engine_rows(obs)
+    if engine_rows:
+        parts.append("")
+        parts.extend(_table(
+            ("engine", "criteria", "frame", "verdicts"), engine_rows))
     parts.append("")
     parts.append(stats_line(obs))
     return "\n".join(parts)
+
+
+def _verdict_tallies(obs) -> Dict[str, Dict[str, int]]:
+    """Per-engine verdict counts from the ``verdicts_total`` family."""
+    tallies: Dict[str, Dict[str, int]] = {}
+    for name, _kind, labels, instrument in obs.registry.series():
+        if name != "verdicts_total":
+            continue
+        pairs = dict(labels)
+        engine = pairs.get("engine", "")
+        verdict = pairs.get("verdict", "")
+        tallies.setdefault(engine, {})[verdict] = int(instrument.value)
+    return tallies
+
+
+def _engine_rows(obs) -> List[Tuple[str, ...]]:
+    """One summary row per registered engine *kind*, with verdicts.
+
+    Schedulers construct one engine instance per lane slot; rows
+    dedupe by name (the first registered instance's metadata wins —
+    slots of one lane are configured identically).
+    """
+    engines = getattr(obs, "engines", [])
+    if not engines:
+        return []
+    tallies = _verdict_tallies(obs)
+    seen: Dict[str, object] = {}
+    for engine in engines:
+        name = getattr(engine, "name", "")
+        if name not in seen:
+            seen[name] = engine
+    rows: List[Tuple[str, ...]] = []
+    for name in sorted(seen):
+        info = seen[name].info()
+        verdicts = tallies.get(name, {})
+        breakdown = " ".join(f"{label}={count}"
+                             for label, count in sorted(verdicts.items()))
+        rows.append((name, info.criteria_id, info.frame_policy,
+                     breakdown or "-"))
+    return rows
 
 
 def _family_total(obs, name: str) -> float:
@@ -322,4 +367,15 @@ def stats_line(obs) -> str:
         evicted = sum(info.evictions for info in infos)
         line += (f", {len(infos)} caches ({hits}/{lookups} hits, "
                  f"{evicted} evicted)")
+    if _has_family(obs, "verdicts_total"):
+        tallies = _verdict_tallies(obs)
+        total = sum(sum(counts.values()) for counts in tallies.values())
+        fake = sum(counts.get("fake", 0) for counts in tallies.values())
+        line += (f", {total} verdicts across {len(tallies)} engines "
+                 f"({fake} fake)")
+    if _has_family(obs, "rule_fired_total"):
+        fires = int(_family_total(obs, "rule_fired_total"))
+        rules = sum(1 for name, _k, _l, _i in obs.registry.series()
+                    if name == "rule_fired_total")
+        line += f", {fires} rule fires ({rules} rules)"
     return line

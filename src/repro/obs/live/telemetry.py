@@ -175,6 +175,24 @@ class LiveTelemetry:
         if completeness > 0.0:
             self.value_stream("audits.ok").observe(t, 1.0)
 
+    def on_rules(self, engine: str, t: float, fired: Dict[str, int],
+                 sample_size: int) -> None:
+        """Provenance hook: one classification's rule-fire tallies.
+
+        Feeds the per-engine drift stream ``rules.<engine>`` with the
+        classified sample size, and one ``rules.<engine>.<rule>``
+        stream per rule that fired — the fleet dashboard picks them up
+        automatically, so a purchased block landing shows up as a
+        step-change in which rules fire.
+        """
+        t = self.clamp(t)
+        self.value_stream(f"rules.{engine}").observe(
+            t, float(sample_size))
+        for rule, count in fired.items():
+            if count:
+                self.value_stream(f"rules.{engine}.{rule}").observe(
+                    t, float(count))
+
     def on_batch_run(self, epoch: float, makespan: float,
                      executed: int) -> None:
         """Scheduler hook: one batch run finished (admitted at ``epoch``)."""

@@ -49,10 +49,12 @@ class Observability:
         self.tracer: Tracer = Tracer(clock)
         self.call_logs: List[object] = []
         self.caches: List[object] = []
+        self.engines: List[object] = []
         #: The streaming telemetry plane (``repro.obs.live``), or
         #: ``None``.  Hot paths guard with one ``is None`` check, so
         #: runs without live telemetry pay nothing.
         self.live = None
+        self._verdict_counters: dict = {}
 
     def attach_live(self, live) -> object:
         """Install a :class:`~repro.obs.live.LiveTelemetry` plane."""
@@ -70,6 +72,36 @@ class Observability:
     def register_cache(self, cache: object) -> None:
         """Track one cache (anything with a ``cache_info()`` method)."""
         self.caches.append(cache)
+
+    def register_engine(self, engine: object) -> None:
+        """Track one audit engine (anything with an ``info()`` method).
+
+        Engines register at construction so end-of-run summaries can
+        render per-engine metadata and verdict breakdowns;
+        ``info()`` is only called at render time (it is lazy on some
+        engines).
+        """
+        self.engines.append(engine)
+
+    def note_verdicts(self, engine: str, counts) -> None:
+        """Count one fresh classification's verdicts per engine.
+
+        Lazily creates ``verdicts_total{engine,verdict}`` counters —
+        and only for labels with non-zero tallies — so runs that never
+        classify export byte-identical metrics.
+        """
+        for verdict, count in counts.items():
+            if not count:
+                continue
+            key = (engine, verdict)
+            counter = self._verdict_counters.get(key)
+            if counter is None:
+                counter = self.registry.counter(
+                    "verdicts_total",
+                    help="verdicts by engine and class",
+                    engine=engine, verdict=verdict)
+                self._verdict_counters[key] = counter
+            counter.inc(count)
 
     def cache_info(self) -> List[CacheInfo]:
         """Per-cache snapshots, merged by name and sorted.
@@ -117,6 +149,7 @@ class NullObservability:
     tracer: NullTracer = NULL_TRACER
     call_logs: List[object] = []
     caches: List[object] = []
+    engines: List[object] = []
     live = None
 
     def attach_live(self, live) -> object:
@@ -131,6 +164,12 @@ class NullObservability:
 
     def register_cache(self, cache: object) -> None:
         """Ignore the cache."""
+
+    def register_engine(self, engine: object) -> None:
+        """Ignore the engine."""
+
+    def note_verdicts(self, engine: str, counts) -> None:
+        """Record nothing."""
 
     def call_log_summary(self) -> dict:
         """Always empty."""

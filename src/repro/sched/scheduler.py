@@ -195,6 +195,10 @@ class BatchAuditScheduler:
     sb_daily_quota:
         Socialbakers quota override, lifted by default as in the
         experiment runners (each slot is its own free-tier account).
+    provenance:
+        Optional :class:`~repro.obs.provenance.ProvenanceCollector`
+        shared by every slot's engines; batch digests are unchanged
+        (``BatchItem`` never serializes report details).
     """
 
     def __init__(self, world, clock: SimClock, *,
@@ -210,7 +214,8 @@ class BatchAuditScheduler:
                  max_pending: Optional[int] = None,
                  makespan_budget: Optional[float] = None,
                  sb_daily_quota: Optional[int] = 10**9,
-                 engine_batch: Union[bool, str] = "auto") -> None:
+                 engine_batch: Union[bool, str] = "auto",
+                 provenance=None) -> None:
         if lane_slots < 1:
             raise ConfigurationError(f"lane_slots must be >= 1: {lane_slots!r}")
         if max_pending is not None and max_pending < 1:
@@ -251,7 +256,8 @@ class BatchAuditScheduler:
                     faults=faults, retry=retry, engines=(name,),
                     acquisition_cache=self._cache,
                     sb_daily_quota=sb_daily_quota,
-                    batch=engine_batch)
+                    batch=engine_batch,
+                    provenance=provenance)
                 slots.append(_Slot(engine=engine_map[name], clock=slot_clock,
                                    index=slot_index))
             self._lanes[name] = _Lane(name, slots)

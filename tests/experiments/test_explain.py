@@ -1,0 +1,109 @@
+"""Golden tests for ``repro explain`` and ``table3 --explain``.
+
+The goldens pin the full rule-attribution rendering on a scenario
+where StatusPeople and Twitteraudit disagree about the same accounts
+(seed 42, @RobDWaller at 300 followers): renaming a rule id, changing
+a rule's predicate, or perturbing the drill-down layout shows up as a
+byte diff here.  RuleIds are wire format — see docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.results import run_table3
+from repro.experiments.testbed import PAPER_ACCOUNTS_BY_HANDLE
+
+GOLDEN = Path(__file__).parent / "golden"
+
+EXPLAIN_ARGS = ["--seed", "42", "explain", "RobDWaller",
+                "--engines", "statuspeople", "twitteraudit",
+                "--max-followers", "300"]
+
+TABLE3_KWARGS = dict(
+    seed=42,
+    accounts=[PAPER_ACCOUNTS_BY_HANDLE["RobDWaller"]],
+    max_followers=300,
+    truth_sample=500,
+)
+
+
+def _cli_explain(capsys) -> str:
+    assert main(list(EXPLAIN_ARGS)) == 0
+    return capsys.readouterr().out
+
+
+class TestExplainGolden:
+    def test_matches_golden(self, capsys):
+        expected = (GOLDEN / "explain_sp_ta.txt").read_text(encoding="utf-8")
+        assert _cli_explain(capsys) == expected
+
+    def test_sp_ta_disagree_and_every_cell_names_rules(self, capsys):
+        out = _cli_explain(capsys)
+        cells = re.findall(
+            r"statuspeople=(\S+) vs twitteraudit=(\S+): (\d+)/\d+", out)
+        assert cells, "no cross-engine disagreement cells rendered"
+        assert any(a != b for a, b, __ in cells)
+        # Every cell is attributed: a "<engine> rules:" line naming at
+        # least one rule id follows each cell header.
+        drilldown = out.split("disagreement drill-down", 1)[1]
+        blocks = drilldown.split(" vs ")[1:]
+        for block in blocks:
+            assert re.search(r"rules: \w+\.\w+ x\d+", block), block
+
+    def test_unknown_handle_rejected(self):
+        from repro.core.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            main(["explain", "nobody_we_know"])
+
+
+class TestTable3ExplainGolden:
+    @pytest.fixture(scope="class")
+    def rendered(self, detector):
+        rows, rendered = run_table3(detector=detector, explain=True,
+                                    **TABLE3_KWARGS)
+        return rows, rendered
+
+    def test_matches_golden(self, rendered):
+        __, text = rendered
+        expected = (GOLDEN / "table3_explain.txt").read_text(encoding="utf-8")
+        assert text + "\n" == expected
+
+    def test_rows_identical_without_explain(self, rendered, detector):
+        explained_rows, __ = rendered
+        plain_rows, plain = run_table3(detector=detector, explain=False,
+                                       **TABLE3_KWARGS)
+        assert _strip_provenance(explained_rows) == plain_rows
+        # The explain rendering is the plain table plus appendices.
+        __, text = rendered
+        assert text.startswith(plain)
+
+    def test_drilldown_covers_all_four_engines(self, rendered):
+        __, text = rendered
+        assert "disagreement drill-down @RobDWaller" in text
+        for engine in ("fc", "twitteraudit", "statuspeople", "socialbakers"):
+            assert f"{engine:<14}" in text or f"{engine}=" in text, engine
+
+
+def _strip_provenance(rows):
+    """Rows with ``details["provenance"]`` removed from every report.
+
+    Provenance is a pure observation: it may only *add* that one
+    details key, never touch a verdict byte — which is exactly what the
+    comparison against an explain-free run asserts.
+    """
+    from dataclasses import replace
+
+    stripped = []
+    for row in rows:
+        reports = {}
+        for tool, report in row.reports.items():
+            details = dict(report.details)
+            assert details.pop("provenance", None) is not None, tool
+            reports[tool] = replace(report, details=details)
+        stripped.append(replace(row, reports=reports))
+    return stripped

@@ -22,10 +22,13 @@ exhaustive boundary sweeps live in ``test_columnar_chunks.py``).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.audit import AuditRequest, ENGINE_NAMES, build_engines
 from repro.core import PAPER_EPOCH, SimClock
+from repro.obs.provenance import ProvenanceCollector
 from repro.sched import BatchAuditScheduler
 from repro.twitter import add_simple_target, build_world, columnar_twin
 
@@ -171,9 +174,99 @@ def test_engine_batch_knob_scheduler_digest_bit_identical(
     assert columnar_report.to_json() == scalar_report.to_json()
 
 
-def _run_batch(world, handle, detector, engine_batch="auto"):
+def test_provenance_is_a_pure_observation(world_pair, detector):
+    """Provenance on vs off: verdicts byte-identical, only details grows.
+
+    On both substrates, every engine's report with a collector attached
+    must equal the collector-free report once ``details["provenance"]``
+    is removed — recording rule fires may never perturb a verdict.
+    """
+    world, twin, handle = world_pair
+    for base_world in (world, twin):
+        baseline = build_engines(
+            base_world, SimClock(PAPER_EPOCH), detector=detector, seed=5)
+        collector = ProvenanceCollector()
+        observed = build_engines(
+            base_world, SimClock(PAPER_EPOCH), detector=detector, seed=5,
+            provenance=collector)
+        for name in ENGINE_NAMES:
+            expected = baseline[name].audit(AuditRequest(target=handle))
+            actual = observed[name].audit(AuditRequest(target=handle))
+            assert "provenance" not in expected.details, name
+            details = dict(actual.details)
+            assert details.pop("provenance", None) is not None, name
+            assert replace(actual, details=details) == expected, name
+        assert len(collector.records) == len(ENGINE_NAMES)
+
+
+def test_provenance_records_path_and_substrate_invariant(
+        world_pair, detector):
+    """The recorded rule fires are the same bits on every path.
+
+    Object vs columnar substrate, scalar vs columnar-mask
+    classification: the full :class:`AuditProvenance` records — packed
+    bitmaps, verdict codes, aggregated stats — must match exactly.
+    """
+    world, twin, handle = world_pair
+    records = {}
+    for key, base_world, knob in (
+            ("object-scalar", world, False),
+            ("object-columnar", world, "auto"),
+            ("twin-scalar", twin, False),
+            ("twin-columnar", twin, "auto")):
+        collector = ProvenanceCollector()
+        engines = build_engines(
+            base_world, SimClock(PAPER_EPOCH), detector=detector, seed=5,
+            batch=knob, provenance=collector)
+        for name in ENGINE_NAMES:
+            engines[name].audit(AuditRequest(target=handle))
+        records[key] = collector.records
+    reference = records.pop("object-scalar")
+    assert len(reference) == len(ENGINE_NAMES)
+    for key, actual in records.items():
+        assert actual == reference, key
+
+
+def test_batch_digest_provenance_invariant(world_pair, detector):
+    """The scheduler's batch digest never sees the collector."""
+    __, twin, handle = world_pair
+    baseline = _run_batch(twin, handle, detector)
+    observed = _run_batch(twin, handle, detector,
+                          provenance=ProvenanceCollector())
+    assert observed.digest() == baseline.digest()
+    assert observed.to_json() == baseline.to_json()
+
+
+def test_explain_labels_agree_with_classify(world_pair):
+    """``explain`` must return exactly ``classify``'s label.
+
+    Checked on the user-field-only criteria (StatusPeople,
+    Twitteraudit) over every follower in the cell; the timeline-reading
+    criteria are covered by the path-invariance test above, whose
+    scalar sink path routes classification through ``explain``.
+    """
+    from repro.analytics.statuspeople import StatusPeopleCriteria
+    from repro.analytics.twitteraudit import TwitterauditCriteria
+    from repro.api.endpoints import UserObject
+
+    world, __, handle = world_pair
+    population = world.population(handle)
+    now = PAPER_EPOCH
+    for criteria in (StatusPeopleCriteria(), TwitterauditCriteria()):
+        assert criteria.rule_ids
+        for position in range(population.size_at(now)):
+            user = UserObject.from_account(
+                population.account_at(position, now))
+            label, fired = criteria.explain(user, None, now)
+            assert label == criteria.classify(user, None, now)
+            assert set(fired) <= set(criteria.rule_ids)
+
+
+def _run_batch(world, handle, detector, engine_batch="auto",
+               provenance=None):
     scheduler = BatchAuditScheduler(
         world, SimClock(PAPER_EPOCH), engines=ENGINE_NAMES,
-        detector=detector, seed=5, engine_batch=engine_batch)
+        detector=detector, seed=5, engine_batch=engine_batch,
+        provenance=provenance)
     scheduler.submit_batch([AuditRequest(target=handle)])
     return scheduler.run()
