@@ -243,6 +243,10 @@ class CommercialAnalytic:
         self._last_completeness = 1.0
         self._active_request: Optional[AuditRequest] = None
         self._batch_mode = batch
+        #: Raw verdict counts of the most recent classification; the
+        #: delta auditor reads these to seed a watermark, since reports
+        #: only carry rounded percentages.
+        self.last_verdict_counts: Optional[Dict[str, int]] = None
         #: Optional :class:`~repro.obs.provenance.ProvenanceCollector`;
         #: when set, every fresh classification records per-rule fire
         #: masks (a pure observation — verdict bytes never change).
@@ -485,9 +489,21 @@ class CommercialAnalytic:
             self._last_provenance = self._provenance.record(
                 self.name, target, verdicts, sink,
                 _sample_user_ids(users), now)
+        self.last_verdict_counts = dict(verdicts.counts())
         if self._obs.enabled:
             self._obs.note_verdicts(self.name, verdicts.counts())
         return verdicts
+
+    def classify_sample(self, users, timelines, now: float) -> VerdictArray:
+        """Classify an ad-hoc sample through the engine's verdict path.
+
+        Public entry point for the delta auditor: identical to the
+        classification phase of a full audit (columnar masks under
+        ``batch``, scalar fallback otherwise), with the raw counts
+        recorded in :attr:`last_verdict_counts`; only acquisition is
+        the caller's business.
+        """
+        return self._classify_sample(users, timelines, now)
 
     def _sampling_rng(self):
         """A fresh, deterministic RNG per analysis run.

@@ -23,6 +23,40 @@ from .frame import IdFrame
 from .ratelimit import DEFAULT_POLICIES, RateLimitPolicy
 
 
+@dataclass(frozen=True)
+class AnchoredHeadWalk:
+    """Outcome of an anchored prefix walk over ``followers/ids``.
+
+    Attributes
+    ----------
+    new_ids:
+        The newest-first prefix of the follower list strictly before
+        the first re-found anchor id — i.e. the accounts that followed
+        since the anchor was captured.
+    anchor_index:
+        Index into the caller's anchor tuple of the first (newest)
+        anchor id re-found, or ``None`` when the walk ended without
+        finding any anchor (churned past the anchor depth, budget
+        exhausted, or the walk degraded).  A non-zero index means that
+        many of the newest baseline followers have unfollowed.
+    pages:
+        Cursor pages fetched.
+    degraded:
+        Whether the walk stopped early on an exhausted-retries fault;
+        degraded walks must never be trusted for watermark updates.
+    """
+
+    new_ids: List[int]
+    anchor_index: Optional[int]
+    pages: int
+    degraded: bool
+
+    @property
+    def anchored(self) -> bool:
+        """Whether the walk re-found the baseline anchor."""
+        return self.anchor_index is not None
+
+
 class Crawler:
     """Batched data acquisition over a :class:`TwitterApiClient`."""
 
@@ -95,6 +129,66 @@ class Crawler:
             span.set_attribute("pages", pages)
             span.set_attribute("ids", len(ids))
         return ids
+
+    def fetch_head_until(self, screen_name: str,
+                         anchor_ids: Sequence[int], *,
+                         max_new: int,
+                         page_size: Optional[int] = None) -> AnchoredHeadWalk:
+        """Walk the newest-first follower list until an anchor re-appears.
+
+        The delta-audit primitive (paper, Section IV-B): because the
+        service returns followers newest-first, every follower gained
+        since a previous crawl occupies a *prefix* of the list.  The
+        walk pages from the head and stops at the first id that belongs
+        to ``anchor_ids`` (the newest ids captured by that previous
+        crawl) — everything before it is new.  The walk gives up, with
+        ``anchor_index=None``, once more than ``max_new`` ids have been
+        paged without an anchor hit (the anchor churned out or the
+        cursor chain no longer matches) or when the list ends first.
+        """
+        if max_new < 0:
+            raise ConfigurationError(f"max_new must be >= 0: {max_new!r}")
+        anchor_of = {int(uid): index for index, uid in enumerate(anchor_ids)}
+        with self._tracer.span("crawl.head_walk", self._client.clock,
+                               target=screen_name,
+                               anchors=len(anchor_of)) as span:
+            new_ids: List[int] = []
+            cursor = -1
+            pages = 0
+            degraded = False
+            anchor_index: Optional[int] = None
+            while True:
+                try:
+                    page = self._client.followers_ids(
+                        screen_name=screen_name, cursor=cursor,
+                        count=page_size)
+                except RetryableApiError:
+                    span.set_attribute("degraded", True)
+                    degraded = True
+                    break
+                pages += 1
+                self._pages.inc()
+                hit_offset = None
+                for offset, uid in enumerate(page.ids):
+                    found = anchor_of.get(int(uid))
+                    if found is not None:
+                        # Scanning newest-first, the first hit is the
+                        # newest surviving anchor; its index counts the
+                        # baseline head accounts that unfollowed.
+                        hit_offset, anchor_index = offset, found
+                        break
+                if hit_offset is not None:
+                    new_ids.extend(int(uid) for uid in page.ids[:hit_offset])
+                    break
+                new_ids.extend(int(uid) for uid in page.ids)
+                if len(new_ids) > max_new or page.next_cursor == 0:
+                    break
+                cursor = page.next_cursor
+            span.set_attribute("pages", pages)
+            span.set_attribute("new_ids", len(new_ids))
+            span.set_attribute("anchored", anchor_index is not None)
+        return AnchoredHeadWalk(new_ids=new_ids, anchor_index=anchor_index,
+                                pages=pages, degraded=degraded)
 
     def lookup_users(self, user_ids: Sequence[int]) -> List[UserObject]:
         """Resolve profiles in ``users/lookup`` batches of 100.

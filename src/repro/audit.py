@@ -125,6 +125,14 @@ class AuditRequest:
     the clock.  ``audit_index`` overrides the engine's internal
     per-audit sampling counter so a scheduler can reproduce the exact
     RNG stream of a serial run; leave it ``None`` outside schedulers.
+
+    ``mode`` selects between a ``"full"`` audit (crawl and classify the
+    engine's whole sampling frame) and a ``"delta"`` re-audit, which
+    walks only the newest head of ``followers/ids`` until it re-finds a
+    previously captured watermark anchor and merges the new arrivals'
+    verdicts with the watermarked baseline (see
+    :mod:`repro.sched.incremental`).  A delta request with no usable
+    watermark silently degrades to a full audit.
     """
 
     target: str
@@ -133,6 +141,7 @@ class AuditRequest:
     priority: int = 0
     as_of: Optional[float] = None
     audit_index: Optional[int] = None
+    mode: str = "full"
 
     def __post_init__(self) -> None:
         if not self.target or not self.target.strip():
@@ -140,13 +149,17 @@ class AuditRequest:
         if self.audit_index is not None and self.audit_index < 1:
             raise ConfigurationError(
                 f"audit_index must be >= 1: {self.audit_index!r}")
+        if self.mode not in ("full", "delta"):
+            raise ConfigurationError(
+                f"mode must be 'full' or 'delta': {self.mode!r}")
 
     def bound_to(self, engine_name: str, **changes) -> "AuditRequest":
         """A copy bound to one engine (optionally updating fields)."""
         merged = dict(
             target=self.target, engine=engine_name,
             force_refresh=self.force_refresh, priority=self.priority,
-            as_of=self.as_of, audit_index=self.audit_index)
+            as_of=self.as_of, audit_index=self.audit_index,
+            mode=self.mode)
         merged.update(changes)
         return AuditRequest(**merged)
 

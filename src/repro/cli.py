@@ -44,6 +44,7 @@ from .experiments import (
     run_acquisition_experiment,
     run_all,
     run_deepdive_comparison,
+    run_detection_latency,
     run_ordering_experiment,
     run_purchased_burst_demo,
     run_response_time_experiment,
@@ -109,6 +110,9 @@ def _run_monitor_fleet(args, seed: int) -> str:
         slo_objective=args.slo,
         serial=getattr(args, "serial", False),
         provenance=getattr(args, "provenance", False),
+        columnar=getattr(args, "columnar", False),
+        delta=getattr(args, "delta", False),
+        reaudit_every=getattr(args, "reaudit_every", 0) or 0,
     )
     result = run_monitor_fleet(spec)
     lines = []
@@ -271,6 +275,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("acquisition", help="whole-base acquisition time model")
     sub.add_parser("burst", help="purchased-fakes head-bias demo (Sec II-D)")
     sub.add_parser("deepdive", help="Fakers vs Deep Dive comparison")
+    latency = sub.add_parser(
+        "latency", help="detection latency vs purchase size, with the "
+                        "delta-vs-full investigation bill")
+    latency.add_argument("--quantities", type=int, nargs="+", default=None,
+                         metavar="N",
+                         help="purchased block sizes to sweep "
+                              "(default: 40 500 4000 20000)")
     samplesize = sub.add_parser(
         "samplesize", help="sample-size arithmetic and empirical coverage")
     samplesize.add_argument("--trials", type=int, default=100)
@@ -308,6 +319,20 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="in fleet mode, record rule-level provenance "
                               "on alert-triggered audits and add rule-drift "
                               "panels to the dashboard")
+    monitor.add_argument("--columnar", action="store_true",
+                         help="in fleet mode, run the fleet on the lazy "
+                              "columnar substrate with batched "
+                              "users/lookup polling (required for "
+                              "thousand-account fleets)")
+    monitor.add_argument("--delta", action="store_true",
+                         help="in fleet mode, audit alerted accounts with "
+                              "watermarked delta re-audits instead of full "
+                              "audits")
+    monitor.add_argument("--reaudit-every", type=int, default=0,
+                         metavar="N", dest="reaudit_every",
+                         help="in fleet mode, re-audit every previously "
+                              "alerted handle every N ticks (default: 0, "
+                              "never)")
     _add_serial_flag(monitor)
 
     stats = sub.add_parser(
@@ -384,6 +409,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also measure the columnar substrate: chunk "
                            "telemetry counters plus column page latency "
                            "(diff skips it when only one side has it)")
+    perf.add_argument("--delta", action="store_true",
+                      help="also measure watermarked delta re-audits: "
+                           "API-call and makespan bills of a fleet "
+                           "re-audit sweep vs full audits (diff skips "
+                           "it when only one side has it)")
 
     runner = sub.add_parser(
         "run", help="run one experiment by name (e.g. 'repro run chaos')")
@@ -525,7 +555,8 @@ def _run_perf(args, seed: int):
             seed=seed, targets=args.targets, lane_slots=args.slots,
             max_followers=args.max_followers)
         doc, obs, __ = run_perf_workload(workload, wallclock=args.wallclock,
-                                         substrate=args.substrate)
+                                         substrate=args.substrate,
+                                         delta=args.delta)
         write_perf_json(doc, args.out)
         lines = [render_phase_attribution(obs.tracer)]
         if args.timeline:
@@ -549,7 +580,8 @@ def _run_perf(args, seed: int):
                 f"re-record it or pass --current")
         current, __, __ = run_perf_workload(workload,
                                             wallclock=args.wallclock,
-                                            substrate=args.substrate)
+                                            substrate=args.substrate,
+                                            delta=args.delta)
     tolerances = PerfTolerances(
         makespan_pct=args.makespan_tol_pct,
         phase_pct=args.phase_tol_pct,
@@ -657,6 +689,11 @@ def _dispatch(args, seed: int):
         __, rendered = run_purchased_burst_demo(seed=seed)
     elif args.command == "deepdive":
         __, rendered = run_deepdive_comparison(seed=seed)
+    elif args.command == "latency":
+        __, rendered = run_detection_latency(
+            quantities=tuple(args.quantities) if args.quantities
+            else (40, 500, 4000, 20000),
+            seed=seed)
     elif args.command == "samplesize":
         __, rendered = run_sample_size_experiment(
             trials=args.trials, seed=seed)

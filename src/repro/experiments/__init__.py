@@ -23,6 +23,7 @@ from .chaos import (
     render_chaos,
     run_chaos_experiment,
 )
+from .detection_latency import DetectionLatencyRow, run_detection_latency
 from .figures import ascii_bar_chart, render_ta_charts, run_ta_charts
 from .live_ordering import ChurnSensitivityRow, run_churn_sensitivity
 from .monitor_fleet import FleetResult, FleetSpec, run_monitor_fleet
@@ -84,6 +85,7 @@ __all__ = [
     "DEFAULT_CHAOS_LEVELS",
     "DEFAULT_MAX_FOLLOWERS",
     "DeepDiveResult",
+    "DetectionLatencyRow",
     "DisagreementAnalysis",
     "ENGINE_ORDER",
     "EmpiricalCrawl",
@@ -123,6 +125,7 @@ __all__ = [
     "run_chaos_experiment",
     "run_churn_sensitivity",
     "run_deepdive_comparison",
+    "run_detection_latency",
     "run_monitor_fleet",
     "run_ordering_experiment",
     "run_purchased_burst_demo",

@@ -45,13 +45,16 @@ from ..obs.live import (
 )
 from ..obs.provenance import ProvenanceCollector
 from ..obs.runtime import Observability, get_observability, observed
-from ..sched import BatchAuditScheduler
+from ..sched import BatchAuditScheduler, WatermarkStore
 from ..twitter import (
     Account,
     LiveSimulation,
     OrganicGrowthProcess,
     SocialGraph,
     TweetingProcess,
+    add_simple_target,
+    build_columnar_world,
+    fake_purchase_burst,
 )
 
 #: First user id of the fleet's targets (``fleet_0`` upward).
@@ -117,6 +120,26 @@ class FleetSpec:
     #: default: the golden alert logs and snapshot shapes are
     #: byte-identical unless asked for.
     provenance: bool = False
+    #: Run the fleet on the lazy columnar substrate instead of the
+    #: event-driven :class:`~repro.twitter.live.LiveSimulation`:
+    #: growth lives in each target's arrival schedule (the purchase is
+    #: a :class:`~repro.twitter.PostRefBurst`), and polling goes
+    #: through :meth:`~repro.growth.GrowthMonitor.poll_fleet` (100
+    #: profiles per ``users/lookup`` request).  This is what makes a
+    #: thousand-account fleet affordable — and is required for
+    #: ``accounts`` much beyond a handful.
+    columnar: bool = False
+    #: Audit alerted accounts with ``mode="delta"`` requests backed by
+    #: one run-wide watermark store: the first audit of a handle is a
+    #: full audit that leaves a watermark, every re-audit walks only
+    #: the follower-list head (see :mod:`repro.sched.incremental`).
+    delta: bool = False
+    #: Every N ticks (0 = never), re-audit every previously alerted
+    #: handle — the watchlist workload where delta re-audits pay off.
+    reaudit_every: int = 0
+    #: Historical follower base of each columnar target (plus a small
+    #: deterministic per-index spread).
+    base_followers: int = 900
 
     def __post_init__(self) -> None:
         if self.accounts < 1:
@@ -133,6 +156,12 @@ class FleetSpec:
         if self.purchase_tick < 1 or self.storm_start_tick < 1:
             raise ConfigurationError(
                 "purchase_tick and storm_start_tick must be >= 1")
+        if self.reaudit_every < 0:
+            raise ConfigurationError(
+                f"reaudit_every must be >= 0: {self.reaudit_every!r}")
+        if self.base_followers < 1:
+            raise ConfigurationError(
+                f"base_followers must be >= 1: {self.base_followers!r}")
 
     @property
     def handles(self) -> Tuple[str, ...]:
@@ -233,16 +262,38 @@ def _build_fleet(spec: FleetSpec, start: float) -> LiveSimulation:
     return simulation
 
 
-def _build_live(spec: FleetSpec, simulation: LiveSimulation,
-                poll_clock: SimClock, start: float) -> LiveTelemetry:
-    """The telemetry plane: streams, SLO rule, detector bridge."""
+def _build_columnar_fleet(spec: FleetSpec, start: float):
+    """The fleet as lazy columnar targets: growth in the schedules.
+
+    Each target trickles ``organic_per_day`` new followers; the buyer
+    additionally receives its purchase as an all-fake burst exactly
+    ``purchase_tick`` days in.  Nothing is materialised up front, so a
+    thousand-target fleet costs registration time only.
+    """
+    world = build_columnar_world(seed=spec.seed, ref_time=start)
+    for index, handle in enumerate(spec.handles):
+        bursts = ()
+        if handle == spec.buyer:
+            bursts = (fake_purchase_burst(
+                float(spec.purchase_tick), spec.purchase_quantity),)
+        add_simple_target(
+            world, handle,
+            spec.base_followers + 37 * (index % 13),
+            0.25, 0.10, 0.65,
+            daily_new_followers=spec.organic_per_day,
+            post_ref_bursts=bursts)
+    return world
+
+
+def _build_live(spec: FleetSpec, fleet_total,
+                start: float) -> LiveTelemetry:
+    """The telemetry plane: streams, SLO rule, detector bridge.
+
+    ``fleet_total`` is a zero-argument callable returning the fleet's
+    current total follower count (the substrates count differently).
+    """
     live = LiveTelemetry(origin=start, pane_width=DAY)
-    graph = simulation.graph
-    ids = [FLEET_BASE_ID + index for index in range(spec.accounts)]
-    live.gauge_stream(
-        "followers.fleet",
-        lambda: float(sum(graph.follower_count(user_id, poll_clock.now())
-                          for user_id in ids)))
+    live.gauge_stream("followers.fleet", lambda: float(fleet_total()))
     # Pre-create the SLO streams so evaluation never references a
     # stream that has not seen its first event yet.
     for name in ("polls.total", "polls.ok", "polls.failed"):
@@ -266,9 +317,10 @@ def _build_live(spec: FleetSpec, simulation: LiveSimulation,
     return live
 
 
-def _alert_audits(spec: FleetSpec, simulation: LiveSimulation,
-                  handles: List[str], detector, tick: int, now: float,
-                  provenance: Optional[ProvenanceCollector] = None
+def _alert_audits(spec: FleetSpec, world, handles: List[str], detector,
+                  tick: int, now: float,
+                  provenance: Optional[ProvenanceCollector] = None,
+                  watermarks: Optional[WatermarkStore] = None
                   ) -> List[Dict[str, object]]:
     """Investigate burst alerts: FC audits on a detached clock.
 
@@ -276,15 +328,23 @@ def _alert_audits(spec: FleetSpec, simulation: LiveSimulation,
     instant, so the (mode-dependent) makespan of the investigation
     never advances the monitoring timeline — the next poll happens at
     the same simulated instant whether audits ran serially or batched.
+
+    With ``spec.delta`` on, requests go out as ``mode="delta"`` against
+    the injected run-wide ``watermarks`` store: a handle's first audit
+    is a full one that leaves a watermark, every later one walks only
+    the follower-list head (and an unchanged account replays its
+    watermarked report outright).
     """
     scheduler = BatchAuditScheduler(
-        simulation.graph, SimClock(now),
+        world, SimClock(now),
         engines=("fc",), lane_slots=1,
         detector=detector, seed=spec.seed,
         shared_cache=False, serial=spec.serial,
-        provenance=provenance)
+        provenance=provenance,
+        watermarks=watermarks)
+    mode = "delta" if spec.delta else "full"
     for handle in handles:
-        scheduler.submit(AuditRequest(target=handle, as_of=now))
+        scheduler.submit(AuditRequest(target=handle, as_of=now, mode=mode))
     batch = scheduler.run()
     outcomes = []
     for item in batch.items:
@@ -293,6 +353,8 @@ def _alert_audits(spec: FleetSpec, simulation: LiveSimulation,
             "tick": tick,
             "handle": item.request.target,
             "engine": item.lane,
+            "mode": (report.details.get("mode", "full")
+                     if report is not None else mode),
             "fake_pct": report.fake_pct if report is not None else None,
             "sample_size": report.sample_size if report is not None else 0,
         })
@@ -315,18 +377,102 @@ def run_monitor_fleet(spec: FleetSpec = FleetSpec(),
             raise ConfigurationError(
                 "a live-telemetry plane is already attached; "
                 "run_monitor_fleet needs its own")
-        simulation = _build_fleet(spec, start)
         # The monitor polls over the API, which charges request latency
         # to its clock.  A separate poll clock keeps the simulation
         # clock advancing only through run_until(), so queued events
         # are never overtaken; the graph itself is shared.
         poll_clock = SimClock(start)
-        live = _build_live(spec, simulation, poll_clock, start)
+        if spec.columnar:
+            world = _build_columnar_fleet(spec, start)
+            populations = world.targets()
+            live = _build_live(
+                spec,
+                lambda: sum(population.size_at(poll_clock.now())
+                            for population in populations),
+                start)
+            obs.attach_live(live)
+            try:
+                return _run_columnar(spec, world, live, poll_clock, start)
+            finally:
+                obs.detach_live()
+        simulation = _build_fleet(spec, start)
+        graph = simulation.graph
+        ids = [FLEET_BASE_ID + index for index in range(spec.accounts)]
+        live = _build_live(
+            spec,
+            lambda: sum(graph.follower_count(user_id, poll_clock.now())
+                        for user_id in ids),
+            start)
         obs.attach_live(live)
         try:
             return _run(spec, simulation, live, poll_clock, start)
         finally:
             obs.detach_live()
+
+
+def _run_columnar(spec: FleetSpec, world, live: LiveTelemetry,
+                  poll_clock: SimClock, start: float) -> FleetResult:
+    """The daily loop on the columnar substrate: batched fleet polls.
+
+    The purchase needs no marketplace order — the buyer's arrival
+    schedule already carries it as a post-reference burst — and each
+    tick polls the whole fleet through ``users/lookup`` pages instead
+    of one ``users/show`` per account.  With ``spec.reaudit_every``
+    set, every previously alerted handle is re-audited on that cadence
+    (the watchlist sweep that delta re-audits exist for).
+    """
+    monitor = GrowthMonitor(world, poll_clock, faults=spec.fault_plan(start))
+    live.counter_stream(
+        "polls.faults", lambda: float(monitor.client.faults_seen))
+    panels = FLEET_PANELS + RULE_PANELS if spec.provenance else FLEET_PANELS
+    dashboard = FleetDashboard(live, panels=panels,
+                               horizon=3 * DAY, title="fleet health")
+    result = FleetResult(spec=spec, live=live)
+    collector = ProvenanceCollector() if spec.provenance else None
+    watermarks = WatermarkStore() if spec.delta else None
+    watchlist = set()
+    fc_detector = None
+
+    for tick in range(spec.ticks):
+        tick_time = start + tick * DAY
+        if poll_clock.now() < tick_time:
+            poll_clock.advance_to(tick_time)
+        events_before = len(live.alerts.events)
+        counts = monitor.poll_fleet(spec.handles)
+        at = poll_clock.now()
+        for handle in spec.handles:
+            live.note("polls.total", at)
+            if handle in counts:
+                result.followers[handle] = counts[handle]
+                live.note("polls.ok", at)
+            else:
+                result.poll_failures += 1
+                live.note("polls.failed", at)
+        now = live.tick(poll_clock.now())
+        burst_handles = sorted({
+            event.name.split(":", 1)[1]
+            for event in live.alerts.events[events_before:]
+            if event.kind == "fire" and event.name.startswith("burst:")})
+        due = list(burst_handles)
+        if spec.reaudit_every and tick and tick % spec.reaudit_every == 0:
+            due = sorted(set(due) | watchlist)
+        if due:
+            if fc_detector is None:
+                from ..fc.engine import default_detector
+                fc_detector = default_detector(spec.seed)
+            result.audits.extend(_alert_audits(
+                spec, world, due, fc_detector, tick, now,
+                provenance=collector, watermarks=watermarks))
+        watchlist.update(burst_handles)
+        if tick % spec.snapshot_every == 0 or tick == spec.ticks - 1:
+            snapshot = dashboard.snapshot(now, fleet={
+                "followers": dict(sorted(result.followers.items())),
+                "audits_run": len(result.audits),
+                "poll_failures": result.poll_failures,
+            })
+            result.snapshots.append(snapshot)
+            result.frames.append(dashboard.render(snapshot))
+    return result
 
 
 def _run(spec: FleetSpec, simulation: LiveSimulation, live: LiveTelemetry,
@@ -379,7 +525,7 @@ def _run(spec: FleetSpec, simulation: LiveSimulation, live: LiveTelemetry,
                 from ..fc.engine import default_detector
                 fc_detector = default_detector(spec.seed)
             result.audits.extend(_alert_audits(
-                spec, simulation, burst_handles, fc_detector, tick, now,
+                spec, graph, burst_handles, fc_detector, tick, now,
                 provenance=collector))
         if tick % spec.snapshot_every == 0 or tick == spec.ticks - 1:
             snapshot = dashboard.snapshot(now, fleet={

@@ -193,6 +193,11 @@ class FakeClassifierEngine:
         self._batch_classifier = None
         self._batch_resolved = False
         self._provenance = provenance
+        #: Raw verdict counts of the most recent classification (full
+        #: audit or ad-hoc :meth:`classify_sample`); the delta auditor
+        #: reads these to seed a watermark, since reports only carry
+        #: rounded percentages.
+        self.last_verdict_counts = None
         self._obs.register_engine(self)
 
     @property
@@ -237,6 +242,27 @@ class FakeClassifierEngine:
     def batch_active(self) -> bool:
         """Whether classifications run on the columnar fast path."""
         return self._batch() is not None
+
+    def classify_sample(self, users, timelines, now: float):
+        """Classify an ad-hoc sample through the engine's verdict path.
+
+        The delta auditor's entry point: the same criteria, the same
+        columnar batch classifier and the same verdict-count
+        bookkeeping as a full audit's classification phase, but the
+        caller owns acquisition.  Returns the
+        :class:`~repro.analytics.criteria.VerdictArray`; the raw
+        counts land in :attr:`last_verdict_counts`.
+        """
+        classifier = self._batch()
+        predict = (classifier.predict if classifier is not None
+                   else self._detector.predict)
+        verdicts = self._criteria.classify_all(
+            users, timelines, now, predict=predict)
+        counts = verdicts.counts()
+        self.last_verdict_counts = dict(counts)
+        if self._obs.enabled:
+            self._obs.note_verdicts(self.name, counts)
+        return verdicts
 
     @property
     def criteria(self) -> DetectorCriteria:
@@ -383,6 +409,7 @@ class FakeClassifierEngine:
                 self.name, screen_name, verdicts, sink,
                 [user.user_id for user in users], now)
         counts = verdicts.counts()
+        self.last_verdict_counts = dict(counts)
         if self._obs.enabled:
             self._obs.note_verdicts(self.name, counts)
         fake = counts["fake"]

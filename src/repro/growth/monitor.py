@@ -10,11 +10,11 @@ the paper's introduction was noticed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..api.client import TwitterApiClient
 from ..core.clock import SimClock
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, RetryableApiError
 from ..core.timeutil import DAY
 from ..obs.runtime import get_observability
 from ..twitter.population import World
@@ -52,6 +52,7 @@ class GrowthMonitor:
                                         retry=retry)
         self._clock = clock
         self._detector = detector if detector is not None else BurstDetector()
+        self._user_ids: Dict[str, int] = {}
 
     @property
     def client(self) -> TwitterApiClient:
@@ -70,20 +71,72 @@ class GrowthMonitor:
         """
         now = self._clock.now()
         user = self._client.users_show(screen_name=handle)
+        self._user_ids[handle.lower()] = user.user_id
         live = get_observability().live
         if live is not None:
             live.observe_followers(handle, now, user.followers_count)
         return now, user.followers_count
 
+    def poll_fleet(self, handles: Sequence[str]) -> Dict[str, int]:
+        """One counter reading for a whole fleet, paged 100 per request.
+
+        A thousand-account fleet polled through :meth:`poll` costs one
+        ``users/show`` call per account per tick; this method batches
+        resolved accounts through ``users/lookup`` (100 profiles per
+        request), a 100x reduction at fleet scale.  Handles not yet
+        resolved to a user id fall back to ``users/show`` once (which
+        also records their reading); every reading feeds the live
+        detector bridge exactly as :meth:`poll` does.
+
+        Returns ``{handle: followers_count}`` for every answered
+        handle.  Never raises for injected API faults: a fault on a
+        lookup page silently loses that *page's* readings (and an
+        unresolved handle's ``users/show`` fault loses that handle's),
+        so the blast radius of a failed batched poll is the page, not
+        the fleet — callers under a fault plan count the absences.
+        """
+        now = self._clock.now()
+        live = get_observability().live
+        counts: Dict[str, int] = {}
+        handle_of = {}
+        pending: List[int] = []
+        for handle in handles:
+            user_id = self._user_ids.get(handle.lower())
+            if user_id is None:
+                try:
+                    __, count = self.poll(handle)
+                except RetryableApiError:
+                    continue
+                counts[handle] = count
+                continue
+            handle_of[user_id] = handle
+            pending.append(user_id)
+        for start in range(0, len(pending), 100):
+            page = pending[start:start + 100]
+            try:
+                users = self._client.users_lookup_block(page)
+            except RetryableApiError:
+                continue
+            for user in users:
+                handle = handle_of[user.user_id]
+                counts[handle] = user.followers_count
+                if live is not None:
+                    live.observe_followers(handle, now, user.followers_count)
+        return counts
+
     def observe(self, handle: str, days: int) -> GrowthSeries:
-        """Poll the account once per simulated day for ``days`` + 1 readings."""
+        """Poll the account once per simulated day for ``days`` + 1 readings.
+
+        Each reading goes through :meth:`poll`, so a standalone
+        ``observe`` campaign feeds the live detector bridge exactly as
+        tick-driven polling does.
+        """
         if days < 1:
             raise ConfigurationError(f"days must be >= 1: {days!r}")
         observations: List[Tuple[float, int]] = []
         for __ in range(days + 1):
-            day_start = self._clock.now()
-            user = self._client.users_show(screen_name=handle)
-            observations.append((day_start, user.followers_count))
+            day_start, count = self.poll(handle)
+            observations.append((day_start, count))
             self._clock.advance_to(day_start + DAY)
         return series_from_observations(observations)
 

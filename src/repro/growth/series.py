@@ -90,12 +90,18 @@ def series_from_observations(
     ``observations`` are ``(timestamp, followers_count)`` pairs, at
     least two, in chronological order, nominally one day apart (the
     cadence of the paper's own Section IV-B snapshots).  Readings that
-    are not exactly a day apart are accepted — each interval is treated
-    as one bucket — since real monitors jitter.
+    are not exactly a day apart are accepted — real monitors jitter —
+    and a reading delayed past its slot (an outage, a rate-limit storm)
+    is *gap-normalised*: the interval's arrivals are distributed evenly
+    across the ``round(gap / DAY)`` days it actually spans instead of
+    being piled into a single day.  Without this, a two-day gap makes
+    one day appear to have twice the organic rate — a deterministic
+    false burst.  The split is exact and deterministic: ``divmod``
+    spreads the count, with the remainder going to the earliest days.
 
     A follower *counter* conflates arrivals with departures: a day of
     net churn shows a decrease.  With ``clip_negative`` (the default,
-    what a real monitor must do) such days are recorded as zero
+    what a real monitor must do) such intervals are recorded as zero
     arrivals; pass ``clip_negative=False`` to insist on a
     churn-free series and get an error instead.
     """
@@ -105,14 +111,19 @@ def series_from_observations(
     counts = [c for __, c in observations]
     if times != sorted(times) or len(set(times)) != len(times):
         raise ConfigurationError("observations must be strictly chronological")
-    deltas = []
-    for before, after in zip(counts, counts[1:]):
+    deltas: List[int] = []
+    for (before_t, before), (after_t, after) in zip(
+            observations, observations[1:]):
         if after < before:
             if not clip_negative:
                 raise ConfigurationError(
                     "follower counts decreased (churn); pass "
                     "clip_negative=True to record such days as zero")
-            deltas.append(0)
+            delta = 0
         else:
-            deltas.append(after - before)
+            delta = after - before
+        gap_days = max(1, int(round((after_t - before_t) / DAY)))
+        base, remainder = divmod(delta, gap_days)
+        deltas.extend(
+            base + (1 if day < remainder else 0) for day in range(gap_days))
     return GrowthSeries(start_time=times[0], arrivals=tuple(deltas))

@@ -28,8 +28,8 @@ from .metrics import Histogram
 
 #: Format version of ``BENCH_perf.json``.  Bump on shape changes; the
 #: differ treats a version mismatch as an automatic breach.  The
-#: optional ``wallclock`` and ``substrate`` sections are additive —
-#: documents with and without them share the schema (see
+#: optional ``wallclock``, ``substrate`` and ``delta`` sections are
+#: additive — documents with and without them share the schema (see
 #: :func:`diff_perf`'s skip rule).
 PERF_SCHEMA = 1
 
@@ -80,7 +80,8 @@ def _family_sum(registry, name: str, **match: object) -> float:
 
 def collect_perf(obs, report, workload: Dict[str, object], *,
                  wallclock: Optional[Dict[str, object]] = None,
-                 substrate: Optional[Dict[str, object]] = None
+                 substrate: Optional[Dict[str, object]] = None,
+                 delta: Optional[Dict[str, object]] = None
                  ) -> Dict[str, object]:
     """Assemble the canonical perf document from one observed batch run.
 
@@ -99,6 +100,13 @@ def collect_perf(obs, report, workload: Dict[str, object], *,
     counters gated at :attr:`PerfTolerances.counter_pct`) plus column
     page latencies (``*_seconds`` keys, real timings gated like
     wallclock); its keys are likewise optional on either side.
+    ``delta`` — when provided — is the **delta** measurement class
+    (see :func:`repro.experiments.perf.measure_delta`): the API-call
+    and makespan bills of a watermarked fleet re-audit sweep against a
+    full one.  Every number in it comes off the simulated clock, so
+    the whole section is deterministic and gates at the counter
+    tolerance; its keys are optional on either side like the other
+    opt-in classes.
     """
     attributions = attribute_all(obs.tracer)
     totals = phase_totals(attributions)
@@ -151,6 +159,8 @@ def collect_perf(obs, report, workload: Dict[str, object], *,
         doc["wallclock"] = dict(wallclock)
     if substrate is not None:
         doc["substrate"] = dict(substrate)
+    if delta is not None:
+        doc["delta"] = dict(delta)
     return doc
 
 
@@ -243,6 +253,10 @@ def _tolerance_for(key: str, tolerances: PerfTolerances
         if key.endswith("_seconds"):
             return "pct", tolerances.wallclock_pct
         return "pct", tolerances.counter_pct
+    if key.startswith("delta."):
+        # Entirely simulated-clock numbers (even the makespans), so
+        # the whole class is deterministic and gates like a counter.
+        return "pct", tolerances.counter_pct
     if key.endswith("_ratio"):
         return "abs", tolerances.ratio_abs
     if key == "makespan_seconds":
@@ -262,11 +276,12 @@ def diff_perf(baseline: Dict[str, object], current: Dict[str, object],
     itself a breach.  Every other numeric leaf is compared under its
     tolerance class; non-numeric leaves (critical-path lane names)
     must be equal.  Missing or extra leaves always breach — except
-    ``wallclock.*`` and ``substrate.*`` leaves, which are opt-in
-    measurement classes: a baseline recorded with ``--wallclock`` or
-    ``--substrate`` must still gate a current document recorded
-    without them (and vice versa), so a leaf of either class present
-    on only one side is skipped, not breached.
+    ``wallclock.*``, ``substrate.*`` and ``delta.*`` leaves, which are
+    opt-in measurement classes: a baseline recorded with
+    ``--wallclock``, ``--substrate`` or ``--delta`` must still gate a
+    current document recorded without them (and vice versa), so a leaf
+    of any of these classes present on only one side is skipped, not
+    breached.
     """
     if tolerances is None:
         tolerances = PerfTolerances()
@@ -275,7 +290,7 @@ def diff_perf(baseline: Dict[str, object], current: Dict[str, object],
     breaches: List[PerfBreach] = []
     compared = 0
     for key in sorted(set(base_flat) | set(cur_flat)):
-        optional = key.startswith(("wallclock.", "substrate."))
+        optional = key.startswith(("wallclock.", "substrate.", "delta."))
         if key not in cur_flat:
             if optional:
                 continue

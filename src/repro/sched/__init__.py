@@ -12,21 +12,39 @@ engines' independent credential pools on the simulated clock:
   follower-page/profile/timeline cache batched audits share;
 * :class:`~repro.sched.report.BatchReport` /
   :class:`~repro.sched.report.BatchItem` — per-request scheduling
-  history and the whole-batch makespan accounting.
+  history and the whole-batch makespan accounting;
+* :class:`~repro.sched.incremental.DeltaAuditor` /
+  :class:`~repro.sched.incremental.WatermarkStore` — watermarked
+  head-only re-audits: a full audit leaves an
+  :class:`~repro.sched.incremental.AuditWatermark` behind, and a
+  ``mode="delta"`` request re-walks only the newest follower-list
+  prefix, classifying just the new arrivals.
 
 See ``docs/scheduler.md`` for the design rationale and the guarantees
 (determinism, serial-equality of percentages) the test suite pins.
 """
 
 from .cache import AcquisitionCache
+from .incremental import (
+    DEFAULT_ANCHOR_DEPTH,
+    DEFAULT_DELTA_TTL,
+    AuditWatermark,
+    DeltaAuditor,
+    WatermarkStore,
+)
 from .report import BatchItem, BatchReport, LaneSummary
 from .scheduler import BatchAuditScheduler, estimate_audit_seconds
 
 __all__ = [
     "AcquisitionCache",
+    "AuditWatermark",
     "BatchAuditScheduler",
     "BatchItem",
     "BatchReport",
+    "DEFAULT_ANCHOR_DEPTH",
+    "DEFAULT_DELTA_TTL",
+    "DeltaAuditor",
     "LaneSummary",
+    "WatermarkStore",
     "estimate_audit_seconds",
 ]

@@ -56,6 +56,7 @@ class AcquisitionCache:
         self.hits = 0
         self.misses = 0
         self._feature_cache = None
+        self._watermarks = None
         obs = get_observability()
         self._registry = obs.registry
         self._hit_counter = None
@@ -144,6 +145,23 @@ class AcquisitionCache:
             self._feature_cache = factory(
                 name=f"{self._name}-features", max_entries=None)
         return self._feature_cache
+
+    @property
+    def watermarks(self):
+        """The audit-watermark store riding on this cache, built lazily.
+
+        Watermarks (:class:`repro.sched.incremental.WatermarkStore`)
+        are *not* raw acquisitions: they summarise finished audits,
+        carry their own observation epoch and TTL, and exist precisely
+        to span batches — a delta re-audit extends a watermark captured
+        runs ago.  They are therefore exempt from :meth:`clear`, which
+        only drops the per-epoch raw stores.  The import is deferred to
+        keep this module a leaf for clients.
+        """
+        if self._watermarks is None:
+            from .incremental import WatermarkStore
+            self._watermarks = WatermarkStore()
+        return self._watermarks
 
     # -- lifecycle ------------------------------------------------------------
 

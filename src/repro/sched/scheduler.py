@@ -65,6 +65,7 @@ _ITEM_ERRORS = (QuotaExceededError, ConfigurationError, NotFoundError,
                 UnknownAccountError, RetryableApiError)
 from ..obs.runtime import get_observability
 from .cache import AcquisitionCache
+from .incremental import DeltaAuditor, WatermarkStore
 from .report import BatchItem, BatchReport, LaneSummary
 
 #: Crawler shape (credentials, parallelism) of each engine, mirroring
@@ -142,6 +143,10 @@ class _Slot:
     index: int
     item: Optional[BatchItem] = None
     steps: Optional[object] = None
+    #: Lazily built :class:`~repro.sched.incremental.DeltaAuditor`
+    #: wrapper, created the first time a ``mode="delta"`` request
+    #: lands on this slot.
+    delta: Optional[DeltaAuditor] = None
 
 
 class _Lane:
@@ -199,6 +204,15 @@ class BatchAuditScheduler:
         Optional :class:`~repro.obs.provenance.ProvenanceCollector`
         shared by every slot's engines; batch digests are unchanged
         (``BatchItem`` never serializes report details).
+    watermarks:
+        Optional :class:`~repro.sched.incremental.WatermarkStore`
+        backing ``mode="delta"`` requests.  Defaults to the shared
+        acquisition cache's store (which survives the per-run cache
+        clear) or, without a shared cache, a private store.  Inject
+        one explicitly to carry watermarks across scheduler instances
+        — e.g. a monitoring loop that builds a fresh scheduler per
+        alert burst but wants the Nth re-audit of an account to extend
+        the first audit's baseline.
     """
 
     def __init__(self, world, clock: SimClock, *,
@@ -215,7 +229,8 @@ class BatchAuditScheduler:
                  makespan_budget: Optional[float] = None,
                  sb_daily_quota: Optional[int] = 10**9,
                  engine_batch: Union[bool, str] = "auto",
-                 provenance=None) -> None:
+                 provenance=None,
+                 watermarks: Optional[WatermarkStore] = None) -> None:
         if lane_slots < 1:
             raise ConfigurationError(f"lane_slots must be >= 1: {lane_slots!r}")
         if max_pending is not None and max_pending < 1:
@@ -243,6 +258,12 @@ class BatchAuditScheduler:
         self._sb_daily_quota = sb_daily_quota
         self._cache = (AcquisitionCache() if shared_cache and not self._serial
                        else None)
+        if watermarks is not None:
+            self._watermarks = watermarks
+        elif self._cache is not None:
+            self._watermarks = self._cache.watermarks
+        else:
+            self._watermarks = WatermarkStore()
         if detector is None and "fc" in names:
             from ..fc.engine import default_detector
             detector = default_detector(seed)
@@ -264,7 +285,7 @@ class BatchAuditScheduler:
         self._lane_order = tuple(names)
         self._seq = 0
         self._coalesced_hits = 0
-        self._coalesce_map: Dict[Tuple[str, str, bool], BatchItem] = {}
+        self._coalesce_map: Dict[Tuple[str, str, bool, str], BatchItem] = {}
         obs = get_observability()
         self._obs = obs
         self._registry = obs.registry
@@ -292,6 +313,11 @@ class BatchAuditScheduler:
         """The shared acquisition cache (``None`` in serial mode)."""
         return self._cache
 
+    @property
+    def watermarks(self) -> WatermarkStore:
+        """The watermark store backing ``mode="delta"`` requests."""
+        return self._watermarks
+
     def engine(self, lane: str, slot: int = 0) -> Auditor:
         """The engine instance serving ``lane``'s ``slot`` (e.g. to prewarm)."""
         return self._lane(lane).slots[slot].engine
@@ -316,9 +342,12 @@ class BatchAuditScheduler:
         A request whose ``engine`` is ``None`` fans out to every lane
         (one item per engine); a bound request lands on its engine's
         lane only.  A duplicate of a still-pending ``(lane, target,
-        force_refresh)`` combination **coalesces** — no new work is
-        queued, the existing item is returned and its ``coalesced``
-        count incremented.
+        force_refresh, mode)`` combination **coalesces** — no new work
+        is queued, the existing item is returned and its ``coalesced``
+        count incremented.  ``mode`` is part of the key because a
+        delta re-audit and a full audit of the same target are *not*
+        interchangeable answers (one may replay a watermarked
+        baseline, the other re-examines the whole frame).
 
         Raises :class:`SchedulerSaturatedError` when the pending queue
         is at ``max_pending``, or when ``makespan_budget`` is set and
@@ -332,7 +361,8 @@ class BatchAuditScheduler:
         items: List[BatchItem] = []
         for bound in targets:
             lane = self._lane(bound.engine)
-            key = (bound.engine, bound.target.lower(), bound.force_refresh)
+            key = (bound.engine, bound.target.lower(), bound.force_refresh,
+                   bound.mode)
             existing = self._coalesce_map.get(key)
             if existing is not None and not existing.done:
                 existing.coalesced += 1
@@ -500,7 +530,8 @@ class BatchAuditScheduler:
                         slot=slot.index, seq=item.seq,
                         target=item.request.target):
                     try:
-                        item.report = slot.engine.audit(item.request)
+                        item.report = self._auditor_for(
+                            slot, item.request).audit(item.request)
                     except _ITEM_ERRORS as error:
                         item.error = f"{type(error).__name__}: {error}"
                 item.finished_at = slot.clock.now()
@@ -541,7 +572,8 @@ class BatchAuditScheduler:
                     target=item.request.target):
                 if starting:
                     try:
-                        slot.steps = slot.engine.begin_audit(item.request)
+                        slot.steps = self._auditor_for(
+                            slot, item.request).begin_audit(item.request)
                         slot.item = item
                     except _ITEM_ERRORS as error:
                         self._finish(lane, slot, item, error=error)
@@ -562,6 +594,20 @@ class BatchAuditScheduler:
         self._clock.advance(makespan)
         return makespan
 
+    def _auditor_for(self, slot: _Slot, request: AuditRequest) -> Auditor:
+        """The slot's engine, wrapped for delta when the request asks.
+
+        The wrapper is built once per slot and kept: its watermark
+        store is the scheduler-wide one, so every slot of a lane (and
+        every scheduler sharing an injected store) extends the same
+        baselines.
+        """
+        if request.mode != "delta":
+            return slot.engine
+        if slot.delta is None:
+            slot.delta = DeltaAuditor(slot.engine, self._watermarks)
+        return slot.delta
+
     def _finish(self, lane: _Lane, slot: _Slot, item: BatchItem, *,
                 report=None, error: Optional[BaseException] = None) -> None:
         if report is not None:
@@ -576,7 +622,7 @@ class BatchAuditScheduler:
 
     def _forget(self, item: BatchItem) -> None:
         key = (item.lane, item.request.target.lower(),
-               item.request.force_refresh)
+               item.request.force_refresh, item.request.mode)
         if self._coalesce_map.get(key) is item:
             del self._coalesce_map[key]
 

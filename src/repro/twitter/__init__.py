@@ -40,11 +40,13 @@ from .population import (
     AMBIENT_POOL_SIZE,
     FollowerPopulation,
     FollowerSegmentSpec,
+    PostRefBurst,
     SyntheticWorld,
     TargetSpec,
     World,
     ambient_id,
     decode_follower,
+    fake_purchase_burst,
     follower_id,
     namespace_of,
     target_id,
@@ -75,6 +77,7 @@ __all__ = [
     "OrganicGrowthProcess",
     "PERSONAS",
     "Persona",
+    "PostRefBurst",
     "Process",
     "SPAM_PHRASES",
     "SegmentWindow",
@@ -94,6 +97,7 @@ __all__ = [
     "columnar_twin",
     "decode_follower",
     "even_schedule",
+    "fake_purchase_burst",
     "follow_block",
     "follower_id",
     "make_target_spec",

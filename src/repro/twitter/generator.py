@@ -18,6 +18,7 @@ from .graph import SocialGraph
 from .personas import PERSONAS, persona_mix_from_labels
 from .population import (
     FollowerSegmentSpec,
+    PostRefBurst,
     SyntheticWorld,
     TargetSpec,
     tilted_segments,
@@ -45,6 +46,7 @@ def make_target_spec(
         created_years_before: float = 4.0,
         ref_time: float = PAPER_EPOCH,
         daily_new_followers: float = 0.0,
+        post_ref_bursts: Sequence[PostRefBurst] = (),
         verified: bool = False,
         statuses_count: int = 2500,
 ) -> TargetSpec:
@@ -119,6 +121,7 @@ def make_target_spec(
         created_at=max(ref_time - created_years_before * YEAR,
                        PAPER_EPOCH - 7 * YEAR),
         daily_new_followers=daily_new_followers,
+        post_ref_bursts=post_ref_bursts,
         verified=verified,
         statuses_count=statuses_count,
         display_name=screen_name.replace("_", " ").title(),

@@ -206,6 +206,48 @@ def tilted_segments(inactive: float, fake: float, genuine: float,
 
 
 @dataclass(frozen=True)
+class PostRefBurst:
+    """A discrete follower block delivered *after* the reference instant.
+
+    The mid-monitoring analogue of a purchased-burst segment: where
+    :class:`FollowerSegmentSpec` shapes the historical base, a
+    ``PostRefBurst`` lands ``count`` new followers, drawn from
+    ``personas``, exactly ``days_after`` days past the reference
+    instant — interleaved with the ordinary ``daily_new_followers``
+    trickle in arrival order.  This is what the incremental-audit and
+    monitoring experiments inject to model "the account bought a block
+    of fakes while we were watching".
+    """
+
+    days_after: float
+    count: int
+    personas: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.days_after < 0:
+            raise ConfigurationError(
+                f"days_after must be >= 0: {self.days_after!r}")
+        if self.count < 1:
+            raise ConfigurationError(f"count must be >= 1: {self.count!r}")
+        if not self.personas:
+            raise ConfigurationError("a burst needs a non-empty persona mix")
+        for name, weight in self.personas.items():
+            if name not in PERSONAS:
+                raise ConfigurationError(f"unknown persona: {name!r}")
+            if weight < 0:
+                raise ConfigurationError(
+                    f"persona weight must be >= 0: {weight!r}")
+        if sum(self.personas.values()) <= 0:
+            raise ConfigurationError("persona mix weights must sum to > 0")
+
+
+def fake_purchase_burst(days_after: float, count: int) -> PostRefBurst:
+    """Shorthand for an all-fake :class:`PostRefBurst` (a bought block)."""
+    return PostRefBurst(days_after=days_after, count=count,
+                        personas=persona_mix_from_labels(0.0, 1.0, 0.0))
+
+
+@dataclass(frozen=True)
 class TargetSpec:
     """Declarative description of an auditable target account.
 
@@ -226,6 +268,10 @@ class TargetSpec:
         Trickle of fresh arrivals per day after the reference instant
         (drawn from the newest cohort's persona mix); drives the daily
         snapshot ordering experiment.
+    post_ref_bursts:
+        Discrete :class:`PostRefBurst` blocks landing after the
+        reference instant, interleaved with the trickle in arrival
+        order; each burst's members draw from its own persona mix.
     statuses_count, friends_count, verified, display_name, description:
         Profile attributes of the target itself.
     behavior:
@@ -238,6 +284,7 @@ class TargetSpec:
     created_at: float
     follow_window_days: Optional[float] = None
     daily_new_followers: float = 0.0
+    post_ref_bursts: Sequence[PostRefBurst] = ()
     statuses_count: int = 2500
     friends_count: int = 300
     verified: bool = False
@@ -316,8 +363,16 @@ class FollowerPopulation:
         for count in counts:
             self._segment_offsets.append(offset)
             offset += count
+        # Kept in the schedule's (sorted-by-time) burst order so pseudo
+        # segment indices map straight back to their persona mixes.
+        self._burst_specs = sorted(
+            spec.post_ref_bursts, key=lambda b: (b.days_after, b.count))
+        schedule_ref = windows[-1].end if windows else ref_time
         self._schedule = ArrivalSchedule(
-            windows, post_ref_daily=spec.daily_new_followers)
+            windows, post_ref_daily=spec.daily_new_followers,
+            post_ref_bursts=[
+                (schedule_ref + burst.days_after * DAY, burst.count)
+                for burst in self._burst_specs])
 
     @property
     def spec(self) -> TargetSpec:
@@ -360,6 +415,9 @@ class FollowerPopulation:
     def _mix_at(self, position: int) -> Mapping[str, float]:
         """Persona mix governing the follower at ``position``."""
         index, _ = self._schedule.segment_of(position)
+        if index > len(self._segment_specs):
+            # Post-reference burst members draw from their burst's mix.
+            return self._burst_specs[index - len(self._segment_specs) - 1].personas
         if index >= len(self._segment_specs):
             # Post-reference trickle inherits the newest cohort's mix.
             index = len(self._segment_specs) - 1

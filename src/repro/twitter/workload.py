@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError
 from ..core.timeutil import DAY
@@ -71,10 +71,18 @@ class ArrivalSchedule:
     instant), followed by an open-ended steady *trickle* of
     ``post_ref_daily`` new followers per day after the last segment ends
     — this is what the daily-snapshot ordering experiment observes.
+
+    ``post_ref_bursts`` adds discrete arrival blocks *after* the
+    reference instant: each ``(at, count)`` delivers ``count`` followers
+    at exactly the epoch ``at``, interleaved with the trickle in arrival
+    order — the "bought a block of fakes mid-monitoring" scenario the
+    incremental-audit experiments inject.  A schedule with no bursts is
+    bit-identical to one built before bursts existed.
     """
 
     def __init__(self, segments: Sequence[SegmentWindow],
-                 post_ref_daily: float = 0.0) -> None:
+                 post_ref_daily: float = 0.0,
+                 post_ref_bursts: Sequence[Tuple[float, int]] = ()) -> None:
         if not segments:
             raise ConfigurationError("an arrival schedule needs >= 1 segment")
         if post_ref_daily < 0:
@@ -95,6 +103,16 @@ class ArrivalSchedule:
         self._base_count = offset
         self._ref_time = self._segments[-1].end
         self._post_ref_daily = float(post_ref_daily)
+        bursts = sorted((float(at), int(count)) for at, count in post_ref_bursts)
+        for at, count in bursts:
+            if at < self._ref_time:
+                raise ConfigurationError(
+                    f"burst at {at!r} predates the reference instant "
+                    f"{self._ref_time!r}")
+            if count < 1:
+                raise ConfigurationError(
+                    f"burst count must be >= 1: {count!r}")
+        self._bursts: Tuple[Tuple[float, int], ...] = tuple(bursts)
 
     @property
     def base_count(self) -> int:
@@ -111,22 +129,62 @@ class ArrivalSchedule:
         """The historical segments, in chronological order."""
         return self._segments
 
+    @property
+    def bursts(self) -> Tuple[Tuple[float, int], ...]:
+        """Post-reference ``(at, count)`` bursts, in chronological order."""
+        return self._bursts
+
+    def _trickle_count(self, now: float) -> int:
+        """Trickle arrivals by ``now`` (the :meth:`size_at` convention)."""
+        if now < self._ref_time or self._post_ref_daily <= 0:
+            return 0
+        return int((now - self._ref_time) / DAY * self._post_ref_daily)
+
+    def _locate_post_ref(self, extra: int) -> Tuple[Optional[int], int]:
+        """Map post-reference index ``extra`` to its arrival block.
+
+        Returns ``(burst_index, local)`` for a burst member, or
+        ``(None, k)`` for the ``k``-th trickle arrival.  Positions
+        interleave in arrival order using the same trickle-count
+        formula as :meth:`size_at`, so the two stay exact inverses.
+        """
+        prior = 0
+        for index, (at, count) in enumerate(self._bursts):
+            before = self._trickle_count(at) + prior
+            if extra < before:
+                break
+            if extra < before + count:
+                return index, extra - before
+            prior += count
+        return None, extra - prior
+
     def segment_of(self, position: int) -> Tuple[int, SegmentWindow]:
         """Return ``(segment_index, segment)`` containing ``position``.
 
         Post-reference trickle positions map to a pseudo segment index
-        ``len(segments)``; the returned window is synthesised on the fly.
+        ``len(segments)`` and burst members of burst ``i`` to
+        ``len(segments) + 1 + i``; the returned windows are synthesised
+        on the fly (a burst's window is the zero-length ``[at, at]``).
         """
         if position < 0:
             raise ConfigurationError(f"position must be >= 0: {position!r}")
         if position >= self._base_count:
             extra = position - self._base_count
-            if self._post_ref_daily <= 0:
+            if self._post_ref_daily <= 0 and not self._bursts:
                 raise ConfigurationError(
                     f"position {position} beyond a non-growing schedule "
                     f"of {self._base_count}")
+            burst_index, local = self._locate_post_ref(extra)
+            if burst_index is not None:
+                at, count = self._bursts[burst_index]
+                return len(self._segments) + 1 + burst_index, SegmentWindow(
+                    count=count, start=at, end=at)
+            if self._post_ref_daily <= 0:
+                raise ConfigurationError(
+                    f"position {position} beyond a non-growing schedule "
+                    f"of {self._base_count} and its bursts")
             day_span = DAY / self._post_ref_daily
-            start = self._ref_time + extra * day_span
+            start = self._ref_time + local * day_span
             return len(self._segments), SegmentWindow(
                 count=1, start=start, end=start + day_span)
         index = bisect.bisect_right(self._offsets, position) - 1
@@ -135,7 +193,9 @@ class ArrivalSchedule:
     def arrival_time(self, position: int) -> float:
         """Arrival instant of the follower at global ``position``."""
         index, segment = self.segment_of(position)
-        if index == len(self._segments):
+        if index >= len(self._segments):
+            # Trickle windows hold one arrival; burst windows are
+            # zero-length, so every member arrives at the burst instant.
             return segment.arrival_time(0)
         return segment.arrival_time(position - self._offsets[index])
 
@@ -146,9 +206,10 @@ class ArrivalSchedule:
         binary-searches the arrival sequence, which is non-decreasing).
         """
         if now >= self._ref_time:
-            extra = int((now - self._ref_time) / DAY * self._post_ref_daily)
             # The first trickle arrival happens one inter-arrival gap
             # after the reference instant, so flooring is exact.
+            extra = self._trickle_count(now)
+            extra += sum(count for at, count in self._bursts if at <= now)
             return self._base_count + extra
         lo, hi = 0, self._base_count
         while lo < hi:

@@ -160,3 +160,57 @@ class TestStatsCli:
         out = capsys.readouterr().out
         assert "1 spans" in out
         assert "truncated final line dropped" in out
+
+
+class TestColumnarDeltaFleet:
+    """The thousand-account configuration, shrunk to test scale.
+
+    Columnar substrate + batched fleet polling + delta re-audits of the
+    watchlist.  The full-size (1000-account) run is pinned by the CI
+    ``delta-smoke`` job against ``golden/delta_smoke_alerts.jsonl``.
+    """
+
+    SPEC = FleetSpec(accounts=25, ticks=45, purchase_tick=12,
+                     storm_start_tick=20, storm_days=3,
+                     columnar=True, delta=True, reaudit_every=10)
+
+    @pytest.fixture(scope="class")
+    def delta_result(self):
+        return run_monitor_fleet(self.SPEC)
+
+    def test_burst_fires_and_first_audit_is_full(self, delta_result):
+        names = _alert_names(delta_result)
+        assert ("fire", f"burst:{self.SPEC.buyer}") in names
+        first = delta_result.audits[0]
+        assert first["handle"] == self.SPEC.buyer
+        assert first["mode"] == "full"
+
+    def test_watchlist_reaudits_go_through_the_delta_path(self, delta_result):
+        modes = [audit["mode"] for audit in delta_result.audits]
+        assert modes.count("delta") >= 2  # every re-audit after the first
+        assert modes.count("full") == 1
+        for audit in delta_result.audits:
+            assert audit["handle"] == self.SPEC.buyer
+            assert audit["fake_pct"] > 10.0
+
+    def test_repeat_run_is_byte_identical(self, delta_result):
+        again = run_monitor_fleet(self.SPEC)
+        assert again.alerts.to_jsonl() == delta_result.alerts.to_jsonl()
+        assert again.audits == delta_result.audits
+        assert ([snapshot_to_json(s) for s in again.snapshots]
+                == [snapshot_to_json(s) for s in delta_result.snapshots])
+
+    def test_serial_audits_do_not_perturb_the_fleet(self, delta_result):
+        serial = run_monitor_fleet(
+            FleetSpec(accounts=25, ticks=45, purchase_tick=12,
+                      storm_start_tick=20, storm_days=3,
+                      columnar=True, delta=True, reaudit_every=10,
+                      serial=True))
+        assert serial.alerts.to_jsonl() == delta_result.alerts.to_jsonl()
+        assert serial.audits == delta_result.audits
+        assert ([snapshot_to_json(s) for s in serial.snapshots]
+                == [snapshot_to_json(s) for s in delta_result.snapshots])
+
+    def test_fleet_polls_are_paged_not_per_account(self, delta_result):
+        polls = delta_result.live.streams()["polls.total"].total_sum
+        assert polls == self.SPEC.accounts * self.SPEC.ticks

@@ -91,3 +91,62 @@ class TestPoll:
         stream = live.bridge.stream("smalltown")
         assert stream.latest().last == float(count)
         assert stream.latest().count == 1
+
+
+class TestPollFleet:
+    HANDLES = tuple(f"fleet_{i}" for i in range(120))
+
+    @pytest.fixture(scope="class")
+    def fleet_world(self):
+        world = build_world(seed=9)
+        for index, handle in enumerate(self.HANDLES):
+            add_simple_target(world, handle, 3 + index % 5, 0.2, 0.2, 0.6)
+        return world
+
+    def test_batched_counts_match_individual_polls(self, fleet_world):
+        fleet = GrowthMonitor(fleet_world, SimClock(PAPER_EPOCH))
+        fleet.poll_fleet(self.HANDLES)  # first sweep resolves user ids
+        counts = fleet.poll_fleet(self.HANDLES)
+        solo = GrowthMonitor(fleet_world, SimClock(PAPER_EPOCH))
+        assert counts == {handle: solo.poll(handle)[1]
+                          for handle in self.HANDLES}
+
+    def test_resolved_sweep_uses_paged_lookups(self, fleet_world):
+        monitor = GrowthMonitor(fleet_world, SimClock(PAPER_EPOCH))
+        monitor.poll_fleet(self.HANDLES)
+        log = monitor.client.call_log
+        before = log.count("users/lookup")
+        counts = monitor.poll_fleet(self.HANDLES)
+        # ceil(120 / 100) pages for the whole resolved fleet — not one
+        # users/show per account per tick.
+        assert log.count("users/lookup") - before == 2
+        assert len(counts) == len(self.HANDLES)
+
+    def test_total_outage_returns_empty_without_raising(self, fleet_world):
+        from repro.faults.plan import FaultPlan, InjectorSpec
+
+        plan = FaultPlan(injectors=(InjectorSpec(
+            kind="transient_503", probability=1.0,
+            resources=("users/lookup",)),), seed=3)
+        monitor = GrowthMonitor(fleet_world, SimClock(PAPER_EPOCH),
+                                faults=plan)
+        assert monitor.poll_fleet(self.HANDLES) == {}
+
+    def test_faulted_page_loses_only_its_page(self, fleet_world, monkeypatch):
+        from repro.core import RetryableApiError
+
+        monitor = GrowthMonitor(fleet_world, SimClock(PAPER_EPOCH))
+        monitor.poll_fleet(self.HANDLES)
+        original = monitor.client.users_lookup_block
+        pages = []
+
+        def flaky(ids):
+            pages.append(len(ids))
+            if len(pages) == 1:
+                raise RetryableApiError("injected page loss")
+            return original(ids)
+
+        monkeypatch.setattr(monitor.client, "users_lookup_block", flaky)
+        counts = monitor.poll_fleet(self.HANDLES)
+        assert pages == [100, 20]
+        assert set(counts) == set(self.HANDLES[100:])

@@ -1,0 +1,122 @@
+"""Differential property suite: delta merges vs fresh full audits.
+
+The delta path's exactness contract: when the baseline full audit was
+a census of the engine's frame and the re-audit samples the same
+frame, the merged (watermark + head-only delta) report must agree with
+a fresh full audit of the re-audit instant on every verdict field —
+for every engine, across seeds and target archetypes, and identically
+through the serial and batch scheduler paths.
+
+The matrix reuses the PR-7 parity geometry (5 seeds x 4 archetypes,
+small populations so every engine's sample is a census) and splices a
+fake-purchase burst into every cell so the delta path always has new
+head arrivals to merge, not just watermark replays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import AuditRequest, ENGINE_NAMES, build_engines
+from repro.core import DAY, PAPER_EPOCH, SimClock
+from repro.sched import BatchAuditScheduler, DeltaAuditor, WatermarkStore
+from repro.twitter import add_simple_target, build_world, fake_purchase_burst
+
+SEEDS = (3, 11, 29, 42, 77)
+
+#: The four target archetypes ("personas" of an audited account).
+ARCHETYPES = {
+    "organic": dict(tilt=0.0, pieces=1),
+    "tilted": dict(tilt=0.7, pieces=4),
+    "purchased": dict(fake_burst_fraction=0.5, fake_burst_position=0.95),
+    "growing": dict(tilt=0.5, daily_new_followers=30.0),
+}
+
+FOLLOWERS = 80
+HANDLE = "target"
+
+T0 = PAPER_EPOCH
+#: Re-audit instant: far enough past the burst (at +0.05 d) for the
+#: delta to see it, close enough that no verdict ages across the gap —
+#: the full audit then samples the exact frame the merge reproduces.
+T1 = T0 + 0.1 * DAY
+
+CELL_PARAMS = [(seed, name) for seed in SEEDS for name in ARCHETYPES]
+CELL_IDS = [f"seed{s}-{a}" for s, a in CELL_PARAMS]
+
+
+@pytest.fixture(scope="module")
+def detector():
+    """Train the FC detector once; it is world-independent and the
+    matrix would otherwise retrain it for every cell."""
+    from repro.fc.engine import default_detector
+
+    return default_detector(seed=5)
+
+
+def _make_world(seed, archetype):
+    world = build_world(seed=seed, ref_time=T0)
+    add_simple_target(world, HANDLE, FOLLOWERS, 0.3, 0.2, 0.5,
+                      post_ref_bursts=(fake_purchase_burst(0.05, 25),),
+                      **ARCHETYPES[archetype])
+    return world
+
+
+@pytest.fixture(params=CELL_PARAMS, ids=CELL_IDS)
+def cell(request):
+    return request.param
+
+
+def test_merged_delta_matches_fresh_full_audit(cell, detector):
+    seed, archetype = cell
+    for name in ENGINE_NAMES:
+        engine = build_engines(
+            _make_world(seed, archetype), SimClock(T0), detector=detector,
+            seed=5, engines=(name,), sb_daily_quota=10**9)[name]
+        auditor = DeltaAuditor(engine, WatermarkStore())
+        auditor.audit(AuditRequest(target=HANDLE, as_of=T0, mode="delta"))
+        merged = auditor.audit(
+            AuditRequest(target=HANDLE, as_of=T1, mode="delta"))
+        assert merged.details.get("mode") == "delta", (name, auditor.fallbacks)
+        assert merged.details["new_followers"] >= 25, name
+
+        fresh = build_engines(
+            _make_world(seed, archetype), SimClock(T0), detector=detector,
+            seed=5, engines=(name,), sb_daily_quota=10**9)[name]
+        full = fresh.audit(AuditRequest(target=HANDLE, as_of=T1))
+        assert merged.followers_count == full.followers_count, name
+        assert merged.sample_size == full.sample_size, name
+        assert merged.fake_pct == full.fake_pct, name
+        assert merged.inactive_pct == full.inactive_pct, name
+        assert merged.genuine_pct == full.genuine_pct, name
+
+
+def test_scheduler_delta_digest_mode_invariant(cell, detector):
+    """Serial vs batch scheduling of the same delta sweep: identical
+    verdicts per lane (makespans differ by design, digests with them)."""
+    seed, archetype = cell
+
+    def sweep(serial):
+        scheduler = BatchAuditScheduler(
+            _make_world(seed, archetype), SimClock(T0),
+            engines=ENGINE_NAMES, detector=detector, seed=5,
+            serial=serial, shared_cache=False)
+        scheduler.submit(AuditRequest(target=HANDLE, as_of=T0, mode="delta"))
+        scheduler.run()
+        scheduler.submit(AuditRequest(target=HANDLE, as_of=T1, mode="delta"))
+        return scheduler.run()
+
+    serial_batch = sweep(serial=True)
+    parallel_batch = sweep(serial=False)
+    serial_reports = serial_batch.reports_for(HANDLE)
+    batch_reports = parallel_batch.reports_for(HANDLE)
+    assert set(serial_reports) == set(batch_reports) == set(ENGINE_NAMES)
+    for lane in ENGINE_NAMES:
+        a, b = serial_reports[lane], batch_reports[lane]
+        assert a.details.get("mode") == b.details.get("mode") == "delta", lane
+        assert (a.fake_pct, a.inactive_pct, a.genuine_pct) == \
+            (b.fake_pct, b.inactive_pct, b.genuine_pct), lane
+        assert a.sample_size == b.sample_size, lane
+        assert a.followers_count == b.followers_count, lane
+        assert a.details["new_followers"] == b.details["new_followers"], lane
+        assert a.details["delta_counts"] == b.details["delta_counts"], lane

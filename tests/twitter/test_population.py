@@ -165,3 +165,87 @@ class TestSyntheticWorld:
     def test_targets_listing(self, world):
         assert [p.spec.screen_name for p in world.targets()] == [
             "first", "second"]
+
+
+class TestPostRefBurstSpec:
+    def test_fake_purchase_burst_is_all_fake(self):
+        from repro.twitter import PERSONAS, fake_purchase_burst
+
+        burst = fake_purchase_burst(0.5, 40)
+        assert burst.days_after == 0.5
+        assert burst.count == 40
+        for name, weight in burst.personas.items():
+            if weight > 0:
+                assert PERSONAS[name].label is Label.FAKE
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(days_after=-0.1, count=5, personas={"bot_dormant": 1.0}),
+        dict(days_after=1.0, count=0, personas={"bot_dormant": 1.0}),
+        dict(days_after=1.0, count=5, personas={}),
+        dict(days_after=1.0, count=5, personas={"no_such_persona": 1.0}),
+        dict(days_after=1.0, count=5, personas={"bot_dormant": -1.0}),
+        dict(days_after=1.0, count=5, personas={"bot_dormant": 0.0}),
+    ])
+    def test_invalid_burst_rejected(self, kwargs):
+        from repro.core import ConfigurationError
+        from repro.twitter import PostRefBurst
+
+        with pytest.raises(ConfigurationError):
+            PostRefBurst(**kwargs)
+
+
+class TestBurstPopulation:
+    BURST_AT_DAYS = 0.55
+    BURST_COUNT = 40
+    BASE = 200
+
+    @pytest.fixture(scope="class")
+    def pop(self):
+        from repro.twitter import fake_purchase_burst
+
+        world = build_world(seed=17)
+        add_simple_target(
+            world, "bursty", self.BASE, 0.3, 0.2, 0.5,
+            daily_new_followers=10.0,
+            post_ref_bursts=(
+                fake_purchase_burst(self.BURST_AT_DAYS, self.BURST_COUNT),))
+        return world.population("bursty")
+
+    def test_size_steps_by_burst_count(self, pop):
+        at = NOW + self.BURST_AT_DAYS * DAY
+        assert pop.size_at(at - 1.0) == self.BASE + 5  # 5 trickle by then
+        assert pop.size_at(at) == self.BASE + 5 + self.BURST_COUNT
+
+    def test_burst_members_are_ground_truth_fakes(self, pop):
+        first = self.BASE + 5
+        for position in range(first, first + self.BURST_COUNT):
+            assert pop.true_label_at(position) is Label.FAKE, position
+            assert pop.followed_at(position) == \
+                NOW + self.BURST_AT_DAYS * DAY
+
+    def test_burst_members_are_materialisable_accounts(self, pop):
+        at = NOW + DAY
+        first = self.BASE + 5
+        account = pop.account_at(first + 7, at)
+        assert account.true_label is Label.FAKE
+        assert account.created_at <= pop.followed_at(first + 7)
+
+    def test_burst_free_population_bit_identical(self):
+        """A burst never perturbs the base or the trickle around it."""
+        from repro.twitter import fake_purchase_burst
+
+        plain = build_world(seed=17)
+        add_simple_target(plain, "bursty", self.BASE, 0.3, 0.2, 0.5,
+                          daily_new_followers=10.0)
+        bursty = build_world(seed=17)
+        add_simple_target(
+            bursty, "bursty", self.BASE, 0.3, 0.2, 0.5,
+            daily_new_followers=10.0,
+            post_ref_bursts=(
+                fake_purchase_burst(self.BURST_AT_DAYS, self.BURST_COUNT),))
+        a, b = plain.population("bursty"), bursty.population("bursty")
+        at = NOW + 2 * DAY
+        for position in range(0, self.BASE + 5, 23):
+            # Everything that arrived before the burst is untouched.
+            assert a.account_at(position, at) == b.account_at(position, at)
+            assert a.followed_at(position) == b.followed_at(position)

@@ -117,3 +117,79 @@ class TestScheduleProperties:
         # size_at at each arrival instant counts that arrival.
         for position in range(0, total, max(1, total // 7)):
             assert schedule.size_at(times[position]) >= position + 1
+
+
+class TestPostRefBursts:
+    REF = 10.0
+
+    def _schedule(self, trickle=4.0, bursts=None):
+        if bursts is None:
+            bursts = ((self.REF + 0.6 * DAY, 6),)
+        return ArrivalSchedule(
+            [SegmentWindow(count=10, start=0.0, end=self.REF)],
+            post_ref_daily=trickle, post_ref_bursts=bursts)
+
+    def test_size_steps_by_burst_count_at_the_instant(self):
+        schedule = self._schedule()
+        at = self.REF + 0.6 * DAY
+        assert schedule.size_at(at - 1e-6) == 12  # base 10 + 2 trickle
+        assert schedule.size_at(at) == 18
+        assert schedule.size_at(self.REF + DAY) == 20  # trickle resumes
+
+    def test_burst_members_share_a_zero_length_pseudo_segment(self):
+        schedule = self._schedule()
+        at = self.REF + 0.6 * DAY
+        for position in range(12, 18):
+            index, window = schedule.segment_of(position)
+            assert index == 2  # len(segments) + 1 + burst 0
+            assert (window.start, window.end) == (at, at)
+            assert schedule.arrival_time(position) == at
+
+    def test_arrival_order_interleaves_trickle_and_bursts(self):
+        schedule = self._schedule(bursts=((self.REF + 0.3 * DAY, 3),
+                                          (self.REF + 0.6 * DAY, 4)))
+        times = [schedule.arrival_time(p) for p in range(10, 24)]
+        assert times == sorted(times)
+        # extra 1..3 -> first burst, extra 5..8 -> second burst.
+        assert [schedule.segment_of(10 + e)[0] for e in range(10)] == \
+            [1, 2, 2, 2, 1, 3, 3, 3, 3, 1]
+
+    def test_size_at_inverse_of_arrival_time_with_bursts(self):
+        schedule = self._schedule()
+        for position in range(22):
+            moment = schedule.arrival_time(position)
+            index, __ = schedule.segment_of(position)
+            if index == 1:
+                # Trickle arrivals are *timestamped* mid-window but
+                # *counted* at the full inter-arrival gap (the pre-burst
+                # flooring convention) — they lag by at most themselves.
+                assert schedule.size_at(moment) >= position
+            else:
+                assert schedule.size_at(moment) >= position + 1
+            assert schedule.size_at(moment - 1e-6) <= position + 1
+
+    def test_no_burst_schedule_bit_identical(self):
+        plain = even_schedule(10, 0.0, self.REF, post_ref_daily=4.0)
+        empty = self._schedule(bursts=())
+        for position in range(18):
+            assert empty.arrival_time(position) == plain.arrival_time(position)
+            assert empty.segment_of(position) == plain.segment_of(position)
+        for moment in (0.0, 5.0, self.REF, self.REF + 0.7 * DAY,
+                       self.REF + 3 * DAY):
+            assert empty.size_at(moment) == plain.size_at(moment)
+
+    def test_burst_before_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._schedule(bursts=((self.REF - 1.0, 5),))
+
+    def test_burst_count_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            self._schedule(bursts=((self.REF + DAY, 0),))
+
+    def test_burst_without_trickle_still_reachable(self):
+        schedule = self._schedule(trickle=0.0)
+        at = self.REF + 0.6 * DAY
+        assert schedule.size_at(at) == 16
+        assert schedule.arrival_time(12) == at
+        with pytest.raises(ConfigurationError):
+            schedule.arrival_time(16)  # beyond base + burst
